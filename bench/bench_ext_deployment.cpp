@@ -1,0 +1,72 @@
+// Extension: the Sec. 4.1 node-count decision flow, quantified.
+//
+// For each application: project the measured Level-1 profile to a
+// production-scale job (×100), then sweep node counts on a node design
+// with a fixed local tier plus a rack pool share. The planner trades the
+// pooling penalty (remote bandwidth/latency on the scaling curve's cold
+// tail) against scale-out cost (communication + core-hours) — the paper's
+// misconception #2 ("applications can scale to more compute nodes
+// instead") becomes a cost curve with a visible crossover.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/deployment.h"
+
+int main() {
+  using namespace memdis;
+  bench::banner("Extension: deployment planning",
+                "pooling vs. scale-out cost curves per application");
+
+  const core::MultiLevelProfiler profiler{};
+  core::PlannerConfig pcfg;
+  // Node design: each node offers 1/8 of the projected job footprint as
+  // local memory and the same again as its pool share.
+  for (const auto app : workloads::kAllApps) {
+    auto wl = workloads::make_workload(app, 1);
+    const auto l1 = profiler.level1(*wl);
+    const auto job = core::JobRequirements::from_profile(l1, /*scale_factor=*/100.0);
+
+    pcfg.local_capacity_bytes = static_cast<std::uint64_t>(job.footprint_bytes / 8.0);
+    pcfg.pool_capacity_bytes = pcfg.local_capacity_bytes;
+    const core::DeploymentPlanner planner(pcfg);
+    const int n_local_only = planner.min_nodes_local_only(job);
+
+    std::cout << "\n" << wl->name() << " (projected footprint "
+              << format_bytes(job.footprint_bytes) << ", local-only minimum "
+              << n_local_only << " nodes):\n";
+    Table t({"nodes", "feasible", "pooled frac", "%remote access (best placement)",
+             "est runtime (s)", "node-seconds", "note"});
+    for (const auto& opt : planner.evaluate(job, 16)) {
+      if (opt.nodes != 2 && opt.nodes != 4 && opt.nodes != 6 && opt.nodes != 8 &&
+          opt.nodes != 12 && opt.nodes != 16)
+        continue;
+      std::string note;
+      if (!opt.feasible) {
+        note = "OOM (exceeds local+pool)";
+      } else if (opt.needs_pool) {
+        note = "uses the pool";
+      } else {
+        note = "local only";
+      }
+      t.add_row({std::to_string(opt.nodes), opt.feasible ? "yes" : "no",
+                 opt.feasible ? Table::pct(opt.pooled_fraction) : "-",
+                 opt.feasible ? Table::pct(opt.remote_access_ratio) : "-",
+                 opt.feasible ? Table::num(opt.est_runtime_s, 3) : "-",
+                 opt.feasible ? Table::num(opt.node_seconds, 2) : "-", note});
+    }
+    t.print(std::cout);
+    const auto pick = planner.recommend(job, 16, 1.10);
+    std::cout << "recommendation (cheapest within 10% of fastest): " << pick.nodes
+              << " nodes, " << Table::pct(pick.pooled_fraction) << " pooled, est "
+              << Table::num(pick.est_runtime_s, 3) << " s\n";
+  }
+
+  std::cout << "\nReading: skewed-access apps (BFS, XSBench) can run on far fewer nodes\n"
+               "than their footprint implies — the pool absorbs their cold majority at\n"
+               "little estimated cost. Uniform-access apps (HPL, Hypre) pay the pool's\n"
+               "bandwidth on every spilled byte, so their cheapest configurations stay\n"
+               "near the local-only minimum or scale out instead.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Extension: transparent hot-page migration vs. the static fix.
+//
+// Sec. 5.2 contrasts two optimization directions: static allocation-site
+// changes (the BFS case study) and dynamic runtimes that migrate hot pages
+// (Thermostat/TPP-style). The paper's reservations about runtimes —
+// adaptation lag and run-to-run variation — are measured here: BFS at 75%
+// pooled under (a) baseline, (b) baseline + MigrationRuntime at several
+// scan cadences, and (c) the static optimized variant.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/migration.h"
+#include "workloads/bfs.h"
+
+namespace {
+
+struct Outcome {
+  double p2_ms = 0.0;
+  double p2_remote = 0.0;
+  std::uint64_t promoted = 0;
+  std::uint64_t demoted = 0;
+};
+
+Outcome run_bfs(memdis::workloads::BfsVariant variant,
+                const memdis::core::MigrationConfig* migration) {
+  using namespace memdis;
+  workloads::BfsParams params = workloads::BfsParams::at_scale(1, 42);
+  params.variant = variant;
+  workloads::Bfs bfs(params);
+
+  sim::EngineConfig cfg;
+  cfg.machine = cfg.machine.with_remote_capacity_ratio(0.75, bfs.footprint_bytes());
+  // Small epochs so the migration daemon gets frequent scan opportunities.
+  cfg.epoch_accesses = 250'000;
+  sim::Engine eng(cfg);
+
+  core::MigrationRuntime runtime(migration ? *migration : core::MigrationConfig{});
+  if (migration != nullptr) runtime.attach(eng);
+
+  (void)bfs.run(eng);
+  eng.finish();
+
+  Outcome out;
+  for (const auto& phase : eng.phases()) {
+    if (phase.tag != "p2") continue;
+    out.p2_ms = phase.time_s * 1e3;
+    const auto total = static_cast<double>(phase.counters.dram_bytes_total());
+    out.p2_remote =
+        total > 0
+            ? static_cast<double>(phase.counters.dram_bytes(memsim::Tier::kRemote)) / total
+            : 0.0;
+  }
+  out.promoted = runtime.pages_promoted();
+  out.demoted = runtime.pages_demoted();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace memdis;
+  bench::banner("Extension: hot-page migration runtime",
+                "dynamic page placement vs. the static allocation fix (BFS, 75% pooled)");
+
+  Table t({"configuration", "BFS time (ms)", "%remote (p2)", "promoted", "demoted"});
+
+  const auto baseline = run_bfs(workloads::BfsVariant::kBaseline, nullptr);
+  t.add_row({"baseline (no runtime)", Table::num(baseline.p2_ms, 3),
+             Table::pct(baseline.p2_remote), "-", "-"});
+
+  for (const std::uint64_t period : {16ULL, 4ULL, 1ULL}) {
+    core::MigrationConfig mcfg;
+    mcfg.period_epochs = period;
+    mcfg.max_pages_per_scan = 64;
+    const auto out = run_bfs(workloads::BfsVariant::kBaseline, &mcfg);
+    t.add_row({"baseline + migration (scan every " + std::to_string(period) + " epochs)",
+               Table::num(out.p2_ms, 3), Table::pct(out.p2_remote),
+               std::to_string(out.promoted), std::to_string(out.demoted)});
+  }
+
+  const auto optimized = run_bfs(workloads::BfsVariant::kOptimized, nullptr);
+  t.add_row({"static fix (Sec. 7.1 optimized)", Table::num(optimized.p2_ms, 3),
+             Table::pct(optimized.p2_remote), "-", "-"});
+
+  t.print(std::cout);
+  std::cout << "\nReading: the migration runtime recovers part of the static fix's\n"
+               "benefit transparently, and more aggressive scanning recovers more — but\n"
+               "it reacts only after heat accumulates (the paper's \"slow in adapting\"\n"
+               "critique), while the static allocation-order fix is right from the first\n"
+               "touch. This is why the paper favors quantitative up-front placement for\n"
+               "HPC's determinism requirements (Sec. 2.2). Caveat: migration *transfer*\n"
+               "cost is not charged to the timeline here, so aggressive cadences look\n"
+               "cheaper than they would be on hardware.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 7: memory traffic timelines (L2 cacheline fills per time bucket)
+// with and without hardware prefetching for NekRS, HPL, and XSBench.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/profiler.h"
+
+namespace {
+
+/// Rebuckets an epoch timeline into `buckets` equal time slices of
+/// cacheline-fill counts.
+std::vector<double> bucketize(const std::vector<memdis::sim::EpochRecord>& epochs,
+                              std::size_t buckets) {
+  double total_time = 0.0;
+  for (const auto& e : epochs) total_time += e.duration_s;
+  std::vector<double> out(buckets, 0.0);
+  if (total_time <= 0) return out;
+  for (const auto& e : epochs) {
+    // Spread the epoch's fills over the buckets it spans.
+    const double t0 = e.start_s;
+    const double t1 = e.start_s + e.duration_s;
+    const auto b0 = static_cast<std::size_t>(t0 / total_time * buckets);
+    const auto b1 =
+        std::min(static_cast<std::size_t>(t1 / total_time * buckets), buckets - 1);
+    const double per = static_cast<double>(e.l2_lines_in) / static_cast<double>(b1 - b0 + 1);
+    for (std::size_t b = b0; b <= b1; ++b) out[b] += per;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace memdis;
+  bench::banner("Figure 7", "cacheline traffic over time, with vs. without L2 prefetch");
+
+  const core::MultiLevelProfiler profiler{};
+  for (const auto app :
+       {workloads::App::kNekRS, workloads::App::kHPL, workloads::App::kXSBench}) {
+    auto wl = workloads::make_workload(app, 1);
+    const auto l1 = profiler.level1(*wl);
+    constexpr std::size_t kBuckets = 12;
+    const auto on = bucketize(l1.timeline_prefetch_on, kBuckets);
+    const auto off = bucketize(l1.timeline_prefetch_off, kBuckets);
+
+    std::cout << "\n" << wl->name() << " (M cachelines per time bucket):\n";
+    Table t({"bucket", "w. prefetch", "w.o. prefetch", "ratio"});
+    double sum_on = 0.0;
+    double sum_off = 0.0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      sum_on += on[b];
+      sum_off += off[b];
+      t.add_row({std::to_string(b + 1), Table::num(on[b] * 1e-6, 3),
+                 Table::num(off[b] * 1e-6, 3),
+                 off[b] > 0 ? Table::num(on[b] / off[b], 2) : "-"});
+    }
+    t.print(std::cout);
+    std::cout << "total fills: w. prefetch " << Table::num(sum_on * 1e-6, 2)
+              << "M, w.o. prefetch " << Table::num(sum_off * 1e-6, 2)
+              << "M (+" << Table::pct(sum_off > 0 ? sum_on / sum_off - 1.0 : 0.0)
+              << " traffic), performance gain from prefetching: "
+              << Table::pct(l1.prefetch.performance_gain) << "\n";
+  }
+  std::cout << "\nExpected shape (paper): traffic per interval is visibly higher with\n"
+               "prefetching enabled (prefetchers consume substantial bandwidth) while\n"
+               "total traffic grows only a few percent; NekRS gains the most runtime,\n"
+               "XSBench the least.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// google-benchmark microbenchmarks of the simulator's primitives: cache
+// lookups, prefetcher training, page placement, link math, the LBench
+// kernel, and the RNG. These bound the simulator's own throughput (the
+// "how fast is the instrument" question, orthogonal to the paper figures).
+#include <benchmark/benchmark.h>
+
+#include "cachesim/hierarchy.h"
+#include "common/rng.h"
+#include "memsim/link.h"
+#include "memsim/page_table.h"
+#include "sim/engine.h"
+#include "workloads/lbench.h"
+
+namespace {
+
+using namespace memdis;
+
+void BM_CacheL1Hit(benchmark::State& state) {
+  memsim::MachineConfig mcfg;
+  memsim::TieredMemory mem(mcfg);
+  cachesim::CacheHierarchy hier(cachesim::HierarchyConfig{}, mem);
+  const auto range = mem.alloc(4096);
+  hier.access(range.base, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hier.access(range.base, false));
+  }
+}
+BENCHMARK(BM_CacheL1Hit);
+
+void BM_CacheStreamingMiss(benchmark::State& state) {
+  memsim::MachineConfig mcfg;
+  memsim::TieredMemory mem(mcfg);
+  cachesim::CacheHierarchy hier(cachesim::HierarchyConfig{}, mem);
+  const auto range = mem.alloc(512ULL << 20);
+  std::uint64_t addr = range.base;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hier.access(addr, false));
+    addr += 64;
+    if (addr >= range.end()) addr = range.base;  // wrap (still mostly misses)
+  }
+}
+BENCHMARK(BM_CacheStreamingMiss);
+
+void BM_PrefetcherObserve(benchmark::State& state) {
+  cachesim::StreamPrefetcher pf(cachesim::PrefetcherConfig{});
+  std::vector<cachesim::PrefetchRequest> out;
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    out.clear();
+    pf.observe(addr, false, out);
+    benchmark::DoNotOptimize(out.data());
+    addr += 64;
+  }
+}
+BENCHMARK(BM_PrefetcherObserve);
+
+void BM_PageFirstTouch(benchmark::State& state) {
+  memsim::MachineConfig mcfg;
+  mcfg.local.capacity_bytes = 1ULL << 40;
+  memsim::TieredMemory mem(mcfg);
+  const auto range = mem.alloc(8ULL << 30);
+  std::uint64_t addr = range.base;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.touch(addr));
+    addr += 4096;
+    if (addr >= range.end()) addr = range.base;
+  }
+}
+BENCHMARK(BM_PageFirstTouch);
+
+void BM_LinkLatencyModel(benchmark::State& state) {
+  memsim::LinkModel link((memsim::MachineConfig()));
+  link.set_background_loi(35.0);
+  double rate = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(link.effective_latency_ns(rate));
+    rate = rate < 30.0 ? rate + 0.1 : 0.0;
+  }
+}
+BENCHMARK(BM_LinkLatencyModel);
+
+void BM_LbenchKernel(benchmark::State& state) {
+  const auto nflop = static_cast<std::uint32_t>(state.range(0));
+  double v = 0.5;
+  for (auto _ : state) {
+    v = workloads::Lbench::kernel_element(v, nflop, 0.25);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * nflop);
+}
+BENCHMARK(BM_LbenchKernel)->Arg(1)->Arg(8)->Arg(64)->Arg(128);
+
+void BM_Xoshiro(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng());
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_EngineStreamLoad(benchmark::State& state) {
+  sim::EngineConfig cfg;
+  sim::Engine eng(cfg);
+  const auto range = eng.alloc(64ULL << 20);
+  std::uint64_t addr = range.base;
+  for (auto _ : state) {
+    eng.load(addr, 8);
+    addr += 8;
+    if (addr + 8 >= range.end()) addr = range.base;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineStreamLoad);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Table 1: memory configuration of the Top-10 supercomputers (Nov 2022
+// list) and estimated memory cost, using the paper's assumption that HBM
+// carries a 3–5× unit price over DDR.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+namespace {
+
+struct Top10 {
+  const char* system;
+  double ddr_per_node_gb;
+  double hbm_per_node_gb;
+  double hbm_bw_per_node_tbps;
+  int nodes;
+  double paper_ddr_cost_musd;  // the paper's estimate, for comparison
+  double paper_hbm_cost_musd;
+};
+
+constexpr Top10 kTop10[] = {
+    {"Frontier", 512, 512, 12.8, 9408, 34.0, 135.0},
+    {"Fugaku", 0, 32, 1.0, 158976, 0.0, 142.0},
+    {"LUMI-G", 512, 512, 12.8, 2560, 9.2, 35.0},
+    {"Leonardo", 512, 256, 8.2, 3456, 12.0, 25.0},
+    {"Summit", 512, 96, 5.4, 4608, 17.0, 12.0},
+    {"Sierra", 256, 64, 3.6, 4284, 7.7, 7.7},
+    {"Sunway", 32, 0, 0.0, 40960, 9.2, 0.0},
+    {"Perlmutter (GPU)", 256, 160, 6.2, 1536, 2.8, 7.0},
+    {"Selene", 1024, 640, 16.0, 280, 2.0, 4.9},
+    {"Tianhe-2A", 192, 0, 0.0, 16000, 21.6, 0.0},
+};
+
+// Unit prices consistent with the paper's totals: DDR ≈ $7/GB, HBM at 4×
+// (inside the 3–5× band of [13]).
+constexpr double kDdrUsdPerGb = 7.0;
+constexpr double kHbmMultiplier = 4.0;
+
+}  // namespace
+
+int main() {
+  memdis::bench::banner("Table 1", "Top-10 memory configuration and estimated memory cost");
+  memdis::Table t({"system", "DDR/node", "HBM/node", "HBM BW/node", "nodes", "est DDR cost",
+                   "est HBM cost", "paper DDR", "paper HBM"});
+  double total_ddr = 0.0;
+  double total_hbm = 0.0;
+  for (const auto& s : kTop10) {
+    const double ddr_musd = s.ddr_per_node_gb * s.nodes * kDdrUsdPerGb / 1e6;
+    const double hbm_musd =
+        s.hbm_per_node_gb * s.nodes * kDdrUsdPerGb * kHbmMultiplier / 1e6;
+    total_ddr += ddr_musd;
+    total_hbm += hbm_musd;
+    const auto money = [](double musd) {
+      return musd == 0.0 ? std::string("-") : "$" + memdis::Table::num(musd, 1) + "M";
+    };
+    t.add_row({s.system, memdis::Table::num(s.ddr_per_node_gb, 0) + " GB",
+               memdis::Table::num(s.hbm_per_node_gb, 0) + " GB",
+               memdis::Table::num(s.hbm_bw_per_node_tbps, 1) + " TB/s",
+               std::to_string(s.nodes), money(ddr_musd), money(hbm_musd),
+               money(s.paper_ddr_cost_musd), money(s.paper_hbm_cost_musd)});
+  }
+  t.print(std::cout);
+  std::cout << "\nAssumptions: DDR $" << kDdrUsdPerGb << "/GB, HBM at " << kHbmMultiplier
+            << "x DDR unit price (paper cites a 3-5x premium [13]).\n"
+            << "Estimated fleet totals: DDR $" << memdis::Table::num(total_ddr, 0)
+            << "M, HBM $" << memdis::Table::num(total_hbm, 0)
+            << "M - memory is a first-order cost factor, motivating pooling.\n";
+  return 0;
+}

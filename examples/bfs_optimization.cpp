@@ -1,0 +1,80 @@
+// Case study (Sec. 7.1): using the profiler's allocation-site information
+// and the R_cap/R_bw references to optimize BFS data placement, step by
+// step — exactly the walkthrough from the paper.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/advisor.h"
+#include "core/profiler.h"
+#include "workloads/bfs.h"
+
+namespace {
+
+memdis::core::Level2Profile profile(memdis::workloads::BfsVariant variant, double ratio) {
+  memdis::workloads::BfsParams params = memdis::workloads::BfsParams::at_scale(1, 42);
+  params.variant = variant;
+  memdis::workloads::Bfs bfs(params);
+  return memdis::core::MultiLevelProfiler{}.level2(bfs, ratio);
+}
+
+double p2_remote(const memdis::core::Level2Profile& p) {
+  for (const auto& phase : p.phases)
+    if (phase.tag == "p2") return phase.remote_access_ratio;
+  return 0.0;
+}
+
+double p2_time_ms(const memdis::core::Level2Profile& p) {
+  for (const auto& phase : p.run.phases)
+    if (phase.tag == "p2") return phase.time_s * 1e3;
+  return 0.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace memdis;
+  const double ratio = 0.75;  // the paper's 75%-pooled scenario
+
+  std::cout << "Step 1: profile the baseline at " << Table::pct(ratio)
+            << " pooled memory.\n";
+  const auto baseline = profile(workloads::BfsVariant::kBaseline, ratio);
+  std::cout << "  BFS traversal remote access ratio: " << Table::pct(p2_remote(baseline))
+            << " — far above both references.\n";
+  std::cout << "  " << core::advise(baseline).summary << "\n";
+
+  std::cout << "\nStep 2: inspect allocation sites to find small-but-hot objects.\n";
+  for (const auto& alloc : baseline.run.allocations) {
+    if (alloc.name.empty()) continue;
+    std::cout << "  " << alloc.name << ": " << alloc.range.bytes / 1024 << " KiB"
+              << (alloc.freed ? "" : "  (never freed)") << "\n";
+  }
+  std::cout << "  → `Parents` is small but accessed on every edge relaxation, yet it is\n"
+               "    allocated after the generation temporaries, so first-touch placed it\n"
+               "    on the pool tier. And `gen.src`/`gen.dst` leak (the allocator bug).\n";
+
+  std::cout << "\nStep 3: allocate and initialize Parents first (first-touch pins it).\n";
+  const auto parents_first = profile(workloads::BfsVariant::kParentsFirst, ratio);
+  std::cout << "  remote access: " << Table::pct(p2_remote(baseline)) << " -> "
+            << Table::pct(p2_remote(parents_first)) << "\n";
+
+  std::cout << "\nStep 4: the 1-line change — free the initialization temporaries, so\n"
+               "local capacity is reserved for the dynamic frontier allocations.\n";
+  const auto optimized = profile(workloads::BfsVariant::kOptimized, ratio);
+  std::cout << "  remote access: " << Table::pct(p2_remote(parents_first)) << " -> "
+            << Table::pct(p2_remote(optimized)) << "\n";
+
+  Table t({"variant", "traversal time (ms)", "%remote (p2)", "speedup vs baseline"});
+  const double t0 = p2_time_ms(baseline);
+  t.add_row({"baseline", Table::num(t0, 3), Table::pct(p2_remote(baseline)), "1.000x"});
+  t.add_row({"parents-first", Table::num(p2_time_ms(parents_first), 3),
+             Table::pct(p2_remote(parents_first)),
+             Table::num(t0 / p2_time_ms(parents_first), 3) + "x"});
+  t.add_row({"optimized", Table::num(p2_time_ms(optimized), 3),
+             Table::pct(p2_remote(optimized)),
+             Table::num(t0 / p2_time_ms(optimized), 3) + "x"});
+  std::cout << "\n";
+  t.print(std::cout);
+  std::cout << "\nPaper result at 75% pooling: 99% -> 80% -> 50% remote access and a 13%\n"
+               "traversal speedup; the shape reproduces here.\n";
+  return 0;
+}

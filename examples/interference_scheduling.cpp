@@ -1,0 +1,76 @@
+// Rack-scale interference-aware scheduling (Sec. 7.2 extension).
+//
+// Builds job profiles from measured Level-3 data, then drives the
+// event-driven cluster simulator with a mixed job stream under the random
+// and the interference-aware policies — the "more than two nodes per
+// memory pool" scenario the paper anticipates.
+#include <iostream>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/profiler.h"
+#include "sched/cluster.h"
+
+int main() {
+  using namespace memdis;
+
+  // Measure each application's Level-3 profile once (50% pooled).
+  std::cout << "Measuring Level-3 profiles for the job mix...\n";
+  const core::MultiLevelProfiler profiler;
+  std::vector<sched::JobProfile> profiles;
+  std::vector<double> induced_loi;
+  for (const auto app : workloads::kAllApps) {
+    auto wl = workloads::make_workload(app, 1);
+    const auto l3 = profiler.level3(*wl, 0.5, {0, 25, 50});
+    sched::JobProfile job;
+    job.app = wl->name();
+    job.base_runtime_s = 600.0;  // paper-scale job length
+    job.sensitivity = l3.sensitivity;
+    job.induced_ic = l3.induced.ic_mean;
+    profiles.push_back(job);
+    // LoI a co-runner experiences from this job = its offered link traffic
+    // as % of the link peak (measured at Level 2, capped at 50).
+    core::RunConfig rc = profiler.base_config();
+    rc.remote_capacity_ratio = 0.5;
+    auto wl2 = workloads::make_workload(app, 1);
+    const auto run = core::run_workload(*wl2, rc);
+    induced_loi.push_back(std::min(
+        100.0 * run.mean_offered_link_utilization(profiler.base_config().machine), 50.0));
+  }
+
+  // A mixed stream: 48 jobs, round-robin apps, staggered arrivals.
+  std::vector<sched::JobRequest> jobs;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 48; ++i) {
+    sched::JobRequest req;
+    const std::size_t which = static_cast<std::size_t>(i) % profiles.size();
+    req.profile = profiles[which];
+    req.nodes = 1 + rng.uniform_below(4);
+    req.pool_demand_gb = 32.0 + 32.0 * static_cast<double>(rng.uniform_below(4));
+    req.induced_loi = induced_loi[which];
+    req.arrival_s = static_cast<double>(i) * 75.0;
+    jobs.push_back(req);
+  }
+
+  sched::ClusterConfig cluster;
+  cluster.racks = 4;
+  cluster.rack.nodes_per_rack = 8;
+  cluster.rack.pool_capacity_gb = 512.0;
+  const sched::ClusterSim sim(cluster);
+
+  Table t({"policy", "makespan (s)", "mean runtime (s)", "mean wait (s)", "mean slowdown"});
+  for (const auto policy :
+       {sched::SchedulerPolicy::kRandom, sched::SchedulerPolicy::kInterferenceAware}) {
+    const auto out = sim.run(jobs, policy, /*loi_cap=*/35.0);
+    t.add_row({policy == sched::SchedulerPolicy::kRandom ? "random" : "interference-aware",
+               Table::num(out.makespan_s, 0), Table::num(out.mean_runtime_s, 1),
+               Table::num(out.mean_wait_s, 1), Table::num(out.mean_slowdown, 4)});
+  }
+  t.print(std::cout);
+  std::cout << "\nThe interference-aware policy trades queueing delay (it declines to\n"
+               "co-locate the heaviest interferers) for predictable runtimes: the mean\n"
+               "slowdown drops toward 1.0 — the effect the paper projects for pools\n"
+               "shared by more than two nodes. Facilities tune the LoI cap to pick\n"
+               "their point on this wait-vs-determinism curve.\n";
+  return 0;
+}

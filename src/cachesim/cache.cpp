@@ -1,0 +1,92 @@
+#include "cachesim/cache.h"
+
+#include "common/contract.h"
+
+namespace memdis::cachesim {
+
+SetAssocCache::SetAssocCache(const CacheConfig& cfg) : cfg_(cfg), sets_(0) {
+  expects(cfg.line_bytes > 0 && (cfg.line_bytes & (cfg.line_bytes - 1)) == 0,
+          "line size must be a power of two");
+  expects(cfg.ways > 0, "cache needs at least one way");
+  sets_ = cfg.num_sets();
+  expects(sets_ > 0, "cache must have at least one set");
+  expects((sets_ & (sets_ - 1)) == 0, "number of sets must be a power of two");
+  lines_.resize(sets_ * cfg.ways);
+}
+
+std::uint64_t SetAssocCache::set_of(std::uint64_t addr) const {
+  return (addr / cfg_.line_bytes) & (sets_ - 1);
+}
+
+SetAssocCache::Line* SetAssocCache::find(std::uint64_t addr) {
+  const std::uint64_t aligned = line_align(addr);
+  Line* base = &lines_[set_of(addr) * cfg_.ways];
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag_addr == aligned) return &base[w];
+  }
+  return nullptr;
+}
+
+const SetAssocCache::Line* SetAssocCache::find(std::uint64_t addr) const {
+  return const_cast<SetAssocCache*>(this)->find(addr);
+}
+
+SetAssocCache::HitInfo SetAssocCache::access(std::uint64_t addr, bool is_store) {
+  Line* line = find(addr);
+  if (line == nullptr) return {};
+  HitInfo info;
+  info.hit = true;
+  info.first_use_of_prefetch = line->prefetched && !line->referenced;
+  line->referenced = true;
+  line->lru_tick = ++tick_;
+  if (is_store) line->dirty = true;
+  return info;
+}
+
+std::optional<Eviction> SetAssocCache::fill(std::uint64_t addr, bool dirty, bool prefetched) {
+  const std::uint64_t aligned = line_align(addr);
+  Line* base = &lines_[set_of(addr) * cfg_.ways];
+  Line* victim = nullptr;
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Line& cand = base[w];
+    if (cand.valid && cand.tag_addr == aligned) {
+      // Refill of a present line (e.g. prefetch racing demand): refresh only.
+      cand.lru_tick = ++tick_;
+      cand.dirty = cand.dirty || dirty;
+      return std::nullopt;
+    }
+    if (!cand.valid) {
+      victim = &cand;
+      break;
+    }
+    if (victim == nullptr || cand.lru_tick < victim->lru_tick) victim = &cand;
+  }
+  std::optional<Eviction> evicted;
+  if (victim->valid) {
+    evicted = Eviction{victim->tag_addr, victim->dirty,
+                       victim->prefetched && !victim->referenced};
+  }
+  victim->tag_addr = aligned;
+  victim->valid = true;
+  victim->dirty = dirty;
+  victim->prefetched = prefetched;
+  victim->referenced = !prefetched;  // demand fills start referenced
+  victim->lru_tick = ++tick_;
+  return evicted;
+}
+
+bool SetAssocCache::contains(std::uint64_t addr) const { return find(addr) != nullptr; }
+
+std::optional<Eviction> SetAssocCache::invalidate(std::uint64_t addr) {
+  Line* line = find(addr);
+  if (line == nullptr) return std::nullopt;
+  Eviction ev{line->tag_addr, line->dirty, line->prefetched && !line->referenced};
+  line->valid = false;
+  return ev;
+}
+
+void SetAssocCache::mark_dirty(std::uint64_t addr) {
+  if (Line* line = find(addr)) line->dirty = true;
+}
+
+}  // namespace memdis::cachesim

@@ -1,0 +1,92 @@
+// Set-associative, write-back, write-allocate cache with true-LRU
+// replacement. Used for all three levels of the simulated hierarchy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace memdis::cachesim {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 0;
+  std::uint32_t ways = 0;
+  std::uint32_t line_bytes = 64;
+
+  [[nodiscard]] std::uint64_t num_sets() const {
+    return size_bytes / (static_cast<std::uint64_t>(ways) * line_bytes);
+  }
+};
+
+/// A line evicted to make room for a fill.
+struct Eviction {
+  std::uint64_t line_addr = 0;  ///< byte address of the evicted line's start
+  bool dirty = false;
+  bool prefetched_unused = false;  ///< was a prefetch that was never referenced
+};
+
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(const CacheConfig& cfg);
+
+  /// Looks up the line containing `addr`. On a hit, updates LRU state,
+  /// optionally sets the dirty bit, and reports whether this was the first
+  /// demand reference to a prefetched line.
+  struct HitInfo {
+    bool hit = false;
+    bool first_use_of_prefetch = false;
+  };
+  HitInfo access(std::uint64_t addr, bool is_store);
+
+  /// Inserts the line containing `addr`; returns the eviction if a valid
+  /// line had to be displaced. `prefetched` marks hardware-prefetch fills.
+  std::optional<Eviction> fill(std::uint64_t addr, bool dirty, bool prefetched);
+
+  /// True when the line is present (does not update LRU).
+  [[nodiscard]] bool contains(std::uint64_t addr) const;
+
+  /// Invalidates the line if present; returns its eviction record.
+  std::optional<Eviction> invalidate(std::uint64_t addr);
+
+  /// Marks the line dirty if present (used when an upper level writes back).
+  void mark_dirty(std::uint64_t addr);
+
+  /// Evicts every valid line, invoking `sink` for each (used at end of run
+  /// to drain dirty data into the writeback accounting).
+  template <typename Sink>
+  void drain(Sink&& sink) {
+    for (auto& line : lines_) {
+      if (!line.valid) continue;
+      Eviction ev{line.tag_addr, line.dirty, line.prefetched && !line.referenced};
+      line.valid = false;
+      sink(ev);
+    }
+  }
+
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t line_bytes() const { return cfg_.line_bytes; }
+
+ private:
+  struct Line {
+    std::uint64_t tag_addr = 0;  ///< line-aligned byte address
+    std::uint64_t lru_tick = 0;
+    bool valid = false;
+    bool dirty = false;
+    bool prefetched = false;
+    bool referenced = false;  ///< demand-referenced since fill
+  };
+
+  [[nodiscard]] std::uint64_t set_of(std::uint64_t addr) const;
+  [[nodiscard]] std::uint64_t line_align(std::uint64_t addr) const {
+    return addr & ~static_cast<std::uint64_t>(cfg_.line_bytes - 1);
+  }
+  Line* find(std::uint64_t addr);
+  [[nodiscard]] const Line* find(std::uint64_t addr) const;
+
+  CacheConfig cfg_;
+  std::uint64_t sets_;
+  std::uint64_t tick_ = 0;
+  std::vector<Line> lines_;  // sets_ * ways, row-major by set
+};
+
+}  // namespace memdis::cachesim

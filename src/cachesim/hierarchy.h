@@ -1,0 +1,84 @@
+// CacheHierarchy: L1D + L2 (with stream prefetcher) + shared L3, backed by
+// the two-tier memory of `memsim`. Every simulated load/store funnels
+// through here; the hierarchy maintains the paper's hardware counters.
+//
+// Simplifications vs. Skylake-X (documented deviations):
+//  * the hierarchy is modelled inclusive (Skylake's L3 is a victim cache);
+//    this changes capacity slightly but none of the profiled ratios,
+//  * a single hierarchy aggregates all threads (the workloads are modelled
+//    as a single access stream with bandwidth-level parallelism applied in
+//    the engine's time model).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/cache.h"
+#include "cachesim/counters.h"
+#include "cachesim/pebs.h"
+#include "cachesim/prefetcher.h"
+#include "memsim/page_table.h"
+
+namespace memdis::cachesim {
+
+// Default sizes are a scaled-down Skylake-X: the workload inputs are run at
+// roughly 1/100 of the paper's memory footprints to keep simulation
+// turnaround fast, so the caches shrink proportionally (L2 128 KiB,
+// L3 1 MiB) to preserve the working-set-to-cache ratios that shape the
+// DRAM-level profiles (hot sets must still overflow the LLC).
+struct HierarchyConfig {
+  CacheConfig l1{32 * 1024, 8, 64};
+  CacheConfig l2{128 * 1024, 8, 64};
+  CacheConfig l3{1024 * 1024, 16, 64};
+  PrefetcherConfig prefetcher{};
+  std::uint64_t pebs_period = 1;
+};
+
+/// Where a demand access was satisfied.
+enum class HitLevel : std::uint8_t { kL1, kL2, kL3, kDram };
+
+struct AccessResult {
+  HitLevel level = HitLevel::kL1;
+  memsim::Tier tier = memsim::Tier::kLocal;  ///< valid when level == kDram
+  bool covered_by_prefetch = false;          ///< first demand use of a prefetched line
+};
+
+class CacheHierarchy {
+ public:
+  CacheHierarchy(const HierarchyConfig& cfg, memsim::TieredMemory& mem);
+
+  /// Simulates one demand access of up to one cacheline.
+  AccessResult access(std::uint64_t vaddr, bool is_store);
+
+  /// Flushes all dirty lines to DRAM (end-of-run traffic accounting).
+  void drain();
+
+  void set_prefetch_enabled(bool enabled) { prefetcher_.set_enabled(enabled); }
+  [[nodiscard]] bool prefetch_enabled() const { return prefetcher_.enabled(); }
+
+  [[nodiscard]] const HwCounters& counters() const { return counters_; }
+  [[nodiscard]] const PebsSampler& pebs() const { return pebs_; }
+  [[nodiscard]] const StreamPrefetcher& prefetcher() const { return prefetcher_; }
+  [[nodiscard]] const HierarchyConfig& config() const { return cfg_; }
+  [[nodiscard]] memsim::TieredMemory& memory() { return mem_; }
+
+ private:
+  /// Fetches one line from DRAM on behalf of a demand miss or a prefetch.
+  memsim::Tier dram_fetch(std::uint64_t line_addr, bool demand);
+  void handle_l2_eviction(const Eviction& ev);
+  void handle_l3_eviction(const Eviction& ev);
+  void writeback_to_dram(std::uint64_t line_addr);
+  void issue_prefetches(std::uint64_t vaddr, bool is_store);
+
+  HierarchyConfig cfg_;
+  memsim::TieredMemory& mem_;
+  SetAssocCache l1_;
+  SetAssocCache l2_;
+  SetAssocCache l3_;
+  StreamPrefetcher prefetcher_;
+  PebsSampler pebs_;
+  HwCounters counters_;
+  std::vector<PrefetchRequest> pf_queue_;  // reused scratch buffer
+};
+
+}  // namespace memdis::cachesim

@@ -1,0 +1,29 @@
+// Narrow-contract helpers (C++ Core Guidelines I.6/I.8 style).
+//
+// `expects` checks preconditions, `ensures` checks postconditions. Both are
+// always-on (they guard simulator invariants, not hot inner loops) and throw
+// `contract_violation` so tests can assert on misuse.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace memdis {
+
+/// Thrown when a precondition or postcondition is violated.
+class contract_violation : public std::logic_error {
+ public:
+  explicit contract_violation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Precondition check: throws contract_violation when `cond` is false.
+inline void expects(bool cond, const char* msg) {
+  if (!cond) throw contract_violation(std::string("precondition violated: ") + msg);
+}
+
+/// Postcondition check: throws contract_violation when `cond` is false.
+inline void ensures(bool cond, const char* msg) {
+  if (!cond) throw contract_violation(std::string("postcondition violated: ") + msg);
+}
+
+}  // namespace memdis

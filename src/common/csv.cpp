@@ -1,0 +1,41 @@
+#include "common/csv.h"
+
+#include <stdexcept>
+
+#include "common/contract.h"
+
+namespace memdis {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  expects(columns_ > 0, "csv needs at least one column");
+  write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  expects(row.size() == columns_, "csv row width mismatch");
+  write_row(row);
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    out_ << escape(row[i]);
+    if (i + 1 < row.size()) out_ << ',';
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char ch : field) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace memdis

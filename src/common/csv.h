@@ -1,0 +1,31 @@
+// Minimal CSV writer so bench binaries can optionally dump machine-readable
+// series (one file per figure) next to the human-readable tables.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace memdis {
+
+/// Streams rows to a CSV file; values are escaped per RFC 4180 when needed.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& row);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_row(const std::vector<std::string>& row);
+  static std::string escape(const std::string& field);
+
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace memdis

@@ -1,0 +1,59 @@
+// Streaming and batch statistics used throughout the profiler and the
+// scheduler study (five-number summaries for Fig. 13, percentiles, etc.).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace memdis {
+
+/// Welford's online algorithm: numerically stable streaming mean/variance.
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolation percentile (the "type 7" estimator used by numpy).
+/// Precondition: !xs.empty() and 0 <= q <= 1. Does not require sorted input.
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+/// Box-plot style five-number summary: min, q1, median, q3, max.
+struct FiveNumber {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the five-number summary of `xs`. Precondition: !xs.empty().
+[[nodiscard]] FiveNumber five_number_summary(std::span<const double> xs);
+
+/// Arithmetic mean. Precondition: !xs.empty().
+[[nodiscard]] double mean_of(std::span<const double> xs);
+
+/// Ordinary least-squares slope/intercept fit of y on x, plus R^2.
+/// Precondition: xs.size() == ys.size() and xs.size() >= 2.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+[[nodiscard]] LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace memdis

@@ -1,0 +1,40 @@
+// Fixed-width ASCII table printer used by the benchmark harness to emit
+// paper-style rows (one table/figure per bench binary).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace memdis {
+
+/// Builds and prints a simple aligned table:
+///
+///   Table t({"app", "phase", "%remote"});
+///   t.add_row({"BFS", "p2", "99.1"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row. Precondition: row.size() == number of columns.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the table with a separator line under the header.
+  void print(std::ostream& os) const;
+
+  /// Convenience: formats a double with `prec` decimals.
+  [[nodiscard]] static std::string num(double v, int prec = 2);
+
+  /// Convenience: formats a ratio as a percentage string, e.g. "42.3%".
+  [[nodiscard]] static std::string pct(double ratio, int prec = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace memdis

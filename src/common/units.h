@@ -1,0 +1,43 @@
+// Unit constants and formatting helpers. Capacities are binary (GiB etc.),
+// bandwidths are decimal GB/s — matching how the paper reports them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace memdis {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+
+inline constexpr double KB = 1e3;
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+
+/// Converts a bandwidth expressed in GB/s (decimal) to bytes per second.
+[[nodiscard]] constexpr double gbps_to_bytes_per_sec(double gbps) { return gbps * GB; }
+
+/// Converts bytes per second to GB/s (decimal).
+[[nodiscard]] constexpr double bytes_per_sec_to_gbps(double bps) { return bps / GB; }
+
+/// Nanoseconds to seconds.
+[[nodiscard]] constexpr double ns_to_s(double ns) { return ns * 1e-9; }
+
+/// Seconds to nanoseconds.
+[[nodiscard]] constexpr double s_to_ns(double s) { return s * 1e9; }
+
+/// Human-readable byte count, e.g. "512.0 MiB".
+[[nodiscard]] inline std::string format_bytes(double bytes) {
+  const char* suffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int idx = 0;
+  while (bytes >= 1024.0 && idx < 4) {
+    bytes /= 1024.0;
+    ++idx;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, suffix[idx]);
+  return buf;
+}
+
+}  // namespace memdis

@@ -1,0 +1,74 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+
+#include "common/table.h"
+
+namespace memdis::core {
+
+const char* verdict_name(PlacementVerdict v) {
+  switch (v) {
+    case PlacementVerdict::kBalanced:
+      return "balanced";
+    case PlacementVerdict::kAboveBandwidthRef:
+      return "above-R_bw";
+    case PlacementVerdict::kAboveCapacityRef:
+      return "above-R_cap";
+  }
+  return "?";
+}
+
+AdvisorReport advise(const Level2Profile& profile) {
+  AdvisorReport report;
+  report.r_cap_remote = profile.remote_capacity_ratio_configured;
+  report.r_bw_remote = profile.remote_bandwidth_ratio;
+  const double upper = std::max(report.r_cap_remote, report.r_bw_remote);
+  const double lower = std::min(report.r_cap_remote, report.r_bw_remote);
+
+  double best_priority = 0.0;
+  for (const auto& phase : profile.phases) {
+    PhaseAdvice advice;
+    advice.tag = phase.tag;
+    advice.weight = phase.weight;
+    advice.remote_access_ratio = phase.remote_access_ratio;
+    const double r = phase.remote_access_ratio;
+    if (r > upper) {
+      advice.verdict = PlacementVerdict::kAboveCapacityRef;
+      advice.priority = phase.weight * (r - upper);
+      advice.recommendation =
+          "hot objects are disproportionately remote; reorder allocations or bind the "
+          "hottest objects locally";
+    } else if (r > lower) {
+      advice.verdict = PlacementVerdict::kAboveBandwidthRef;
+      advice.priority = phase.weight * (r - lower);
+      advice.recommendation =
+          "the slow tier bounds memory performance; shift traffic toward the fast tier "
+          "until the access split matches the bandwidth ratio";
+    } else {
+      advice.verdict = PlacementVerdict::kBalanced;
+      advice.priority = 0.0;
+      advice.recommendation = "access split within the reference band; no placement tuning";
+    }
+    if (advice.priority > best_priority) {
+      best_priority = advice.priority;
+      report.dominant_phase = static_cast<int>(report.phases.size());
+    }
+    report.phases.push_back(std::move(advice));
+  }
+
+  if (report.dominant_phase < 0) {
+    report.summary =
+        "All phases sit within the R_cap/R_bw band: little optimization space; do not "
+        "spend effort on data placement.";
+  } else {
+    const auto& dom = report.phases[static_cast<std::size_t>(report.dominant_phase)];
+    report.summary = "Prioritize phase '" + dom.tag + "' (runtime share " +
+                     Table::pct(dom.weight) + ", remote access " +
+                     Table::pct(dom.remote_access_ratio) + " vs R_cap " +
+                     Table::pct(report.r_cap_remote) + " / R_bw " +
+                     Table::pct(report.r_bw_remote) + "): " + dom.recommendation;
+  }
+  return report;
+}
+
+}  // namespace memdis::core

@@ -1,0 +1,47 @@
+// Advisor: turns Level-2 measurements into the optimization guidance of
+// Sec. 5 — compare each phase's remote access ratio against the two
+// reference points (capacity ratio R_cap and bandwidth ratio R_bw) and
+// prioritize the dominant phase with unmatched access distribution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/profiler.h"
+
+namespace memdis::core {
+
+/// Where a phase's remote access ratio falls relative to the references.
+enum class PlacementVerdict {
+  kBalanced,            ///< at or below both references: little tuning space
+  kAboveBandwidthRef,   ///< above R_bw: the slow tier limits memory performance
+  kAboveCapacityRef,    ///< above R_cap too: hot data is disproportionately remote
+};
+
+[[nodiscard]] const char* verdict_name(PlacementVerdict v);
+
+struct PhaseAdvice {
+  std::string tag;
+  double weight = 0.0;
+  double remote_access_ratio = 0.0;
+  PlacementVerdict verdict = PlacementVerdict::kBalanced;
+  /// Tuning priority: runtime weight × excess above the tightest violated
+  /// reference. Zero for balanced phases.
+  double priority = 0.0;
+  std::string recommendation;
+};
+
+struct AdvisorReport {
+  double r_cap_remote = 0.0;  ///< capacity reference (lower tuning bound)
+  double r_bw_remote = 0.0;   ///< bandwidth reference (upper tuning bound)
+  std::vector<PhaseAdvice> phases;
+  /// Index into `phases` of the highest-priority phase, or -1 when no phase
+  /// needs tuning ("users should not spend efforts optimizing placement").
+  int dominant_phase = -1;
+  std::string summary;
+};
+
+/// Analyzes a Level-2 profile against its machine references.
+[[nodiscard]] AdvisorReport advise(const Level2Profile& profile);
+
+}  // namespace memdis::core

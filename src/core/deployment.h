@@ -1,0 +1,90 @@
+// DeploymentPlanner: the Sec. 4.1 decision flow as a tool.
+//
+// "In a typical decision flow, a user needs to estimate the total memory
+//  footprint of the job and peak memory usage per node, then compare them
+//  with memory capacity per compute node to determine the minimum number
+//  of nodes required. When memory bandwidth is a limiting factor, a user
+//  may decide to increase the number of nodes further ... Other dimensions
+//  of this decision include increased communication and core-hour cost."
+//
+// Given a job's measured Level-1 profile (flops, footprint, traffic,
+// bandwidth–capacity scaling curve, prefetch coverage), the planner
+// evaluates node counts with and without pooled memory: fewer nodes than
+// the local-only minimum become feasible by spilling the *cold* end of the
+// scaling curve to the pool (best-case placement), at the cost of remote
+// bandwidth/latency; more nodes buy aggregate bandwidth at the cost of
+// communication and core-hours. This quantifies the paper's misconception
+// #2: distributed-memory codes can trade pool exposure against scale-out.
+#pragma once
+
+#include <vector>
+
+#include "core/profiler.h"
+#include "memsim/machine.h"
+
+namespace memdis::core {
+
+/// A job, expressed machine-independently (typically a Level-1 profile
+/// multiplied out to production scale).
+struct JobRequirements {
+  double total_flops = 0.0;       ///< W: total floating-point work
+  double footprint_bytes = 0.0;   ///< F: total memory footprint
+  double dram_traffic_bytes = 0.0;  ///< bytes moved through DRAM over the run
+  /// Fraction of accesses covered by the hottest x fraction of footprint
+  /// (the bandwidth–capacity scaling curve, Fig. 6). Must be nondecreasing.
+  std::vector<double> curve_samples;  ///< curve sampled at 0, 1/(k-1), ..., 1
+  double prefetch_coverage = 0.5;     ///< latency exposure proxy (Sec. 5.1)
+  /// Communication model: comm time = comm_seconds_base · (n / base_nodes)^exp.
+  double comm_seconds_base = 0.0;
+  double base_nodes = 1.0;
+  double comm_scaling_exponent = 0.6;
+
+  /// Builds requirements from a measured Level-1 profile, scaled by
+  /// `scale_factor` in both work and footprint (e.g. 100 to project the
+  /// simulation-scale run to a production problem).
+  [[nodiscard]] static JobRequirements from_profile(const Level1Profile& l1,
+                                                    double scale_factor,
+                                                    double comm_fraction = 0.05);
+};
+
+/// One evaluated deployment configuration.
+struct DeploymentOption {
+  int nodes = 0;
+  bool feasible = false;            ///< per-node footprint fits local+pool
+  bool needs_pool = false;          ///< spills beyond node-local capacity
+  double pooled_fraction = 0.0;     ///< R_cap^remote per node
+  double remote_access_ratio = 0.0; ///< best-case r from the scaling curve
+  double est_runtime_s = 0.0;
+  double node_seconds = 0.0;        ///< runtime × nodes (core-hour proxy)
+};
+
+struct PlannerConfig {
+  memsim::MachineConfig machine = memsim::MachineConfig::skylake_testbed();
+  std::uint64_t local_capacity_bytes = 0;  ///< per-node local memory for the job
+  std::uint64_t pool_capacity_bytes = 0;   ///< per-node pool share (0 = no pool)
+};
+
+class DeploymentPlanner {
+ public:
+  explicit DeploymentPlanner(const PlannerConfig& cfg);
+
+  /// Evaluates node counts 1..max_nodes.
+  [[nodiscard]] std::vector<DeploymentOption> evaluate(const JobRequirements& job,
+                                                       int max_nodes) const;
+
+  /// Smallest-cost feasible option whose runtime is within
+  /// `max_slowdown` of the fastest feasible option.
+  [[nodiscard]] DeploymentOption recommend(const JobRequirements& job, int max_nodes,
+                                           double max_slowdown = 1.10) const;
+
+  /// Minimum nodes without any pooled memory (the paper's baseline flow).
+  [[nodiscard]] int min_nodes_local_only(const JobRequirements& job) const;
+
+ private:
+  [[nodiscard]] DeploymentOption cost_out(const JobRequirements& job, int nodes) const;
+  [[nodiscard]] double curve_at(const JobRequirements& job, double footprint_fraction) const;
+
+  PlannerConfig cfg_;
+};
+
+}  // namespace memdis::core

@@ -1,0 +1,85 @@
+#include "core/experiment.h"
+
+#include "common/contract.h"
+#include "common/units.h"
+
+namespace memdis::core {
+
+double RunOutput::remote_access_ratio() const {
+  const auto total = static_cast<double>(counters.dram_bytes_total());
+  if (total == 0) return 0.0;
+  return static_cast<double>(counters.dram_bytes(memsim::Tier::kRemote)) / total;
+}
+
+double RunOutput::remote_capacity_ratio() const {
+  const auto total = static_cast<double>(resident_local_bytes + resident_remote_bytes);
+  if (total == 0) return 0.0;
+  return static_cast<double>(resident_remote_bytes) / total;
+}
+
+double RunOutput::arithmetic_intensity() const {
+  const auto bytes = static_cast<double>(counters.dram_bytes_total());
+  if (bytes == 0) return 0.0;
+  return static_cast<double>(flops) / bytes;
+}
+
+double RunOutput::mean_offered_link_utilization(const memsim::MachineConfig& m) const {
+  if (elapsed_s <= 0) return 0.0;
+  const double remote_gbps = bytes_per_sec_to_gbps(
+      static_cast<double>(counters.dram_bytes(memsim::Tier::kRemote)) / elapsed_s);
+  return remote_gbps * m.link_protocol_overhead / m.link_traffic_capacity_gbps;
+}
+
+RunOutput run_workload(workloads::Workload& workload, const RunConfig& cfg) {
+  sim::EngineConfig ecfg;
+  ecfg.machine = cfg.machine;
+  if (cfg.remote_capacity_ratio) {
+    ecfg.machine = cfg.machine.with_remote_capacity_ratio(*cfg.remote_capacity_ratio,
+                                                          workload.footprint_bytes());
+  }
+  ecfg.hierarchy = cfg.hierarchy;
+  ecfg.background_loi = cfg.background_loi;
+
+  sim::Engine eng(ecfg);
+  eng.set_prefetch_enabled(cfg.prefetch_enabled);
+
+  RunOutput out;
+  out.result = workload.run(eng);
+  eng.finish();
+
+  out.elapsed_s = eng.elapsed_seconds();
+  out.flops = eng.total_flops();
+  out.counters = eng.counters();
+  out.phases = eng.phases();
+  out.epochs = eng.epochs();
+  out.page_accesses = eng.page_access_histogram();
+  out.peak_rss_bytes = eng.peak_rss_bytes();
+  // Workload arrays free themselves when run() returns, so the end-of-run
+  // numa snapshot would read zero; report the split at peak residency (what
+  // a numa_maps sampler would have seen while the job ran).
+  std::uint64_t best = 0;
+  for (const auto& epoch : out.epochs) {
+    const std::uint64_t total = epoch.resident_local_bytes + epoch.resident_remote_bytes;
+    if (total >= best) {
+      best = total;
+      out.resident_local_bytes = epoch.resident_local_bytes;
+      out.resident_remote_bytes = epoch.resident_remote_bytes;
+    }
+  }
+  out.allocations = eng.allocations();
+  return out;
+}
+
+double phase_remote_access_ratio(const sim::PhaseRecord& phase) {
+  const auto total = static_cast<double>(phase.counters.dram_bytes_total());
+  if (total == 0) return 0.0;
+  return static_cast<double>(phase.counters.dram_bytes(memsim::Tier::kRemote)) / total;
+}
+
+double phase_arithmetic_intensity(const sim::PhaseRecord& phase) {
+  const auto bytes = static_cast<double>(phase.counters.dram_bytes_total());
+  if (bytes == 0) return 0.0;
+  return static_cast<double>(phase.flops) / bytes;
+}
+
+}  // namespace memdis::core

@@ -1,0 +1,64 @@
+// Experiment runner: executes a workload on a configured emulation platform
+// and captures everything the multi-level profiler consumes.
+//
+// This is the programmatic analogue of the paper's Fig. 4 workflow: set up
+// tiers (III), run with the wanted profiler mode, collect counters.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cachesim/counters.h"
+#include "sim/engine.h"
+#include "workloads/workload.h"
+
+namespace memdis::core {
+
+/// Configuration of one profiled run.
+struct RunConfig {
+  memsim::MachineConfig machine = memsim::MachineConfig::skylake_testbed();
+  cachesim::HierarchyConfig hierarchy{};
+  double background_loi = 0.0;   ///< injected interference (% of link peak)
+  bool prefetch_enabled = true;  ///< MSR 0x1a4 analogue
+  /// When set, shrinks the local tier so this fraction of the workload's
+  /// footprint spills to the pool (the paper's setup_waste step, Fig. 4 III).
+  std::optional<double> remote_capacity_ratio;
+};
+
+/// Everything captured from one run.
+struct RunOutput {
+  workloads::WorkloadResult result;
+  double elapsed_s = 0.0;
+  std::uint64_t flops = 0;
+  cachesim::HwCounters counters;
+  std::vector<sim::PhaseRecord> phases;
+  std::vector<sim::EpochRecord> epochs;
+  std::unordered_map<std::uint64_t, std::uint64_t> page_accesses;  ///< PEBS histogram
+  std::uint64_t peak_rss_bytes = 0;
+  std::uint64_t resident_local_bytes = 0;   ///< at end of run
+  std::uint64_t resident_remote_bytes = 0;
+  std::vector<sim::AllocationInfo> allocations;
+
+  /// Fraction of DRAM bytes served by the remote tier (R_access^remote).
+  [[nodiscard]] double remote_access_ratio() const;
+  /// Measured remote capacity ratio at peak (R_cap^remote).
+  [[nodiscard]] double remote_capacity_ratio() const;
+  /// Arithmetic intensity over the whole run: flops per DRAM byte
+  /// (Byte_LM + Byte_RM in the paper's Level-2 formula).
+  [[nodiscard]] double arithmetic_intensity() const;
+  /// Average offered link utilization implied by remote traffic (can
+  /// exceed 1 when oversubscribed); input to interference coefficients.
+  [[nodiscard]] double mean_offered_link_utilization(const memsim::MachineConfig& m) const;
+};
+
+/// Runs `workload` under `cfg` and captures the full profile.
+[[nodiscard]] RunOutput run_workload(workloads::Workload& workload, const RunConfig& cfg);
+
+/// Per-phase remote access ratio helper (bytes to pool / all DRAM bytes).
+[[nodiscard]] double phase_remote_access_ratio(const sim::PhaseRecord& phase);
+
+/// Per-phase arithmetic intensity (flops per DRAM byte).
+[[nodiscard]] double phase_arithmetic_intensity(const sim::PhaseRecord& phase);
+
+}  // namespace memdis::core

@@ -1,0 +1,75 @@
+#include "core/migration.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace memdis::core {
+
+void MigrationRuntime::attach(sim::Engine& eng) {
+  eng.set_epoch_callback([this](sim::Engine& e) { on_epoch(e); });
+}
+
+void MigrationRuntime::on_epoch(sim::Engine& eng) {
+  if (++epoch_count_ % cfg_.period_epochs != 0) return;
+  ++scans_;
+
+  auto& mem = eng.memory();
+  const std::uint64_t page_bytes = mem.page_bytes();
+  const auto& hist = eng.page_access_histogram();
+
+  // Recent heat = histogram delta since the last scan.
+  struct PageHeat {
+    std::uint64_t page;
+    std::uint64_t heat;
+  };
+  std::vector<PageHeat> hot_remote;
+  std::vector<PageHeat> cold_local;
+  for (const auto& [page, count] : hist) {
+    const auto it = last_hist_.find(page);
+    const std::uint64_t heat = count - (it == last_hist_.end() ? 0 : it->second);
+    const std::uint64_t addr = page * page_bytes;
+    if (!mem.resident(addr)) continue;
+    if (mem.tier_of(addr) == memsim::Tier::kRemote) {
+      if (heat >= cfg_.min_heat) hot_remote.push_back({page, heat});
+    } else {
+      cold_local.push_back({page, heat});
+    }
+  }
+  last_hist_ = hist;
+  if (hot_remote.empty()) return;
+
+  std::sort(hot_remote.begin(), hot_remote.end(),
+            [](const PageHeat& a, const PageHeat& b) { return a.heat > b.heat; });
+  std::sort(cold_local.begin(), cold_local.end(),
+            [](const PageHeat& a, const PageHeat& b) { return a.heat < b.heat; });
+
+  std::size_t demote_cursor = 0;
+  std::uint64_t budget = cfg_.max_pages_per_scan;
+  for (const auto& cand : hot_remote) {
+    if (budget == 0) break;
+    const memsim::VRange range{cand.page * page_bytes, page_bytes};
+    if (mem.free_bytes(memsim::Tier::kLocal) < page_bytes) {
+      if (!cfg_.enable_demotion) break;
+      // Demote the coldest local page that is still colder than the
+      // candidate (never swap a hotter page out for a colder one).
+      bool made_room = false;
+      while (demote_cursor < cold_local.size()) {
+        const auto& victim = cold_local[demote_cursor++];
+        if (victim.heat >= cand.heat) break;
+        const memsim::VRange vrange{victim.page * page_bytes, page_bytes};
+        if (mem.migrate(vrange, memsim::Tier::kRemote) == 1) {
+          ++demoted_;
+          made_room = true;
+          break;
+        }
+      }
+      if (!made_room) break;
+    }
+    if (mem.migrate(range, memsim::Tier::kLocal) == 1) {
+      ++promoted_;
+      --budget;
+    }
+  }
+}
+
+}  // namespace memdis::core

@@ -1,0 +1,53 @@
+// MigrationRuntime: a transparent hot-page placement daemon.
+//
+// The "dynamic solution" of Sec. 5.2: detect hot pages at runtime and
+// migrate them into the fast tier (in the spirit of Thermostat [1] and
+// TPP [30]). The paper's critique — runtimes "take time to collect enough
+// information", are "slow in adapting to changes in access patterns", and
+// cause run-to-run performance variation — is exactly what the ablation
+// bench measures with this implementation.
+//
+// Mechanism: attach to the engine's epoch callback; every `period_epochs`
+// epochs, diff the page-access histogram, rank pages by recent heat, then
+// demote the coldest local pages and promote the hottest remote pages
+// (bounded by `max_pages_per_scan`, modelling migration bandwidth limits).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/engine.h"
+
+namespace memdis::core {
+
+struct MigrationConfig {
+  std::uint64_t period_epochs = 4;       ///< scan cadence (epochs)
+  std::uint64_t max_pages_per_scan = 64; ///< promotion budget per scan
+  std::uint64_t min_heat = 8;            ///< samples before a page is "hot"
+  bool enable_demotion = true;           ///< make room by demoting cold pages
+};
+
+class MigrationRuntime {
+ public:
+  explicit MigrationRuntime(const MigrationConfig& cfg = {}) : cfg_(cfg) {}
+
+  /// Installs this runtime on the engine. The runtime must outlive the run.
+  void attach(sim::Engine& eng);
+
+  [[nodiscard]] std::uint64_t pages_promoted() const { return promoted_; }
+  [[nodiscard]] std::uint64_t pages_demoted() const { return demoted_; }
+  [[nodiscard]] std::uint64_t scans() const { return scans_; }
+
+ private:
+  void on_epoch(sim::Engine& eng);
+
+  MigrationConfig cfg_;
+  std::uint64_t epoch_count_ = 0;
+  std::uint64_t scans_ = 0;
+  std::uint64_t promoted_ = 0;
+  std::uint64_t demoted_ = 0;
+  // Histogram snapshot from the previous scan, for heat deltas.
+  std::unordered_map<std::uint64_t, std::uint64_t> last_hist_;
+};
+
+}  // namespace memdis::core

@@ -1,0 +1,35 @@
+#include "core/prefetch_analysis.h"
+
+#include "common/contract.h"
+
+namespace memdis::core {
+
+double prefetch_accuracy(const cachesim::HwCounters& c) {
+  const auto issued = static_cast<double>(c.prefetch_fills());
+  if (issued == 0) return 0.0;
+  return (issued - static_cast<double>(c.useless_hwpf)) / issued;
+}
+
+double prefetch_coverage(const cachesim::HwCounters& c) {
+  const auto lines_in = static_cast<double>(c.l2_lines_in);
+  const auto useless = static_cast<double>(c.useless_hwpf);
+  const double denom = lines_in - useless;
+  if (denom <= 0) return 0.0;
+  return (static_cast<double>(c.prefetch_fills()) - useless) / denom;
+}
+
+PrefetchMetrics analyze_prefetch(const cachesim::HwCounters& with_pf, double elapsed_with_pf,
+                                 const cachesim::HwCounters& without_pf,
+                                 double elapsed_without_pf) {
+  expects(elapsed_with_pf > 0 && elapsed_without_pf > 0, "elapsed times must be positive");
+  PrefetchMetrics m;
+  m.accuracy = prefetch_accuracy(with_pf);
+  m.coverage = prefetch_coverage(with_pf);
+  const auto traffic_on = static_cast<double>(with_pf.dram_bytes_total());
+  const auto traffic_off = static_cast<double>(without_pf.dram_bytes_total());
+  m.excess_traffic = traffic_off > 0 ? traffic_on / traffic_off - 1.0 : 0.0;
+  m.performance_gain = elapsed_without_pf / elapsed_with_pf - 1.0;
+  return m;
+}
+
+}  // namespace memdis::core

@@ -1,0 +1,45 @@
+#include "core/roofline.h"
+
+#include <algorithm>
+
+#include "common/contract.h"
+
+namespace memdis::core {
+
+RooflineModel::RooflineModel(double peak_gflops, double bandwidth_gbps)
+    : peak_gflops_(peak_gflops), bandwidth_gbps_(bandwidth_gbps) {
+  expects(peak_gflops > 0 && bandwidth_gbps > 0, "roofline peaks must be positive");
+}
+
+double RooflineModel::attainable_gflops(double ai) const {
+  expects(ai >= 0, "arithmetic intensity cannot be negative");
+  return std::min(peak_gflops_, bandwidth_gbps_ * ai);
+}
+
+double RooflineModel::ridge_point() const { return peak_gflops_ / bandwidth_gbps_; }
+
+RooflineModel RooflineModel::local_tier(const memsim::MachineConfig& m) {
+  return RooflineModel(m.peak_gflops, m.local.bandwidth_gbps);
+}
+
+RooflineModel RooflineModel::multi_tier(const memsim::MachineConfig& m) {
+  return RooflineModel(m.peak_gflops, m.local.bandwidth_gbps + m.remote.bandwidth_gbps);
+}
+
+double effective_bandwidth_gbps(const memsim::MachineConfig& m, double remote_ratio) {
+  return effective_bandwidth_gbps_under_loi(m, remote_ratio, 0.0);
+}
+
+double effective_bandwidth_gbps_under_loi(const memsim::MachineConfig& m, double remote_ratio,
+                                          double background_loi) {
+  expects(remote_ratio >= 0.0 && remote_ratio <= 1.0, "remote ratio must be in [0,1]");
+  memsim::LinkModel link(m);
+  link.set_background_loi(background_loi);
+  const double remote_bw =
+      std::min(m.remote.bandwidth_gbps, link.effective_data_bandwidth_gbps(0.0));
+  if (remote_ratio == 0.0) return m.local.bandwidth_gbps;
+  if (remote_ratio == 1.0) return remote_bw;
+  return std::min(m.local.bandwidth_gbps / (1.0 - remote_ratio), remote_bw / remote_ratio);
+}
+
+}  // namespace memdis::core

@@ -1,0 +1,56 @@
+// Roofline models (Sec. 3.4).
+//
+// The standard model P = min(F, B·I); the multi-tier extension where adding
+// a tier raises the bandwidth ceiling (Fig. 5's dashed line); and the memory
+// roofline as a function of the local-to-remote access split (Ding et al.),
+// including the paper's emphasis that the peak is reached by *balancing*
+// accesses across tiers rather than maximizing the local ratio.
+#pragma once
+
+#include "memsim/link.h"
+#include "memsim/machine.h"
+
+namespace memdis::core {
+
+class RooflineModel {
+ public:
+  /// `peak_gflops` in Gflop/s, `bandwidth_gbps` in GB/s.
+  RooflineModel(double peak_gflops, double bandwidth_gbps);
+
+  /// Attainable performance (Gflop/s) at arithmetic intensity `ai`
+  /// (flops per DRAM byte).
+  [[nodiscard]] double attainable_gflops(double ai) const;
+
+  /// The intensity where the compute and bandwidth roofs meet.
+  [[nodiscard]] double ridge_point() const;
+
+  [[nodiscard]] double peak_gflops() const { return peak_gflops_; }
+  [[nodiscard]] double bandwidth_gbps() const { return bandwidth_gbps_; }
+
+  /// Single-tier roofline of the emulated node (local DRAM only).
+  [[nodiscard]] static RooflineModel local_tier(const memsim::MachineConfig& m);
+
+  /// Multi-tier roofline: both tiers streamed concurrently (the dashed
+  /// extension in Fig. 5 — aggregate bandwidth rises when a tier is added).
+  [[nodiscard]] static RooflineModel multi_tier(const memsim::MachineConfig& m);
+
+ private:
+  double peak_gflops_;
+  double bandwidth_gbps_;
+};
+
+/// Effective memory bandwidth when a fraction `remote_ratio` of traffic goes
+/// to the pool tier and both tiers stream concurrently:
+///   B_eff(r) = min(B_L/(1-r), B_R/r),
+/// maximized (B_L+B_R) exactly at r = R_bw^remote — the balanced split the
+/// paper recommends (Sec. 5).
+[[nodiscard]] double effective_bandwidth_gbps(const memsim::MachineConfig& m,
+                                              double remote_ratio);
+
+/// Same, with the pool link degraded by background interference at the given
+/// LoI (%); feeds the interference-adjusted roofline slope of Sec. 3.4.
+[[nodiscard]] double effective_bandwidth_gbps_under_loi(const memsim::MachineConfig& m,
+                                                        double remote_ratio,
+                                                        double background_loi);
+
+}  // namespace memdis::core

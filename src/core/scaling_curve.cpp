@@ -1,0 +1,90 @@
+#include "core/scaling_curve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.h"
+
+namespace memdis::core {
+
+ScalingCurve::ScalingCurve(
+    const std::unordered_map<std::uint64_t, std::uint64_t>& page_accesses,
+    std::uint64_t untouched_pages) {
+  expects(!page_accesses.empty(), "scaling curve needs at least one accessed page");
+  std::vector<std::uint64_t> counts;
+  counts.reserve(page_accesses.size());
+  for (const auto& [page, count] : page_accesses) {
+    if (count > 0) counts.push_back(count);
+  }
+  expects(!counts.empty(), "scaling curve needs nonzero access counts");
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+
+  total_pages_ = counts.size() + untouched_pages;
+  cumulative_.reserve(counts.size() + 1);
+  cumulative_.push_back(0.0);
+  std::uint64_t running = 0;
+  for (const std::uint64_t c : counts) {
+    running += c;
+    cumulative_.push_back(static_cast<double>(running));
+  }
+  total_accesses_ = running;
+  for (double& v : cumulative_) v /= static_cast<double>(total_accesses_);
+}
+
+double ScalingCurve::access_fraction_at(double footprint_fraction) const {
+  expects(footprint_fraction >= 0.0 && footprint_fraction <= 1.0,
+          "footprint fraction must be in [0,1]");
+  const double pos = footprint_fraction * static_cast<double>(total_pages_);
+  const auto hot_pages = static_cast<double>(cumulative_.size() - 1);
+  if (pos >= hot_pages) return 1.0;  // beyond the hot set: cold pages add nothing
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  return cumulative_[lo] * (1.0 - frac) + cumulative_[lo + 1] * frac;
+}
+
+double ScalingCurve::footprint_fraction_for(double access_fraction) const {
+  expects(access_fraction >= 0.0 && access_fraction <= 1.0,
+          "access fraction must be in [0,1]");
+  // cumulative_ is nondecreasing; binary search the first point >= target.
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), access_fraction);
+  if (it == cumulative_.begin()) return 0.0;
+  const auto hi = static_cast<std::size_t>(it - cumulative_.begin());
+  const double lo_v = cumulative_[hi - 1];
+  const double hi_v = cumulative_[hi];
+  const double frac = hi_v > lo_v ? (access_fraction - lo_v) / (hi_v - lo_v) : 1.0;
+  return (static_cast<double>(hi - 1) + frac) / static_cast<double>(total_pages_);
+}
+
+double ScalingCurve::skewness() const {
+  // Gini coefficient: 2·AUC − 1 with AUC integrated over footprint fraction.
+  constexpr std::size_t kSteps = 512;
+  double auc = 0.0;
+  double prev = access_fraction_at(0.0);
+  for (std::size_t s = 1; s <= kSteps; ++s) {
+    const double x = static_cast<double>(s) / kSteps;
+    const double cur = access_fraction_at(x);
+    auc += 0.5 * (prev + cur) / kSteps;
+    prev = cur;
+  }
+  return std::clamp(2.0 * auc - 1.0, 0.0, 1.0);
+}
+
+double ScalingCurve::distance(const ScalingCurve& other) const {
+  constexpr std::size_t kSteps = 512;
+  double d = 0.0;
+  for (std::size_t s = 0; s <= kSteps; ++s) {
+    const double x = static_cast<double>(s) / kSteps;
+    d = std::max(d, std::abs(access_fraction_at(x) - other.access_fraction_at(x)));
+  }
+  return d;
+}
+
+std::vector<double> ScalingCurve::sample(std::size_t points) const {
+  expects(points >= 2, "need at least two sample points");
+  std::vector<double> ys(points);
+  for (std::size_t i = 0; i < points; ++i)
+    ys[i] = access_fraction_at(static_cast<double>(i) / static_cast<double>(points - 1));
+  return ys;
+}
+
+}  // namespace memdis::core

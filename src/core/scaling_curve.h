@@ -1,0 +1,55 @@
+// Bandwidth–capacity scaling curves (Sec. 4.1, Fig. 6).
+//
+// Built from the profiler's page-access sampling: pages are sorted by
+// descending access count and the cumulative access distribution is plotted
+// against the cumulative memory-footprint fraction. A near-diagonal curve
+// means uniform use of the footprint (HPL, Hypre); a sharply rising curve
+// means a small hot set (BFS, XSBench).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace memdis::core {
+
+class ScalingCurve {
+ public:
+  /// Builds the curve from an accesses-per-page histogram. Pages with zero
+  /// recorded accesses can be appended via `untouched_pages` so that the
+  /// footprint axis reflects allocated-but-cold memory (BFS's large
+  /// never-accessed graph structures).
+  explicit ScalingCurve(const std::unordered_map<std::uint64_t, std::uint64_t>& page_accesses,
+                        std::uint64_t untouched_pages = 0);
+
+  /// Fraction of all memory accesses hitting the hottest `footprint_fraction`
+  /// of the footprint. Piecewise-linear interpolation; both axes in [0,1].
+  [[nodiscard]] double access_fraction_at(double footprint_fraction) const;
+
+  /// Footprint fraction needed to cover `access_fraction` of the accesses
+  /// (inverse of the curve) — the "how much fast memory do I need" question.
+  [[nodiscard]] double footprint_fraction_for(double access_fraction) const;
+
+  /// Gini-style skewness in [0,1]: 0 = perfectly uniform (diagonal),
+  /// →1 = all accesses on an infinitesimal hot set.
+  [[nodiscard]] double skewness() const;
+
+  /// Kolmogorov–Smirnov-style distance between two curves, used to test the
+  /// paper's observation that most apps' curves overlap across input scales.
+  [[nodiscard]] double distance(const ScalingCurve& other) const;
+
+  [[nodiscard]] std::uint64_t total_pages() const { return total_pages_; }
+  [[nodiscard]] std::uint64_t total_accesses() const { return total_accesses_; }
+
+  /// Sampled curve points for printing/plotting: access fraction at each of
+  /// `points` evenly spaced footprint fractions (including both endpoints).
+  [[nodiscard]] std::vector<double> sample(std::size_t points) const;
+
+ private:
+  // Cumulative access fraction after the i-th hottest page (index 0 = 0.0).
+  std::vector<double> cumulative_;
+  std::uint64_t total_pages_ = 0;
+  std::uint64_t total_accesses_ = 0;
+};
+
+}  // namespace memdis::core

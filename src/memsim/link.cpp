@@ -1,0 +1,71 @@
+#include "memsim/link.h"
+
+#include <algorithm>
+
+#include "common/contract.h"
+
+namespace memdis::memsim {
+
+LinkModel::LinkModel(const MachineConfig& cfg)
+    : capacity_gbps_(cfg.link_traffic_capacity_gbps),
+      overhead_(cfg.link_protocol_overhead),
+      base_latency_ns_(cfg.remote.latency_ns),
+      queue_weight_(cfg.link_queue_weight),
+      overload_slope_(cfg.link_overload_slope),
+      max_latency_multiplier_(cfg.link_max_latency_multiplier),
+      interference_share_(cfg.link_interference_share) {
+  expects(capacity_gbps_ > 0, "link capacity must be positive");
+  expects(overhead_ >= 1.0, "protocol overhead cannot shrink traffic");
+}
+
+void LinkModel::set_background_loi(double loi_percent) {
+  expects(loi_percent >= 0.0 && loi_percent <= kMaxLoi, "LoI out of range");
+  loi_percent_ = loi_percent;
+}
+
+double LinkModel::background_traffic_gbps() const {
+  return capacity_gbps_ * loi_percent_ / 100.0;
+}
+
+double LinkModel::traffic_of_data_gbps(double data_gbps) const { return data_gbps * overhead_; }
+
+double LinkModel::offered_utilization(double app_data_gbps) const {
+  return (traffic_of_data_gbps(app_data_gbps) + background_traffic_gbps()) / capacity_gbps_;
+}
+
+double LinkModel::measured_traffic_gbps(double app_data_gbps) const {
+  return std::min(traffic_of_data_gbps(app_data_gbps) + background_traffic_gbps(),
+                  capacity_gbps_);
+}
+
+double LinkModel::effective_data_bandwidth_gbps(double app_data_gbps) const {
+  (void)app_data_gbps;  // the app's own traffic does not reduce its share
+  const double colliding = interference_share_ * background_traffic_gbps();
+  const double free_traffic =
+      std::max(capacity_gbps_ - colliding, capacity_gbps_ * kMinShare);
+  // The app's data rate is additionally limited by the remote tier's DRAM
+  // bandwidth, but that bound is applied by the engine; here only the link.
+  return free_traffic / overhead_;
+}
+
+double LinkModel::latency_multiplier(double app_data_gbps) const {
+  const double rho = offered_utilization(app_data_gbps);
+  if (rho <= 0.0) return 1.0;
+  double mult;
+  if (rho < kRhoKnee) {
+    // M/M/1-style queueing delay while the link is stable.
+    mult = 1.0 + queue_weight_ * rho / (1.0 - rho);
+  } else {
+    // Past the knee, a closed-loop system's delay grows with the number of
+    // outstanding requests, i.e. roughly linearly in the *offered* load.
+    const double knee = 1.0 + queue_weight_ * kRhoKnee / (1.0 - kRhoKnee);
+    mult = knee + overload_slope_ * (rho - kRhoKnee);
+  }
+  return std::min(mult, max_latency_multiplier_);
+}
+
+double LinkModel::effective_latency_ns(double app_data_gbps) const {
+  return base_latency_ns_ * latency_multiplier(app_data_gbps);
+}
+
+}  // namespace memdis::memsim

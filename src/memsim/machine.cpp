@@ -1,0 +1,70 @@
+#include "memsim/machine.h"
+
+#include <algorithm>
+
+#include "common/contract.h"
+
+namespace memdis::memsim {
+
+MachineConfig MachineConfig::skylake_testbed() { return MachineConfig{}; }
+
+MachineConfig MachineConfig::cxl_direct_attached() {
+  MachineConfig cfg;
+  cfg.remote = MemoryTierSpec{"cxl-direct", 96ULL << 30, 45.0, 190.0};
+  cfg.link_protocol_overhead = 1.5;
+  cfg.link_traffic_capacity_gbps = 45.0 * cfg.link_protocol_overhead;
+  return cfg;
+}
+
+MachineConfig MachineConfig::cxl_switched_pool() {
+  MachineConfig cfg = cxl_direct_attached();
+  cfg.remote.name = "cxl-switched";
+  cfg.remote.latency_ns = 320.0;  // + switch traversal each way
+  return cfg;
+}
+
+MachineConfig MachineConfig::split_borrowing() {
+  MachineConfig cfg;
+  cfg.remote = MemoryTierSpec{"peer-borrowed", 96ULL << 30, 25.0, 450.0};
+  cfg.link_protocol_overhead = 2.0;
+  cfg.link_traffic_capacity_gbps = 25.0 * cfg.link_protocol_overhead;
+  cfg.link_interference_share = 0.7;  // contends with the lender's traffic
+  return cfg;
+}
+
+MachineConfig MachineConfig::with_remote_capacity_ratio(double remote_capacity_ratio_,
+                                                        std::uint64_t footprint_bytes) const {
+  expects(remote_capacity_ratio_ >= 0.0 && remote_capacity_ratio_ < 1.0,
+          "remote capacity ratio must be in [0,1)");
+  expects(footprint_bytes > 0, "footprint must be positive");
+  MachineConfig cfg = *this;
+  const auto local_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(footprint_bytes) * (1.0 - remote_capacity_ratio_));
+  // Round up to whole pages so the requested split is achievable.
+  const std::uint64_t pages = (local_bytes + page_bytes - 1) / page_bytes;
+  cfg.local.capacity_bytes = std::max<std::uint64_t>(pages * page_bytes, page_bytes);
+  return cfg;
+}
+
+MachineConfig MachineConfig::with_local_capacity(std::uint64_t bytes) const {
+  MachineConfig cfg = *this;
+  cfg.local.capacity_bytes = bytes;
+  return cfg;
+}
+
+double MachineConfig::remote_capacity_ratio() const {
+  const double total =
+      static_cast<double>(local.capacity_bytes) + static_cast<double>(remote.capacity_bytes);
+  return total > 0 ? static_cast<double>(remote.capacity_bytes) / total : 0.0;
+}
+
+double MachineConfig::remote_bandwidth_ratio() const {
+  const double total = local.bandwidth_gbps + remote.bandwidth_gbps;
+  return total > 0 ? remote.bandwidth_gbps / total : 0.0;
+}
+
+double MachineConfig::link_data_bandwidth_gbps() const {
+  return link_traffic_capacity_gbps / link_protocol_overhead;
+}
+
+}  // namespace memdis::memsim

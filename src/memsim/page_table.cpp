@@ -1,0 +1,158 @@
+#include "memsim/page_table.h"
+
+#include <algorithm>
+
+#include "common/contract.h"
+
+namespace memdis::memsim {
+
+TieredMemory::TieredMemory(const MachineConfig& cfg) : page_bytes_(cfg.page_bytes) {
+  expects(page_bytes_ > 0 && (page_bytes_ & (page_bytes_ - 1)) == 0,
+          "page size must be a power of two");
+  capacity_[tier_index(Tier::kLocal)] = cfg.local.capacity_bytes;
+  capacity_[tier_index(Tier::kRemote)] = cfg.remote.capacity_bytes;
+}
+
+VRange TieredMemory::alloc(std::uint64_t bytes, MemPolicy policy) {
+  expects(bytes > 0, "alloc of zero bytes");
+  const std::uint64_t aligned = ((bytes + page_bytes_ - 1) / page_bytes_) * page_bytes_;
+  VRange range{bump_, aligned};
+  bump_ += aligned;
+  const std::uint64_t last_page = page_of(range.end() - 1);
+  if (last_page >= page_tier_.size()) {
+    page_tier_.resize(last_page + 1, kUntouched);
+    page_region_.resize(last_page + 1, 0);
+  }
+  const auto region_idx = static_cast<std::uint32_t>(regions_.size());
+  regions_.push_back(Region{range, policy, 0, false});
+  for (std::uint64_t p = page_of(range.base); p <= last_page; ++p) page_region_[p] = region_idx;
+  return range;
+}
+
+void TieredMemory::free(const VRange& range) {
+  expects(range.bytes > 0, "free of empty range");
+  Region* region = region_of(range.base);
+  expects(region != nullptr && region->range.base == range.base, "free must match an allocation");
+  expects(!region->freed, "double free");
+  region->freed = true;
+  for (std::uint64_t p = page_of(range.base); p <= page_of(range.end() - 1); ++p) {
+    if (page_tier_[p] >= 0 && page_tier_[p] < kFreedBase) {
+      used_[static_cast<int>(page_tier_[p])] -= page_bytes_;
+      page_tier_[p] = static_cast<std::int8_t>(kFreedBase + page_tier_[p]);
+    }
+  }
+}
+
+Tier TieredMemory::touch(std::uint64_t vaddr) {
+  expects(vaddr >= kVaBase && vaddr < bump_, "touch of unallocated address");
+  const std::uint64_t page = page_of(vaddr);
+  if (page_tier_[page] >= 0 && page_tier_[page] < kFreedBase)
+    return static_cast<Tier>(page_tier_[page]);
+  expects(page_tier_[page] == kUntouched, "touch after free");
+  Region& region = regions_[page_region_[page]];
+  expects(!region.freed, "use after free");
+  return place_page(region, page);
+}
+
+Tier TieredMemory::tier_of(std::uint64_t vaddr) const {
+  expects(vaddr >= kVaBase && vaddr < bump_, "tier_of unallocated address");
+  const std::uint64_t page = page_of(vaddr);
+  expects(page_tier_[page] != kUntouched, "tier_of untouched page");
+  const std::int8_t enc = page_tier_[page];
+  return static_cast<Tier>(enc >= kFreedBase ? enc - kFreedBase : enc);
+}
+
+bool TieredMemory::resident(std::uint64_t vaddr) const {
+  if (vaddr < kVaBase || vaddr >= bump_) return false;
+  const std::int8_t enc = page_tier_[page_of(vaddr)];
+  return enc >= 0 && enc < kFreedBase;
+}
+
+std::uint64_t TieredMemory::migrate(const VRange& range, Tier dst) {
+  expects(range.bytes > 0, "migrate of empty range");
+  std::uint64_t moved = 0;
+  for (std::uint64_t p = page_of(range.base); p <= page_of(range.end() - 1); ++p) {
+    if (page_tier_[p] < 0 || page_tier_[p] >= kFreedBase) continue;
+    const Tier src = static_cast<Tier>(page_tier_[p]);
+    if (src == dst) continue;
+    if (used_[tier_index(dst)] + page_bytes_ > capacity_[tier_index(dst)]) break;
+    used_[tier_index(src)] -= page_bytes_;
+    used_[tier_index(dst)] += page_bytes_;
+    page_tier_[p] = static_cast<std::int8_t>(tier_index(dst));
+    ++moved;
+  }
+  return moved;
+}
+
+NumaSnapshot TieredMemory::snapshot() const {
+  NumaSnapshot s;
+  s.resident_bytes[0] = used_[0];
+  s.resident_bytes[1] = used_[1];
+  return s;
+}
+
+std::uint64_t TieredMemory::used_bytes(Tier t) const { return used_[tier_index(t)]; }
+std::uint64_t TieredMemory::capacity_bytes(Tier t) const { return capacity_[tier_index(t)]; }
+std::uint64_t TieredMemory::free_bytes(Tier t) const {
+  return capacity_[tier_index(t)] - used_[tier_index(t)];
+}
+
+void TieredMemory::waste_local(std::uint64_t bytes) {
+  const int li = tier_index(Tier::kLocal);
+  // Capacity is shrunk rather than tracked as a region: wasted memory never
+  // becomes free again, exactly like the paper's background hog process.
+  const std::uint64_t take = std::min(bytes, capacity_[li] - used_[li]);
+  capacity_[li] -= take;
+}
+
+TieredMemory::Region* TieredMemory::region_of(std::uint64_t vaddr) {
+  if (vaddr < kVaBase || vaddr >= bump_) return nullptr;
+  return &regions_[page_region_[page_of(vaddr)]];
+}
+
+bool TieredMemory::tier_has_room(Tier t) const {
+  return used_[tier_index(t)] + page_bytes_ <= capacity_[tier_index(t)];
+}
+
+void TieredMemory::assign(std::uint64_t page, Tier t) {
+  page_tier_[page] = static_cast<std::int8_t>(tier_index(t));
+  used_[tier_index(t)] += page_bytes_;
+  ++touched_pages_;
+}
+
+Tier TieredMemory::place_page(Region& region, std::uint64_t page) {
+  const MemPolicy& pol = region.policy;
+  switch (pol.kind) {
+    case PlacementKind::kFirstTouch:
+    case PlacementKind::kPreferredLocal: {
+      const Tier t = tier_has_room(Tier::kLocal) ? Tier::kLocal : Tier::kRemote;
+      if (!tier_has_room(t)) throw OutOfMemoryError("both tiers exhausted");
+      assign(page, t);
+      return t;
+    }
+    case PlacementKind::kBindLocal: {
+      if (!tier_has_room(Tier::kLocal))
+        throw OutOfMemoryError("bind-local allocation exceeds local capacity");
+      assign(page, Tier::kLocal);
+      return Tier::kLocal;
+    }
+    case PlacementKind::kBindRemote: {
+      if (!tier_has_room(Tier::kRemote)) throw OutOfMemoryError("remote tier exhausted");
+      assign(page, Tier::kRemote);
+      return Tier::kRemote;
+    }
+    case PlacementKind::kInterleave: {
+      const std::uint64_t period = pol.local_weight + pol.remote_weight;
+      expects(period > 0, "interleave weights must not both be zero");
+      const std::uint64_t slot = region.interleave_cursor++ % period;
+      Tier want = slot < pol.local_weight ? Tier::kLocal : Tier::kRemote;
+      if (!tier_has_room(want)) want = want == Tier::kLocal ? Tier::kRemote : Tier::kLocal;
+      if (!tier_has_room(want)) throw OutOfMemoryError("both tiers exhausted");
+      assign(page, want);
+      return want;
+    }
+  }
+  throw contract_violation("unknown placement kind");
+}
+
+}  // namespace memdis::memsim

@@ -1,0 +1,126 @@
+// TieredMemory: virtual address space, page table, and placement engine.
+//
+// Allocations reserve virtual ranges; physical tier assignment happens at
+// first *touch* (matching Linux), which is what makes allocation/initialization
+// order matter — the lever exploited by the BFS case study (Sec. 7.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "memsim/machine.h"
+#include "memsim/policy.h"
+#include "memsim/tier.h"
+
+namespace memdis::memsim {
+
+/// A reserved virtual address range, page aligned.
+struct VRange {
+  std::uint64_t base = 0;
+  std::uint64_t bytes = 0;
+  [[nodiscard]] std::uint64_t end() const { return base + bytes; }
+  [[nodiscard]] bool contains(std::uint64_t addr) const { return addr >= base && addr < end(); }
+};
+
+/// numa_maps-style snapshot of resident bytes per tier (Sec. 3.1, Level 1
+/// capacity tracking and Level 2 R_cap measurement).
+struct NumaSnapshot {
+  std::array<std::uint64_t, kNumTiers> resident_bytes{};
+  [[nodiscard]] std::uint64_t total() const {
+    return resident_bytes[0] + resident_bytes[1];
+  }
+  /// Fraction of resident memory on the remote tier (remote capacity ratio).
+  [[nodiscard]] double remote_ratio() const {
+    const auto t = total();
+    return t == 0 ? 0.0 : static_cast<double>(resident_bytes[tier_index(Tier::kRemote)]) /
+                              static_cast<double>(t);
+  }
+};
+
+/// Thrown when a kBindLocal allocation cannot fit — the OOM abort the paper
+/// describes for jobs exceeding fixed node memory (Sec. 2).
+class OutOfMemoryError : public std::runtime_error {
+ public:
+  explicit OutOfMemoryError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class TieredMemory {
+ public:
+  explicit TieredMemory(const MachineConfig& cfg);
+
+  /// Reserves a virtual range with the given placement policy. Placement of
+  /// each page is decided lazily on first touch.
+  [[nodiscard]] VRange alloc(std::uint64_t bytes, MemPolicy policy = MemPolicy::first_touch());
+
+  /// Releases a range: resident pages return capacity to their tier.
+  /// The virtual addresses are never reused (bump allocation), which keeps
+  /// traces unambiguous.
+  void free(const VRange& range);
+
+  /// Resolves the tier of `vaddr`, assigning a page on first touch according
+  /// to the range's policy. Throws OutOfMemoryError for kBindLocal overflow
+  /// and contract_violation for untracked addresses.
+  Tier touch(std::uint64_t vaddr);
+
+  /// Tier of an already-resident page; kLocal is never returned for
+  /// untouched pages — querying one is a contract violation.
+  [[nodiscard]] Tier tier_of(std::uint64_t vaddr) const;
+
+  /// True when the page holding `vaddr` has been touched.
+  [[nodiscard]] bool resident(std::uint64_t vaddr) const;
+
+  /// Moves a resident page range to `dst` if capacity allows (page migration
+  /// as done by move_pages/libnuma). Returns pages actually moved.
+  std::uint64_t migrate(const VRange& range, Tier dst);
+
+  [[nodiscard]] NumaSnapshot snapshot() const;
+  [[nodiscard]] std::uint64_t used_bytes(Tier t) const;
+  [[nodiscard]] std::uint64_t capacity_bytes(Tier t) const;
+  [[nodiscard]] std::uint64_t free_bytes(Tier t) const;
+  [[nodiscard]] std::uint64_t page_bytes() const { return page_bytes_; }
+
+  /// Emulates the paper's `setup_waste`: permanently occupies `bytes` of
+  /// local capacity so subsequent first-touch allocations spill earlier.
+  void waste_local(std::uint64_t bytes);
+
+  /// Total number of touched pages since construction.
+  [[nodiscard]] std::uint64_t touched_pages() const { return touched_pages_; }
+
+ private:
+  struct Region {
+    VRange range;
+    MemPolicy policy;
+    std::uint64_t interleave_cursor = 0;  // pages placed so far (for N:M)
+    bool freed = false;
+  };
+
+  // page_tier_ encoding: kUntouched, tier index (0/1) while resident, or
+  // kFreedBase + tier index after free (tombstone so late writebacks from
+  // the cache hierarchy still know which tier the page lived on).
+  static constexpr std::int8_t kUntouched = -1;
+  static constexpr std::int8_t kFreedBase = 2;
+
+  [[nodiscard]] std::uint64_t page_of(std::uint64_t vaddr) const {
+    return (vaddr - kVaBase) / page_bytes_;
+  }
+  Region* region_of(std::uint64_t vaddr);
+  Tier place_page(Region& region, std::uint64_t page);
+  [[nodiscard]] bool tier_has_room(Tier t) const;
+  void assign(std::uint64_t page, Tier t);
+
+  static constexpr std::uint64_t kVaBase = 0x10000000ULL;
+
+  std::uint64_t page_bytes_;
+  std::uint64_t bump_ = kVaBase;
+  std::vector<std::int8_t> page_tier_;   // indexed by page number, -1 untouched
+  std::vector<std::uint32_t> page_region_;  // region index per page
+  std::vector<Region> regions_;
+  std::array<std::uint64_t, kNumTiers> used_{};
+  std::array<std::uint64_t, kNumTiers> capacity_{};
+  std::uint64_t touched_pages_ = 0;
+};
+
+}  // namespace memdis::memsim

@@ -1,0 +1,43 @@
+// Page placement policies.
+//
+// The emulation platform relies on Linux's default first-touch policy: pages
+// land on the local NUMA node until it is full, then spill to the remote
+// node (Sec. 3.3). The explicit policies model libnuma bindings and the
+// weighted N:M interleaving of the tiered-memory kernel patch cited in
+// Sec. 2.2 ("Low Porting Efforts").
+#pragma once
+
+#include <cstdint>
+
+#include "memsim/tier.h"
+
+namespace memdis::memsim {
+
+enum class PlacementKind : std::uint8_t {
+  kFirstTouch,  ///< local until full, spill to remote (Linux default)
+  kBindLocal,   ///< numactl --membind=local; fails (OOM) when local is full
+  kBindRemote,  ///< force pages onto the pool tier
+  kInterleave,  ///< weighted N:M round-robin across tiers
+  kPreferredLocal,  ///< prefer local but fall back to remote (no OOM)
+};
+
+/// Placement request attached to an allocation. Interleave weights follow
+/// the kernel patch semantics: `local_weight` pages local, then
+/// `remote_weight` pages remote, repeating.
+struct MemPolicy {
+  PlacementKind kind = PlacementKind::kFirstTouch;
+  std::uint32_t local_weight = 1;
+  std::uint32_t remote_weight = 1;
+
+  [[nodiscard]] static MemPolicy first_touch() { return {}; }
+  [[nodiscard]] static MemPolicy bind_local() { return {PlacementKind::kBindLocal, 1, 1}; }
+  [[nodiscard]] static MemPolicy bind_remote() { return {PlacementKind::kBindRemote, 1, 1}; }
+  [[nodiscard]] static MemPolicy preferred_local() {
+    return {PlacementKind::kPreferredLocal, 1, 1};
+  }
+  [[nodiscard]] static MemPolicy interleave(std::uint32_t local_w, std::uint32_t remote_w) {
+    return {PlacementKind::kInterleave, local_w, remote_w};
+  }
+};
+
+}  // namespace memdis::memsim

@@ -1,0 +1,34 @@
+// Memory tier identifiers and per-tier hardware specifications.
+//
+// The paper's rack-scale architecture (Fig. 2) gives each node a fixed
+// node-local tier plus a share of a pooled remote tier; the emulation
+// platform (Sec. 3.3) maps these onto the two sockets of a Skylake-X box.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace memdis::memsim {
+
+/// A node's memory system has two tiers in this work: node-local DRAM and
+/// the fabric-attached (pooled) remote tier reached over the link.
+enum class Tier : std::uint8_t { kLocal = 0, kRemote = 1 };
+
+inline constexpr int kNumTiers = 2;
+
+/// Index helper for per-tier arrays.
+[[nodiscard]] constexpr int tier_index(Tier t) { return static_cast<int>(t); }
+
+[[nodiscard]] constexpr const char* tier_name(Tier t) {
+  return t == Tier::kLocal ? "local" : "remote";
+}
+
+/// Hardware description of one memory tier.
+struct MemoryTierSpec {
+  std::string name;
+  std::uint64_t capacity_bytes = 0;
+  double bandwidth_gbps = 0.0;  ///< sustainable data bandwidth (STREAM-like)
+  double latency_ns = 0.0;      ///< unloaded access latency
+};
+
+}  // namespace memdis::memsim

@@ -1,0 +1,34 @@
+// Native (host-machine) LBench runner.
+//
+// Runs the paper's interference kernel for real, with std::thread workers
+// over a shared array. On the paper's testbed this is the injector pinned
+// to the local socket; here it serves two purposes: validating that the
+// simulated kernel computes the same values, and providing a real
+// multithreaded traffic generator for users who want to pair this library
+// with hardware counters on their own machines.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace memdis::native {
+
+struct NativeLbenchConfig {
+  std::size_t elements = 1 << 22;  ///< 32 MiB working array
+  std::uint32_t nflop = 1;
+  std::size_t sweeps = 4;
+  int threads = 2;  ///< the paper uses 2 injector threads (Sec. 6)
+};
+
+struct NativeLbenchResult {
+  double seconds = 0.0;
+  double data_gbps = 0.0;   ///< achieved array traffic (read+write)
+  double gflops = 0.0;
+  double checksum = 0.0;    ///< sum over a sample of elements
+  bool verified = false;    ///< values match the scalar reference recurrence
+};
+
+/// Executes the kernel; deterministic numerics, wall-clock timing.
+[[nodiscard]] NativeLbenchResult run_native_lbench(const NativeLbenchConfig& cfg);
+
+}  // namespace memdis::native

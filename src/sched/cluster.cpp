@@ -1,0 +1,198 @@
+#include "sched/cluster.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "common/contract.h"
+#include "common/rng.h"
+
+namespace memdis::sched {
+
+namespace {
+
+struct RunningJob {
+  std::size_t request = 0;
+  int rack = -1;
+  double remaining_work_s = 0.0;  // in idle-system seconds
+  double start_s = 0.0;
+};
+
+struct RackState {
+  std::size_t free_nodes = 0;
+  double free_pool_gb = 0.0;
+  double injected_loi = 0.0;  // sum over running jobs
+  std::size_t running = 0;
+  std::multiset<double> induced;  // per-running-job contributions
+
+  /// Interference a newcomer with `induced_loi` would cause the most
+  /// exposed current occupant to see, and what the newcomer itself sees.
+  [[nodiscard]] double worst_seen_after(double induced_loi) const {
+    const double newcomer_sees = injected_loi;
+    if (induced.empty()) return newcomer_sees;
+    const double most_exposed = injected_loi - *induced.begin() + induced_loi;
+    return std::max(newcomer_sees, most_exposed);
+  }
+};
+
+/// Progress rate of a job: sensitivity at the LoI injected by *other* jobs
+/// sharing its rack's pool.
+double job_speed(const JobRequest& req, const RackState& rack) {
+  const double other_loi = std::max(rack.injected_loi - req.induced_loi, 0.0);
+  return core::interpolate_sensitivity(req.profile.sensitivity, other_loi);
+}
+
+}  // namespace
+
+ClusterOutcome ClusterSim::run(const std::vector<JobRequest>& jobs, SchedulerPolicy policy,
+                               double loi_cap) const {
+  expects(!jobs.empty(), "job stream is empty");
+  expects(cfg_.racks > 0 && cfg_.rack.nodes_per_rack > 0, "cluster must have capacity");
+  for (const auto& j : jobs) {
+    expects(j.nodes >= 1 && j.nodes <= cfg_.rack.nodes_per_rack,
+            "job must fit within one rack");
+    expects(j.pool_demand_gb <= cfg_.rack.pool_capacity_gb, "job pool demand exceeds pool");
+  }
+
+  RackState fresh_rack;
+  fresh_rack.free_nodes = cfg_.rack.nodes_per_rack;
+  fresh_rack.free_pool_gb = cfg_.rack.pool_capacity_gb;
+  std::vector<RackState> racks(cfg_.racks, fresh_rack);
+  Xoshiro256 rng(cfg_.seed);
+
+  // Arrival order by time (stable for ties).
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return jobs[a].arrival_s < jobs[b].arrival_s;
+  });
+
+  std::vector<JobRecord> records(jobs.size());
+  std::vector<RunningJob> running;
+  std::vector<std::size_t> pending;  // indices into `jobs`, FIFO
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+
+  const auto feasible = [&](const JobRequest& req, const RackState& rack) {
+    return rack.free_nodes >= req.nodes && rack.free_pool_gb >= req.pool_demand_gb;
+  };
+
+  const auto try_place = [&](std::size_t ji) -> bool {
+    const JobRequest& req = jobs[ji];
+    int chosen = -1;
+    if (policy == SchedulerPolicy::kRandom) {
+      // Random scheduler: pick uniformly among feasible racks.
+      std::vector<int> options;
+      for (std::size_t r = 0; r < racks.size(); ++r)
+        if (feasible(req, racks[r])) options.push_back(static_cast<int>(r));
+      if (!options.empty())
+        chosen = options[rng.uniform_below(options.size())];
+    } else {
+      // Interference-aware: the cap bounds the interference any job *sees*
+      // (its co-runners' injected LoI), so a heavy job alone in a rack is
+      // always acceptable. Pick the feasible rack minimizing the worst
+      // exposure; defer if every option breaks the cap while other jobs
+      // are still running (deadlock avoidance otherwise).
+      double best_seen = std::numeric_limits<double>::max();
+      for (std::size_t r = 0; r < racks.size(); ++r) {
+        if (!feasible(req, racks[r])) continue;
+        const double seen = racks[r].worst_seen_after(req.induced_loi);
+        if (seen < best_seen) {
+          best_seen = seen;
+          chosen = static_cast<int>(r);
+        }
+      }
+      if (chosen >= 0 && best_seen > loi_cap && !running.empty()) chosen = -1;  // defer
+    }
+    if (chosen < 0) return false;
+    RackState& rack = racks[static_cast<std::size_t>(chosen)];
+    rack.free_nodes -= req.nodes;
+    rack.free_pool_gb -= req.pool_demand_gb;
+    rack.injected_loi += req.induced_loi;
+    rack.induced.insert(req.induced_loi);
+    ++rack.running;
+    records[ji].app = req.profile.app;
+    records[ji].arrival_s = req.arrival_s;
+    records[ji].start_s = now;
+    records[ji].rack = chosen;
+    running.push_back(RunningJob{ji, chosen, req.profile.base_runtime_s, now});
+    return true;
+  };
+
+  const auto drain_pending = [&] {
+    // FIFO service; later jobs cannot jump ahead of an unplaceable head for
+    // the same resources (keeps the policies comparable).
+    while (!pending.empty()) {
+      if (!try_place(pending.front())) break;
+      pending.erase(pending.begin());
+    }
+  };
+
+  while (next_arrival < order.size() || !running.empty() || !pending.empty()) {
+    // Next event: arrival or earliest completion at current speeds.
+    double t_next = std::numeric_limits<double>::max();
+    if (next_arrival < order.size())
+      t_next = std::max(jobs[order[next_arrival]].arrival_s, now);
+    int completing = -1;
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      const auto& rj = running[i];
+      const double speed = job_speed(jobs[rj.request], racks[static_cast<std::size_t>(rj.rack)]);
+      const double eta = now + rj.remaining_work_s / std::max(speed, 1e-9);
+      if (eta < t_next) {
+        t_next = eta;
+        completing = static_cast<int>(i);
+      }
+    }
+    expects(t_next < std::numeric_limits<double>::max(),
+            "scheduler deadlock: pending jobs with nothing running");
+
+    // Advance all running jobs to t_next.
+    const double dt = t_next - now;
+    for (auto& rj : running) {
+      const double speed = job_speed(jobs[rj.request], racks[static_cast<std::size_t>(rj.rack)]);
+      rj.remaining_work_s = std::max(rj.remaining_work_s - dt * speed, 0.0);
+    }
+    now = t_next;
+
+    if (completing >= 0 && running[static_cast<std::size_t>(completing)].remaining_work_s <=
+                               1e-9) {
+      const RunningJob rj = running[static_cast<std::size_t>(completing)];
+      running.erase(running.begin() + completing);
+      const JobRequest& req = jobs[rj.request];
+      RackState& rack = racks[static_cast<std::size_t>(rj.rack)];
+      rack.free_nodes += req.nodes;
+      rack.free_pool_gb += req.pool_demand_gb;
+      rack.injected_loi = std::max(rack.injected_loi - req.induced_loi, 0.0);
+      const auto it = rack.induced.find(req.induced_loi);
+      if (it != rack.induced.end()) rack.induced.erase(it);
+      --rack.running;
+      records[rj.request].finish_s = now;
+    }
+    while (next_arrival < order.size() && jobs[order[next_arrival]].arrival_s <= now) {
+      pending.push_back(order[next_arrival]);
+      ++next_arrival;
+    }
+    drain_pending();
+  }
+
+  ClusterOutcome out;
+  out.jobs = std::move(records);
+  double sum_rt = 0.0;
+  double sum_wait = 0.0;
+  double sum_slow = 0.0;
+  for (std::size_t i = 0; i < out.jobs.size(); ++i) {
+    const auto& rec = out.jobs[i];
+    out.makespan_s = std::max(out.makespan_s, rec.finish_s);
+    sum_rt += rec.runtime_s();
+    sum_wait += rec.wait_s();
+    sum_slow += rec.runtime_s() / jobs[i].profile.base_runtime_s;
+  }
+  const auto nj = static_cast<double>(out.jobs.size());
+  out.mean_runtime_s = sum_rt / nj;
+  out.mean_wait_s = sum_wait / nj;
+  out.mean_slowdown = sum_slow / nj;
+  return out;
+}
+
+}  // namespace memdis::sched

@@ -1,0 +1,85 @@
+// Rack-scale cluster simulation (extension of Sec. 7.2).
+//
+// The paper emulates co-location pressure with LBench on a single node and
+// notes that "with more than two nodes per memory pool, the performance
+// improvement could be more significant". This module builds that larger
+// experiment: an event-driven simulation of the Fig. 2 architecture —
+// racks of nodes sharing one memory pool each — with a job stream placed
+// by either a random or an interference-aware scheduler.
+//
+// Interference model: every job running in a rack injects its offered link
+// utilization (derived from its interference coefficient profile) into the
+// rack's pool; each job's progress rate is its sensitivity curve evaluated
+// at the sum of the *other* jobs' LoI contributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sched/colocation.h"
+
+namespace memdis::sched {
+
+struct RackConfig {
+  std::size_t nodes_per_rack = 16;
+  double pool_capacity_gb = 1024.0;
+};
+
+struct ClusterConfig {
+  std::size_t racks = 4;
+  RackConfig rack{};
+  std::uint64_t seed = 99;
+};
+
+/// A job submission: profile + resource demand.
+struct JobRequest {
+  JobProfile profile;
+  std::size_t nodes = 1;
+  double pool_demand_gb = 0.0;   ///< pooled memory requested
+  double induced_loi = 0.0;      ///< LoI (%) this job injects on its rack's pool
+  double arrival_s = 0.0;
+};
+
+/// Completed-job record.
+struct JobRecord {
+  std::string app;
+  double arrival_s = 0.0;
+  double start_s = 0.0;
+  double finish_s = 0.0;
+  int rack = -1;
+  [[nodiscard]] double wait_s() const { return start_s - arrival_s; }
+  [[nodiscard]] double runtime_s() const { return finish_s - start_s; }
+};
+
+enum class SchedulerPolicy {
+  kRandom,             ///< first rack with free resources, arrival order
+  kInterferenceAware,  ///< prefers the rack minimizing resulting pool LoI and
+                       ///< refuses to push a rack past the LoI cap
+};
+
+struct ClusterOutcome {
+  std::vector<JobRecord> jobs;
+  double makespan_s = 0.0;
+  double mean_runtime_s = 0.0;
+  double mean_wait_s = 0.0;
+  /// Mean over jobs of (runtime / idle runtime) — 1.0 means no slowdown.
+  double mean_slowdown = 1.0;
+};
+
+class ClusterSim {
+ public:
+  explicit ClusterSim(const ClusterConfig& cfg) : cfg_(cfg) {}
+
+  /// Runs the job stream to completion under the given policy.
+  /// `loi_cap` only applies to the interference-aware policy: a rack's
+  /// total injected LoI is kept at or below this value when possible.
+  [[nodiscard]] ClusterOutcome run(const std::vector<JobRequest>& jobs,
+                                   SchedulerPolicy policy, double loi_cap = 20.0) const;
+
+ private:
+  ClusterConfig cfg_;
+};
+
+}  // namespace memdis::sched

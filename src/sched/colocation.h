@@ -1,0 +1,64 @@
+// Interference-aware job co-location study (Sec. 7.2, Fig. 13).
+//
+// Protocol from the paper: each workload runs on the emulated 50%-pool
+// setup while co-runners on the shared pool inject a Level-of-Interference
+// that re-rolls uniformly at random every 60 s. The random baseline draws
+// LoI from 0–50%; the interference-aware scheduler — which declines to
+// co-locate interference-inducing jobs — caps the draw at 0–20%. Each
+// configuration is repeated 100 times and summarized with five-number
+// statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/interference.h"
+
+namespace memdis::sched {
+
+/// A job as the scheduler sees it: identity, idle-system runtime, and its
+/// Level-3 profile (sensitivity curve + induced interference coefficient).
+struct JobProfile {
+  std::string app;
+  double base_runtime_s = 0.0;  ///< runtime at LoI = 0
+  std::vector<core::SensitivityPoint> sensitivity;
+  double induced_ic = 1.0;  ///< interference coefficient (Fig. 11 right)
+};
+
+struct CoLocationConfig {
+  std::size_t runs = 100;
+  double reroll_interval_s = 60.0;
+  double max_loi_baseline = 50.0;  ///< random scheduler: LoI ~ U(0, 50)
+  double max_loi_aware = 20.0;     ///< interference-aware: LoI ~ U(0, 20)
+  std::uint64_t seed = 1234;
+};
+
+/// Simulates one execution under re-rolled background interference and
+/// returns the wall time. Progress advances at rel_perf(LoI) of idle speed.
+[[nodiscard]] double simulate_run(const JobProfile& job, double max_loi,
+                                  double reroll_interval_s, std::uint64_t seed);
+
+/// Outcome of the 100-run experiment for one job and one scheduler.
+struct CoLocationOutcome {
+  std::vector<double> times_s;
+  FiveNumber summary;
+  double mean_s = 0.0;
+};
+
+/// The Fig. 13 pair: random baseline vs. interference-aware.
+struct CoLocationComparison {
+  CoLocationOutcome baseline;
+  CoLocationOutcome aware;
+  double mean_speedup = 0.0;       ///< baseline mean / aware mean − 1
+  double p75_reduction = 0.0;      ///< relative drop in 75th percentile
+};
+
+[[nodiscard]] CoLocationOutcome run_colocation(const JobProfile& job, double max_loi,
+                                               const CoLocationConfig& cfg);
+
+[[nodiscard]] CoLocationComparison compare_schedulers(const JobProfile& job,
+                                                      const CoLocationConfig& cfg);
+
+}  // namespace memdis::sched

@@ -1,0 +1,131 @@
+// sim::Array<T> — an instrumented, simulator-visible array.
+//
+// Owns both a real host buffer (so workloads compute genuine numerics) and
+// a simulated virtual range in the engine's tiered memory. Every element
+// access is reported to the engine, which drives caches, first-touch page
+// placement, and the time model. RAII: the simulated range is freed on
+// destruction unless `leak()` was called (used by the BFS case study, whose
+// baseline deliberately leaves a temporary object unfreed — Sec. 7.1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/contract.h"
+#include "sim/engine.h"
+
+namespace memdis::sim {
+
+template <typename T>
+class Array {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>, "sim::Array requires trivially copyable T");
+
+  Array(Engine& eng, std::size_t n,
+        memsim::MemPolicy policy = memsim::MemPolicy::first_touch(), std::string name = {})
+      : eng_(&eng), data_(n) {
+    expects(n > 0, "sim::Array of zero elements");
+    range_ = eng.alloc(static_cast<std::uint64_t>(n) * sizeof(T), policy, std::move(name));
+  }
+
+  Array(const Array&) = delete;
+  Array& operator=(const Array&) = delete;
+
+  Array(Array&& other) noexcept
+      : eng_(other.eng_),
+        range_(other.range_),
+        data_(std::move(other.data_)),
+        released_(std::exchange(other.released_, true)) {}
+
+  Array& operator=(Array&& other) noexcept {
+    if (this != &other) {
+      release();
+      eng_ = other.eng_;
+      range_ = other.range_;
+      data_ = std::move(other.data_);
+      released_ = std::exchange(other.released_, true);
+    }
+    return *this;
+  }
+
+  ~Array() { release(); }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  /// Simulated address of element `i`.
+  [[nodiscard]] std::uint64_t addr_of(std::size_t i) const {
+    return range_.base + i * sizeof(T);
+  }
+
+  /// Instrumented load.
+  [[nodiscard]] T ld(std::size_t i) const {
+    eng_->load(addr_of(i), sizeof(T));
+    return data_[i];
+  }
+
+  /// Instrumented store.
+  void st(std::size_t i, const T& v) {
+    eng_->store(addr_of(i), sizeof(T));
+    data_[i] = v;
+  }
+
+  /// Instrumented read-modify-write convenience (one load + one store).
+  template <typename F>
+  void rmw(std::size_t i, F&& f) {
+    eng_->load(addr_of(i), sizeof(T));
+    data_[i] = f(data_[i]);
+    eng_->store(addr_of(i), sizeof(T));
+  }
+
+  /// Proxy reference so workload code can read naturally: `x = A[i]; A[i] = y;`.
+  class Ref {
+   public:
+    Ref(Array& arr, std::size_t i) : arr_(&arr), i_(i) {}
+    operator T() const { return arr_->ld(i_); }  // NOLINT(google-explicit-constructor)
+    Ref& operator=(const T& v) {
+      arr_->st(i_, v);
+      return *this;
+    }
+    Ref& operator=(const Ref& other) { return *this = static_cast<T>(other); }
+    Ref& operator+=(const T& v) { return *this = static_cast<T>(*this) + v; }
+    Ref& operator-=(const T& v) { return *this = static_cast<T>(*this) - v; }
+    Ref& operator*=(const T& v) { return *this = static_cast<T>(*this) * v; }
+
+   private:
+    Array* arr_;
+    std::size_t i_;
+  };
+
+  [[nodiscard]] Ref operator[](std::size_t i) { return Ref(*this, i); }
+  [[nodiscard]] T operator[](std::size_t i) const { return ld(i); }
+
+  /// Uninstrumented view for verification after the run — never use this
+  /// inside a profiled region.
+  [[nodiscard]] std::span<const T> raw() const { return data_; }
+  [[nodiscard]] std::span<T> raw_mutable() { return data_; }
+
+  /// Frees the simulated range now (models free()); host data stays
+  /// readable for verification.
+  void release() {
+    if (!released_) {
+      eng_->free(range_);
+      released_ = true;
+    }
+  }
+
+  /// Intentionally leaks the simulated allocation (the BFS baseline bug).
+  void leak() { released_ = true; }
+
+  [[nodiscard]] const memsim::VRange& range() const { return range_; }
+
+ private:
+  Engine* eng_;
+  memsim::VRange range_{};
+  std::vector<T> data_;
+  bool released_ = false;
+};
+
+}  // namespace memdis::sim

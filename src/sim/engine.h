@@ -1,0 +1,182 @@
+// Engine: the execution-driven simulation core.
+//
+// Workloads run real numerics against sim::Array<T> buffers; every load and
+// store is routed through the cache hierarchy, the page table, and the pool
+// link. Time advances in *epochs* (a fixed quantum of demand accesses, also
+// closed at phase boundaries), each costed with the model:
+//
+//   t_epoch = max(flops/F_peak, bytes_L/BW_L, bytes_R/BW_R_eff)
+//           + (demand_L·lat_L + demand_R·lat_R_eff) / (MLP·threads)
+//
+// BW_R_eff and lat_R_eff come from the LinkModel under the configured
+// background Level-of-Interference. Prefetched lines never appear in the
+// demand-latency term — that is what gives hardware prefetching its
+// performance gain (Sec. 4.2) and remote latency its sting when coverage is
+// low (XSBench, Sec. 5.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <optional>
+
+#include "cachesim/hierarchy.h"
+#include "memsim/link.h"
+#include "memsim/machine.h"
+#include "memsim/page_table.h"
+
+namespace memdis::sim {
+
+struct EngineConfig {
+  memsim::MachineConfig machine = memsim::MachineConfig::skylake_testbed();
+  cachesim::HierarchyConfig hierarchy{};
+  std::uint64_t epoch_accesses = 2'000'000;  ///< demand accesses per epoch
+  double background_loi = 0.0;               ///< % of peak link traffic (Sec. 6)
+  double stall_weight = 1.0;                 ///< scaling of the latency term
+  /// Period of the per-page sampler feeding the bandwidth–capacity scaling
+  /// curves (Fig. 6). Samples fire on L1 misses — the event class PEBS
+  /// demand-load sampling observes on the paper's testbed (1 = every miss).
+  std::uint64_t page_sample_period = 4;
+  /// Overrides the placement policy of allocations that use the default
+  /// (first-touch) policy — the `numactl` analogue: explicit bindings win,
+  /// everything else follows the overridden system default. Used for the
+  /// weighted-interleave experiments (Sec. 2.2, "Low Porting Efforts").
+  std::optional<memsim::MemPolicy> default_policy_override;
+};
+
+/// One closed epoch: the unit of the profiler's per-interval timelines
+/// (Fig. 7's cacheline series, per-phase attribution, link traffic).
+struct EpochRecord {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  std::string phase;
+  std::uint64_t flops = 0;
+  std::uint64_t local_bytes = 0;
+  std::uint64_t remote_bytes = 0;
+  std::uint64_t l2_lines_in = 0;
+  std::uint64_t demand_local = 0;
+  std::uint64_t demand_remote = 0;
+  double link_traffic_gbps = 0.0;   ///< PCM-style measured traffic
+  double link_utilization = 0.0;    ///< offered, may exceed 1
+  std::uint64_t resident_local_bytes = 0;
+  std::uint64_t resident_remote_bytes = 0;
+};
+
+/// Aggregated per-phase results (between pf_start/pf_stop tags).
+struct PhaseRecord {
+  std::string tag;
+  double time_s = 0.0;
+  std::uint64_t flops = 0;
+  cachesim::HwCounters counters;  ///< deltas for this phase
+};
+
+/// Named allocation-site bookkeeping so case studies can attribute remote
+/// traffic to objects (Sec. 7.1: "information obtained from memory
+/// allocation sites in our profiler").
+struct AllocationInfo {
+  std::string name;
+  memsim::VRange range;
+  bool freed = false;
+};
+
+class Engine {
+ public:
+  explicit Engine(const EngineConfig& cfg = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // ---- memory management -------------------------------------------------
+  [[nodiscard]] memsim::VRange alloc(std::uint64_t bytes,
+                                     memsim::MemPolicy policy = memsim::MemPolicy::first_touch(),
+                                     std::string name = {});
+  void free(const memsim::VRange& range);
+
+  // ---- instrumented access & compute --------------------------------------
+  /// Demand load of `size` bytes at simulated address `addr`.
+  void load(std::uint64_t addr, std::uint32_t size);
+  /// Demand store of `size` bytes.
+  void store(std::uint64_t addr, std::uint32_t size);
+  /// Accounts `n` floating-point operations.
+  void flops(std::uint64_t n) { pending_flops_ += n; }
+
+  // ---- phase tagging (the profiler API pf_start/pf_stop of Sec. 3.1) -----
+  void pf_start(std::string tag);
+  void pf_stop();
+
+  /// Closes the final epoch and drains dirty cache lines. Must be called
+  /// once at the end of a run before reading results.
+  void finish();
+
+  // ---- results -------------------------------------------------------------
+  [[nodiscard]] double elapsed_seconds() const { return elapsed_s_; }
+  [[nodiscard]] std::uint64_t total_flops() const { return total_flops_; }
+  [[nodiscard]] const std::vector<EpochRecord>& epochs() const { return epochs_; }
+  [[nodiscard]] const std::vector<PhaseRecord>& phases() const { return phases_; }
+  [[nodiscard]] const cachesim::HwCounters& counters() const { return hierarchy_.counters(); }
+  [[nodiscard]] const cachesim::PebsSampler& pebs() const { return hierarchy_.pebs(); }
+  /// Sampled accesses-per-page histogram (drives the Fig. 6 curves).
+  [[nodiscard]] const std::unordered_map<std::uint64_t, std::uint64_t>&
+  page_access_histogram() const {
+    return page_hist_;
+  }
+  [[nodiscard]] const std::vector<AllocationInfo>& allocations() const { return allocations_; }
+  [[nodiscard]] memsim::TieredMemory& memory() { return memory_; }
+  [[nodiscard]] const memsim::TieredMemory& memory() const { return memory_; }
+  [[nodiscard]] const memsim::LinkModel& link() const { return link_; }
+  [[nodiscard]] const EngineConfig& config() const { return cfg_; }
+  [[nodiscard]] cachesim::CacheHierarchy& hierarchy() { return hierarchy_; }
+
+  /// Peak resident set across the run (Level 1 capacity usage; the paper's
+  /// NMO_TRACK_RSS mode).
+  [[nodiscard]] std::uint64_t peak_rss_bytes() const { return peak_rss_; }
+
+  void set_prefetch_enabled(bool on) { hierarchy_.set_prefetch_enabled(on); }
+  void set_background_loi(double loi_percent);
+
+  /// Installs a hook invoked after every closed epoch — the attachment
+  /// point for runtime services such as the hot-page migration daemon
+  /// (core::MigrationRuntime). The callback may inspect epochs() and the
+  /// page histogram and call memory().migrate().
+  void set_epoch_callback(std::function<void(Engine&)> cb) { epoch_cb_ = std::move(cb); }
+
+ private:
+  void on_demand_access(std::uint64_t addr, cachesim::HitLevel level);
+  void close_epoch();
+
+  EngineConfig cfg_;
+  memsim::TieredMemory memory_;
+  memsim::LinkModel link_;
+  cachesim::CacheHierarchy hierarchy_;
+
+  // epoch state
+  cachesim::HwCounters epoch_base_;
+  std::uint64_t epoch_demand_accesses_ = 0;
+  std::uint64_t pending_flops_ = 0;
+
+  // page-access sampling
+  std::uint64_t page_sample_counter_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> page_hist_;
+
+  // phase state
+  std::string current_phase_;
+  cachesim::HwCounters phase_base_;
+  std::uint64_t phase_flops_base_ = 0;
+  double phase_time_base_ = 0.0;
+
+  // totals
+  double elapsed_s_ = 0.0;
+  std::uint64_t total_flops_ = 0;
+  std::uint64_t peak_rss_ = 0;
+  bool finished_ = false;
+
+  std::vector<EpochRecord> epochs_;
+  std::vector<PhaseRecord> phases_;
+  std::vector<AllocationInfo> allocations_;
+  std::function<void(Engine&)> epoch_cb_;
+};
+
+}  // namespace memdis::sim

@@ -1,0 +1,311 @@
+#include "workloads/bfs.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/contract.h"
+#include "common/rng.h"
+#include "sim/array.h"
+
+namespace memdis::workloads {
+
+BfsParams BfsParams::at_scale(int scale, std::uint64_t seed) {
+  expects(scale == 1 || scale == 2 || scale == 4, "scale must be 1, 2 or 4");
+  BfsParams p;
+  p.seed = seed;
+  // Vertex-heavy proportions keep the per-vertex structures (Parents,
+  // frontier, bitmaps) larger than the LLC, as at paper scale.
+  p.log2_vertices = scale == 1 ? 17 : scale == 2 ? 18 : 19;  // memory ∝ N
+  p.edge_factor = 4;
+  p.num_roots = 2;
+  return p;
+}
+
+std::uint64_t Bfs::footprint_bytes() const {
+  const std::uint64_t n = params_.vertices();
+  const std::uint64_t m_dir = 2 * params_.undirected_edges();
+  // Generation temporaries + CSR + parents + frontier structures.
+  return 2 * params_.undirected_edges() * 4 +  // src/dst temporaries
+         (n + 1) * 4 + m_dir * 4 +             // offsets + edges
+         n * 4 +                               // parents
+         2 * n * 4 + 2 * n;                    // frontier lists + bitmaps
+}
+
+namespace {
+
+/// One rMAT edge with the Graph500 partition probabilities.
+std::pair<std::uint32_t, std::uint32_t> rmat_edge(Xoshiro256& rng, std::size_t log2_n) {
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+  for (std::size_t bit = 0; bit < log2_n; ++bit) {
+    const double roll = rng.uniform();
+    // (a, b, c, d) = (0.57, 0.19, 0.19, 0.05)
+    const bool right = roll >= 0.57 && roll < 0.76;
+    const bool down = roll >= 0.76 && roll < 0.95;
+    const bool both = roll >= 0.95;
+    u = (u << 1) | static_cast<std::uint32_t>(down || both);
+    v = (v << 1) | static_cast<std::uint32_t>(right || both);
+  }
+  return {u, v};
+}
+
+}  // namespace
+
+WorkloadResult Bfs::run(sim::Engine& eng) {
+  const std::size_t n = params_.vertices();
+  const std::size_t m_und = params_.undirected_edges();
+  const std::size_t m_dir = 2 * m_und;
+  const bool parents_first = params_.variant != BfsVariant::kBaseline;
+  const bool free_temps = params_.variant == BfsVariant::kOptimized;
+
+  // ---- p1: graph generation and CSR construction ---------------------------
+  eng.pf_start("p1");
+
+  // Case-study lever #1: the optimized variants allocate AND initialize the
+  // small-but-hot Parents array before anything else, so first-touch pins it
+  // in the local tier (Sec. 7.1, "allocating and initializing objects in
+  // order of hotness").
+  std::optional<sim::Array<std::int32_t>> parents_opt;
+  const auto alloc_parents = [&] {
+    parents_opt.emplace(eng, n, memsim::MemPolicy::first_touch(), "Parents");
+    for (std::size_t v = 0; v < n; ++v) parents_opt->st(v, -1);
+  };
+  if (parents_first) alloc_parents();
+
+  // Generation temporaries (the paper's unfreed initialization object).
+  auto src = std::make_unique<sim::Array<std::uint32_t>>(
+      eng, m_und, memsim::MemPolicy::first_touch(), "gen.src");
+  auto dst = std::make_unique<sim::Array<std::uint32_t>>(
+      eng, m_und, memsim::MemPolicy::first_touch(), "gen.dst");
+  Xoshiro256 rng(params_.seed);
+  for (std::size_t e = 0; e < m_und; ++e) {
+    const auto [u, v] = rmat_edge(rng, params_.log2_vertices);
+    src->st(e, u);
+    dst->st(e, v);
+  }
+
+  sim::Array<std::uint32_t> offsets(eng, n + 1, memsim::MemPolicy::first_touch(), "offsets");
+  sim::Array<std::uint32_t> edges(eng, m_dir, memsim::MemPolicy::first_touch(), "edges");
+  {
+    auto offs = offsets.raw_mutable();
+    std::fill(offs.begin(), offs.end(), 0);
+    const auto sraw = src->raw();
+    const auto draw = dst->raw();
+    for (std::size_t e = 0; e < m_und; ++e) {  // degree count (random updates)
+      eng.load(src->addr_of(e), 4);
+      eng.load(dst->addr_of(e), 4);
+      offsets.rmw(sraw[e], [](std::uint32_t d) { return d + 1; });
+      offsets.rmw(draw[e], [](std::uint32_t d) { return d + 1; });
+    }
+    std::uint32_t sum = 0;  // exclusive prefix sum (streaming)
+    for (std::size_t v = 0; v <= n; ++v) {
+      eng.load(offsets.addr_of(v), 4);
+      const std::uint32_t d = v < n ? offs[v] : 0;
+      offs[v] = sum;
+      eng.store(offsets.addr_of(v), 4);
+      sum += d;
+    }
+    std::vector<std::uint32_t> cursor(offs.begin(), offs.end() - 1);
+    auto eraw = edges.raw_mutable();
+    for (std::size_t e = 0; e < m_und; ++e) {  // fill both directions
+      eng.load(src->addr_of(e), 4);
+      eng.load(dst->addr_of(e), 4);
+      const std::uint32_t u = sraw[e];
+      const std::uint32_t v = draw[e];
+      eraw[cursor[u]] = v;
+      eng.store(edges.addr_of(cursor[u]), 4);
+      ++cursor[u];
+      eraw[cursor[v]] = u;
+      eng.store(edges.addr_of(cursor[v]), 4);
+      ++cursor[v];
+    }
+  }
+
+  if (!parents_first) alloc_parents();
+  sim::Array<std::int32_t>& parents = *parents_opt;
+
+  // Case-study lever #2: free the generation temporaries. The baseline
+  // leaks them (the allocator-bug behaviour the paper found), keeping local
+  // pages occupied for the rest of the run.
+  if (free_temps) {
+    src->release();
+    dst->release();
+  } else {
+    src->leak();
+    dst->leak();
+  }
+  src.reset();
+  dst.reset();
+  eng.pf_stop();
+
+  const auto offs = offsets.raw();
+  const auto eraw = edges.raw();
+  auto praw = parents.raw_mutable();
+
+  // ---- p2: direction-optimizing BFS ----------------------------------------
+  eng.pf_start("p2");
+  std::uint64_t total_reached = 0;
+  for (std::size_t root_i = 0; root_i < params_.num_roots; ++root_i) {
+    // Reset parents between traversals.
+    for (std::size_t v = 0; v < n; ++v) parents.st(v, -1);
+
+    // Pick a root with nonzero degree, deterministically.
+    Xoshiro256 root_rng(params_.seed + 100 + root_i);
+    std::uint32_t root = 0;
+    do {
+      root = static_cast<std::uint32_t>(root_rng.uniform_below(n));
+    } while (offs[root + 1] == offs[root]);
+    parents.st(root, static_cast<std::int32_t>(root));
+
+    // Dynamic frontier structures: allocated fresh per traversal, modelling
+    // Ligra's per-iteration heap allocations (Sec. 7.1's "dynamic heap
+    // allocations ... including the current frontier").
+    sim::Array<std::uint32_t> frontier_a(eng, n, memsim::MemPolicy::first_touch(), "frontier");
+    sim::Array<std::uint32_t> frontier_b(eng, n, memsim::MemPolicy::first_touch(), "next");
+    sim::Array<std::uint8_t> bitmap(eng, n, memsim::MemPolicy::first_touch(), "frontier.bm");
+    sim::Array<std::uint32_t>* cur = &frontier_a;
+    sim::Array<std::uint32_t>* nxt = &frontier_b;
+    auto bmraw = bitmap.raw_mutable();
+
+    cur->st(0, root);
+    std::size_t frontier_size = 1;
+    std::uint64_t frontier_degree = offs[root + 1] - offs[root];
+    std::uint64_t edges_remaining = m_dir;
+    bool bottom_up = false;  // true while `bitmap` holds the current frontier
+
+    while (frontier_size > 0) {
+      std::size_t next_size = 0;
+      std::uint64_t next_degree = 0;
+
+      // Direction heuristic (Beamer): dense pull when the frontier's edge
+      // count is a large fraction of the remaining edges.
+      const bool want_bottom_up = frontier_degree > edges_remaining / 20;
+
+      if (want_bottom_up) {
+        if (!bottom_up) {  // convert sparse list → dense bitmap
+          for (std::size_t v = 0; v < n; ++v) bitmap.st(v, 0);
+          for (std::size_t f = 0; f < frontier_size; ++f) {
+            const std::uint32_t u = cur->ld(f);
+            bitmap.st(u, 1);
+          }
+          bottom_up = true;
+        }
+        std::vector<std::uint8_t> next_bm(n, 0);
+        for (std::size_t v = 0; v < n; ++v) {
+          eng.load(parents.addr_of(v), 4);
+          if (praw[v] != -1) continue;
+          eng.load(offsets.addr_of(v), 8);  // offs[v] and offs[v+1]
+          for (std::uint32_t t = offs[v]; t < offs[v + 1]; ++t) {
+            eng.load(edges.addr_of(t), 4);
+            const std::uint32_t u = eraw[t];
+            eng.load(bitmap.addr_of(u), 1);
+            if (bmraw[u]) {
+              praw[v] = static_cast<std::int32_t>(u);
+              eng.store(parents.addr_of(v), 4);
+              next_bm[v] = 1;
+              ++next_size;
+              next_degree += offs[v + 1] - offs[v];
+              break;
+            }
+          }
+        }
+        for (std::size_t v = 0; v < n; ++v) {  // publish the next frontier
+          bmraw[v] = next_bm[v];
+          eng.store(bitmap.addr_of(v), 1);
+        }
+        // Shrink back to a sparse list when the frontier gets small again.
+        if (next_size < n / 32) {
+          auto craw = cur->raw_mutable();
+          std::size_t c = 0;
+          for (std::size_t v = 0; v < n; ++v) {
+            eng.load(bitmap.addr_of(v), 1);
+            if (bmraw[v]) {
+              craw[c] = static_cast<std::uint32_t>(v);
+              eng.store(cur->addr_of(c), 4);
+              ++c;
+            }
+          }
+          bottom_up = false;
+        }
+      } else {
+        // Top-down push over the sparse frontier list.
+        auto nraw = nxt->raw_mutable();
+        for (std::size_t f = 0; f < frontier_size; ++f) {
+          const std::uint32_t u = cur->ld(f);
+          eng.load(offsets.addr_of(u), 8);
+          for (std::uint32_t t = offs[u]; t < offs[u + 1]; ++t) {
+            eng.load(edges.addr_of(t), 4);
+            const std::uint32_t v = eraw[t];
+            eng.load(parents.addr_of(v), 4);
+            if (praw[v] == -1) {
+              praw[v] = static_cast<std::int32_t>(u);
+              eng.store(parents.addr_of(v), 4);
+              nraw[next_size] = v;
+              eng.store(nxt->addr_of(next_size), 4);
+              ++next_size;
+              next_degree += offs[v + 1] - offs[v];
+            }
+          }
+        }
+        std::swap(cur, nxt);
+      }
+
+      edges_remaining -= frontier_degree;
+      frontier_size = next_size;
+      frontier_degree = next_degree;
+    }
+
+    for (std::size_t v = 0; v < n; ++v)
+      if (praw[v] != -1) ++total_reached;
+  }
+  eng.pf_stop();
+
+  // ---- verification against a host-side reference BFS ----------------------
+  // Levels from the parent tree must match reference BFS distances for the
+  // last root.
+  std::vector<std::int32_t> level(n, -1);
+  {
+    std::queue<std::uint32_t> q;
+    std::uint32_t last_root = 0;
+    for (std::size_t v = 0; v < n; ++v)
+      if (praw[v] == static_cast<std::int32_t>(v)) last_root = static_cast<std::uint32_t>(v);
+    level[last_root] = 0;
+    q.push(last_root);
+    while (!q.empty()) {
+      const std::uint32_t u = q.front();
+      q.pop();
+      for (std::uint32_t t = offs[u]; t < offs[u + 1]; ++t) {
+        const std::uint32_t v = eraw[t];
+        if (level[v] == -1) {
+          level[v] = level[u] + 1;
+          q.push(v);
+        }
+      }
+    }
+  }
+  bool ok = true;
+  std::size_t reached_ref = 0;
+  std::size_t reached_sim = 0;
+  for (std::size_t v = 0; v < n && ok; ++v) {
+    if (level[v] != -1) ++reached_ref;
+    if (praw[v] != -1) ++reached_sim;
+    if ((level[v] == -1) != (praw[v] == -1)) ok = false;
+    if (praw[v] != -1 && level[v] > 0) {
+      const auto par = static_cast<std::size_t>(praw[v]);
+      if (level[par] + 1 != level[v]) ok = false;  // parent one level above
+    }
+  }
+  ok = ok && reached_ref == reached_sim;
+
+  WorkloadResult result;
+  result.verified = ok;
+  result.residual = 0.0;
+  result.detail = "BFS reached " + std::to_string(reached_sim) + "/" + std::to_string(n) +
+                  " vertices; parent tree " + (ok ? "valid" : "INVALID");
+  return result;
+}
+
+}  // namespace memdis::workloads

@@ -1,0 +1,53 @@
+// BFS: Ligra-style direction-optimizing breadth-first search on a
+// symmetrized rMAT graph (paper: N=2^24, M=2^28.24, Table 2).
+//
+// Memory behaviour: large graph structures of which only adjacency data is
+// hot (strongly skewed scaling curve, Fig. 6b, shifting further left as the
+// graph grows); random parent/bitmap probes defeat the prefetcher (low
+// accuracy/coverage, Fig. 8).
+//
+// The three variants implement the Sec. 7.1 case study:
+//  * kBaseline      — generation temporaries allocated first and leaked
+//                     (the paper's allocator performance bug), Parents
+//                     allocated last → lands on the pool tier.
+//  * kParentsFirst  — Parents allocated & initialized before everything
+//                     else (first-touch pins it locally): 99% → 80% remote.
+//  * kOptimized     — additionally frees the initialization temporaries,
+//                     reserving local capacity for dynamic frontier
+//                     allocations (the "1-line change"): 80% → 50% remote.
+//
+// Phases: p1 = graph generation + CSR build, p2 = BFS traversals.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace memdis::workloads {
+
+enum class BfsVariant { kBaseline, kParentsFirst, kOptimized };
+
+struct BfsParams {
+  std::size_t log2_vertices = 16;  ///< N = 2^log2_vertices
+  std::size_t edge_factor = 8;     ///< undirected edges per vertex
+  std::size_t num_roots = 1;       ///< BFS traversals per run
+  BfsVariant variant = BfsVariant::kBaseline;
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] std::size_t vertices() const { return std::size_t{1} << log2_vertices; }
+  [[nodiscard]] std::size_t undirected_edges() const { return vertices() * edge_factor / 2; }
+
+  [[nodiscard]] static BfsParams at_scale(int scale, std::uint64_t seed);
+};
+
+class Bfs final : public Workload {
+ public:
+  explicit Bfs(const BfsParams& params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "BFS"; }
+  [[nodiscard]] std::uint64_t footprint_bytes() const override;
+  WorkloadResult run(sim::Engine& eng) override;
+
+ private:
+  BfsParams params_;
+};
+
+}  // namespace memdis::workloads

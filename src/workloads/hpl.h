@@ -1,0 +1,39 @@
+// HPL: High-Performance LINPACK — blocked dense LU factorization with
+// partial pivoting (right-looking), followed by triangular solves.
+//
+// Memory behaviour: uniform streaming over the whole matrix (Fig. 6d shows
+// HPL's near-diagonal bandwidth–capacity curve), high arithmetic intensity
+// in the GEMM-dominated p2 phase → compute-bound, low interference
+// sensitivity (Sec. 6.1).
+//
+// Phases: p1 = matrix generation, p2 = factorization + solve.
+#pragma once
+
+#include <cstdint>
+
+#include "workloads/workload.h"
+
+namespace memdis::workloads {
+
+struct HplParams {
+  std::size_t n = 288;        ///< matrix order
+  std::size_t block = 48;     ///< panel/block width NB
+  std::uint64_t seed = 42;
+
+  /// Paper inputs N=20000/28280/40000 have 1:2:4 memory; we scale N by √2.
+  [[nodiscard]] static HplParams at_scale(int scale, std::uint64_t seed);
+};
+
+class Hpl final : public Workload {
+ public:
+  explicit Hpl(const HplParams& params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "HPL"; }
+  [[nodiscard]] std::uint64_t footprint_bytes() const override;
+  WorkloadResult run(sim::Engine& eng) override;
+
+ private:
+  HplParams params_;
+};
+
+}  // namespace memdis::workloads

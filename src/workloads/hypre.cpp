@@ -1,0 +1,172 @@
+#include "workloads/hypre.h"
+
+#include <cmath>
+
+#include "common/contract.h"
+#include "common/rng.h"
+#include "sim/array.h"
+
+namespace memdis::workloads {
+
+HypreParams HypreParams::at_scale(int scale, std::uint64_t seed) {
+  expects(scale == 1 || scale == 2 || scale == 4, "scale must be 1, 2 or 4");
+  HypreParams p;
+  p.seed = seed;
+  p.grid = scale == 1 ? 208 : scale == 2 ? 296 : 416;  // memory ∝ grid²
+  return p;
+}
+
+std::uint64_t Hypre::footprint_bytes() const {
+  const std::uint64_t npts = params_.grid * params_.grid;
+  // 5 stencil coefficients + 6 vectors (x, b, r, p, z, Ap) per point.
+  return npts * (5 + 6) * sizeof(double);
+}
+
+// 5-point stencil order: [diag, west, east, south, north].
+WorkloadResult Hypre::run(sim::Engine& eng) {
+  const std::size_t g = params_.grid;
+  const std::size_t npts = g * g;
+  const auto at = [g](std::size_t i, std::size_t j) { return i * g + j; };
+
+  sim::Array<double> coef(eng, npts * 5, memsim::MemPolicy::first_touch(), "stencil");
+  sim::Array<double> x(eng, npts, memsim::MemPolicy::first_touch(), "x");
+  sim::Array<double> bvec(eng, npts, memsim::MemPolicy::first_touch(), "b");
+  sim::Array<double> r(eng, npts, memsim::MemPolicy::first_touch(), "r");
+  sim::Array<double> p(eng, npts, memsim::MemPolicy::first_touch(), "p");
+  sim::Array<double> z(eng, npts, memsim::MemPolicy::first_touch(), "z");
+  sim::Array<double> ap(eng, npts, memsim::MemPolicy::first_touch(), "Ap");
+
+  // ---- p1: setup -----------------------------------------------------------
+  eng.pf_start("p1");
+  Xoshiro256 rng(params_.seed);
+  auto craw = coef.raw_mutable();
+  for (std::size_t i = 0; i < g; ++i) {
+    for (std::size_t j = 0; j < g; ++j) {
+      const std::size_t pt = at(i, j);
+      // Variable-coefficient Laplacian: SPD by diagonal dominance.
+      const double cw = i > 0 ? -(1.0 + 0.3 * rng.uniform()) : 0.0;
+      const double ce = i + 1 < g ? -(1.0 + 0.3 * rng.uniform()) : 0.0;
+      const double cs = j > 0 ? -(1.0 + 0.3 * rng.uniform()) : 0.0;
+      const double cn = j + 1 < g ? -(1.0 + 0.3 * rng.uniform()) : 0.0;
+      craw[pt * 5 + 0] = -(cw + ce + cs + cn) + 0.1;
+      craw[pt * 5 + 1] = cw;
+      craw[pt * 5 + 2] = ce;
+      craw[pt * 5 + 3] = cs;
+      craw[pt * 5 + 4] = cn;
+      eng.store(coef.addr_of(pt * 5), 40);
+      const double bv = rng.uniform(-1.0, 1.0);
+      bvec.st(pt, bv);
+      x.st(pt, 0.0);
+      r.st(pt, bv);                         // r0 = b - A·0 = b
+      const double zv = bv / craw[pt * 5];  // z0 = D^{-1} r0
+      z.st(pt, zv);
+      p.st(pt, zv);  // p0 = z0
+    }
+  }
+  eng.pf_stop();
+
+  auto xraw = x.raw_mutable();
+  auto rraw = r.raw_mutable();
+  auto praw = p.raw_mutable();
+  auto zraw = z.raw_mutable();
+  auto apraw = ap.raw_mutable();
+  const auto braw = bvec.raw();
+
+  double res0 = 0.0;
+  for (std::size_t pt = 0; pt < npts; ++pt) res0 += rraw[pt] * rraw[pt];
+  res0 = std::sqrt(res0);
+
+  double rz = 0.0;
+  for (std::size_t pt = 0; pt < npts; ++pt) rz += rraw[pt] * zraw[pt];
+
+  // ---- p2: PCG solve -------------------------------------------------------
+  eng.pf_start("p2");
+  for (std::size_t iter = 0; iter < params_.iterations; ++iter) {
+    // Pass 1: Ap = A·p, fused with the p·Ap reduction.
+    double p_ap = 0.0;
+    for (std::size_t i = 0; i < g; ++i) {
+      for (std::size_t j = 0; j < g; ++j) {
+        const std::size_t pt = at(i, j);
+        eng.load(coef.addr_of(pt * 5), 40);
+        eng.load(p.addr_of(pt), 8);
+        double acc = craw[pt * 5] * praw[pt];
+        if (i > 0) {
+          eng.load(p.addr_of(at(i - 1, j)), 8);
+          acc += craw[pt * 5 + 1] * praw[at(i - 1, j)];
+        }
+        if (i + 1 < g) {
+          eng.load(p.addr_of(at(i + 1, j)), 8);
+          acc += craw[pt * 5 + 2] * praw[at(i + 1, j)];
+        }
+        if (j > 0) {
+          eng.load(p.addr_of(at(i, j - 1)), 8);
+          acc += craw[pt * 5 + 3] * praw[at(i, j - 1)];
+        }
+        if (j + 1 < g) {
+          eng.load(p.addr_of(at(i, j + 1)), 8);
+          acc += craw[pt * 5 + 4] * praw[at(i, j + 1)];
+        }
+        apraw[pt] = acc;
+        eng.store(ap.addr_of(pt), 8);
+        p_ap += acc * praw[pt];
+      }
+    }
+    eng.flops(npts * 11);
+
+    const double alpha = rz / p_ap;
+    // Pass 2: x += αp, r -= αAp, z = D⁻¹r, fused r·z reduction.
+    double rz_new = 0.0;
+    for (std::size_t pt = 0; pt < npts; ++pt) {
+      eng.load(p.addr_of(pt), 8);
+      eng.load(x.addr_of(pt), 8);
+      xraw[pt] += alpha * praw[pt];
+      eng.store(x.addr_of(pt), 8);
+      eng.load(ap.addr_of(pt), 8);
+      eng.load(r.addr_of(pt), 8);
+      rraw[pt] -= alpha * apraw[pt];
+      eng.store(r.addr_of(pt), 8);
+      eng.load(coef.addr_of(pt * 5), 8);  // diagonal entry for Jacobi
+      zraw[pt] = rraw[pt] / craw[pt * 5];
+      eng.store(z.addr_of(pt), 8);
+      rz_new += rraw[pt] * zraw[pt];
+    }
+    eng.flops(npts * 9);
+
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    // Pass 3: p = z + βp.
+    for (std::size_t pt = 0; pt < npts; ++pt) {
+      eng.load(z.addr_of(pt), 8);
+      eng.load(p.addr_of(pt), 8);
+      praw[pt] = zraw[pt] + beta * praw[pt];
+      eng.store(p.addr_of(pt), 8);
+    }
+    eng.flops(npts * 2);
+  }
+  eng.pf_stop();
+
+  // ---- verification: true residual must have dropped ----------------------
+  double res = 0.0;
+  for (std::size_t i = 0; i < g; ++i) {
+    for (std::size_t j = 0; j < g; ++j) {
+      const std::size_t pt = at(i, j);
+      double acc = craw[pt * 5] * xraw[pt];
+      if (i > 0) acc += craw[pt * 5 + 1] * xraw[at(i - 1, j)];
+      if (i + 1 < g) acc += craw[pt * 5 + 2] * xraw[at(i + 1, j)];
+      if (j > 0) acc += craw[pt * 5 + 3] * xraw[at(i, j - 1)];
+      if (j + 1 < g) acc += craw[pt * 5 + 4] * xraw[at(i, j + 1)];
+      const double diff = braw[pt] - acc;
+      res += diff * diff;
+    }
+  }
+  res = std::sqrt(res);
+
+  WorkloadResult result;
+  result.residual = res / res0;
+  result.verified = std::isfinite(res) && res < 0.7 * res0;
+  result.detail = "Hypre relative residual after " + std::to_string(params_.iterations) +
+                  " PCG iterations: " + std::to_string(result.residual);
+  return result;
+}
+
+}  // namespace memdis::workloads

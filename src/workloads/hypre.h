@@ -1,0 +1,36 @@
+// Hypre: high-performance preconditioned conjugate gradient on a structured
+// 2D 5-point stencil (the paper drives hypre's structured interface via
+// example ex4; paper inputs n=6300 with 1/2/4 ranks).
+//
+// Memory behaviour: uniform streaming over vectors and stencil coefficients
+// (near-diagonal scaling curve, Fig. 6e), low arithmetic intensity → memory
+// bound, the highest interference sensitivity of the six apps (Fig. 10).
+//
+// Phases: p1 = problem setup, p2 = PCG solve.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace memdis::workloads {
+
+struct HypreParams {
+  std::size_t grid = 192;       ///< grid is grid×grid points
+  std::size_t iterations = 12;  ///< fixed PCG iteration budget
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] static HypreParams at_scale(int scale, std::uint64_t seed);
+};
+
+class Hypre final : public Workload {
+ public:
+  explicit Hypre(const HypreParams& params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "Hypre"; }
+  [[nodiscard]] std::uint64_t footprint_bytes() const override;
+  WorkloadResult run(sim::Engine& eng) override;
+
+ private:
+  HypreParams params_;
+};
+
+}  // namespace memdis::workloads

@@ -1,0 +1,49 @@
+// LBench: the interference generation and measurement benchmark (Sec. 3.2).
+//
+// Allocates an array on the memory pool and runs a roofline-style kernel
+// with a configurable number of floating-point operations per element —
+// the paper's inner loop, verbatim:
+//
+//   if (NFLOP % 2 == 1) beta = A[i] + alpha;
+//   const int NLOOP = NFLOP / 2;
+//   #pragma GCC unroll 16
+//   for (int k = 0; k < NLOOP; k++) beta = beta * A[i] + alpha;
+//   A[i] = beta;
+//
+// Lowering NFLOP raises the generated link traffic; the Level-of-Interference
+// (LoI) is the generated traffic as a percentage of the peak link traffic
+// (1 flop/element, 12 threads on the paper's testbed). The interference
+// coefficient (IC) is the relative runtime of a 1-thread, 1-flop LBench
+// probe against an idle system.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace memdis::workloads {
+
+struct LbenchParams {
+  std::size_t elements = 1 << 20;  ///< 8 MiB working array
+  std::uint32_t nflop = 1;         ///< floating-point ops per element
+  std::size_t sweeps = 2;          ///< passes over the array
+  bool on_pool = true;             ///< allocate on the remote (pool) tier
+  std::uint64_t seed = 42;
+};
+
+class Lbench final : public Workload {
+ public:
+  explicit Lbench(const LbenchParams& params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "LBench"; }
+  [[nodiscard]] std::uint64_t footprint_bytes() const override {
+    return params_.elements * sizeof(double);
+  }
+  WorkloadResult run(sim::Engine& eng) override;
+
+  /// The kernel itself, host-side, for verification and the native runner.
+  [[nodiscard]] static double kernel_element(double a, std::uint32_t nflop, double alpha);
+
+ private:
+  LbenchParams params_;
+};
+
+}  // namespace memdis::workloads

@@ -1,0 +1,49 @@
+// NekRS: spectral-element CFD (turbPipePeriodic). Modelled as the dominant
+// kernel of its pressure solve — matrix-free conjugate gradient on a
+// spectral-element Helmholtz operator applied via tensor contractions of
+// the per-element differentiation matrix, with per-point geometric factors.
+//
+// The paper scales polynomial order p = 5, 7, 9 across the three inputs
+// (memory ∝ (p+1)³ per element ≈ 1:2.4:4.6); we do the same.
+//
+// Memory behaviour: long unit-stride streams over element data → very high
+// prefetch coverage (~70%, Fig. 8) and 57% performance gain from
+// prefetching (Sec. 4.2), low arithmetic intensity per byte → high
+// interference sensitivity (Fig. 10).
+//
+// Phases: p1 = mesh/geometry setup, p2 = timestepped CG solves.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace memdis::workloads {
+
+struct NekrsParams {
+  std::size_t elements = 128;   ///< number of spectral elements E
+  std::size_t order = 5;        ///< polynomial order p (m = p+1 points/dim)
+  std::size_t timesteps = 2;    ///< outer time steps
+  std::size_t cg_iters = 7;     ///< CG iterations per step
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] std::size_t points_per_elem() const {
+    const std::size_t m = order + 1;
+    return m * m * m;
+  }
+  [[nodiscard]] std::size_t total_points() const { return elements * points_per_elem(); }
+
+  [[nodiscard]] static NekrsParams at_scale(int scale, std::uint64_t seed);
+};
+
+class Nekrs final : public Workload {
+ public:
+  explicit Nekrs(const NekrsParams& params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "NekRS"; }
+  [[nodiscard]] std::uint64_t footprint_bytes() const override;
+  WorkloadResult run(sim::Engine& eng) override;
+
+ private:
+  NekrsParams params_;
+};
+
+}  // namespace memdis::workloads

@@ -1,0 +1,43 @@
+// SuperLU: sparse LU factorization. Modelled as a left-looking
+// (Gilbert–Peierls style) column factorization of a variable-coefficient
+// 2D grid Laplacian in natural ordering, followed by sparse triangular
+// solves. Diagonal dominance makes static (diagonal) pivoting exact, which
+// stands in for SuperLU's partial pivoting without changing the traffic
+// pattern of column reach updates.
+//
+// Memory behaviour: many short column streams re-read across the band →
+// moderate locality, high *excess* prefetch traffic (37% in the paper,
+// Fig. 8) from streams that end after a few lines; access distribution
+// shifts from skewed toward uniform as fill grows with the input
+// (Fig. 6c).
+//
+// Phases: p1 = matrix assembly, p2 = factorization, p3 = triangular solves.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace memdis::workloads {
+
+struct SuperluParams {
+  std::size_t grid = 48;  ///< k: matrix is the k×k grid Laplacian, n = k²
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] std::size_t n() const { return grid * grid; }
+
+  /// Paper inputs SiO/H2O/Si34H36 have nnz 1.3M/2.2M/5.2M (~1:2:4).
+  [[nodiscard]] static SuperluParams at_scale(int scale, std::uint64_t seed);
+};
+
+class Superlu final : public Workload {
+ public:
+  explicit Superlu(const SuperluParams& params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "SuperLU"; }
+  [[nodiscard]] std::uint64_t footprint_bytes() const override;
+  WorkloadResult run(sim::Engine& eng) override;
+
+ private:
+  SuperluParams params_;
+};
+
+}  // namespace memdis::workloads

@@ -1,0 +1,50 @@
+#include "workloads/workload.h"
+
+#include "common/contract.h"
+#include "workloads/bfs.h"
+#include "workloads/hpl.h"
+#include "workloads/hypre.h"
+#include "workloads/nekrs.h"
+#include "workloads/superlu.h"
+#include "workloads/xsbench.h"
+
+namespace memdis::workloads {
+
+const char* app_name(App app) {
+  switch (app) {
+    case App::kHPL:
+      return "HPL";
+    case App::kSuperLU:
+      return "SuperLU";
+    case App::kNekRS:
+      return "NekRS";
+    case App::kHypre:
+      return "Hypre";
+    case App::kBFS:
+      return "BFS";
+    case App::kXSBench:
+      return "XSBench";
+  }
+  return "?";
+}
+
+std::unique_ptr<Workload> make_workload(App app, int scale, std::uint64_t seed) {
+  expects(scale == 1 || scale == 2 || scale == 4, "scale must be 1, 2 or 4");
+  switch (app) {
+    case App::kHPL:
+      return std::make_unique<Hpl>(HplParams::at_scale(scale, seed));
+    case App::kSuperLU:
+      return std::make_unique<Superlu>(SuperluParams::at_scale(scale, seed));
+    case App::kNekRS:
+      return std::make_unique<Nekrs>(NekrsParams::at_scale(scale, seed));
+    case App::kHypre:
+      return std::make_unique<Hypre>(HypreParams::at_scale(scale, seed));
+    case App::kBFS:
+      return std::make_unique<Bfs>(BfsParams::at_scale(scale, seed));
+    case App::kXSBench:
+      return std::make_unique<Xsbench>(XsbenchParams::at_scale(scale, seed));
+  }
+  throw contract_violation("unknown app");
+}
+
+}  // namespace memdis::workloads

@@ -1,0 +1,182 @@
+#include "workloads/xsbench.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/contract.h"
+#include "common/rng.h"
+#include "sim/array.h"
+
+namespace memdis::workloads {
+
+namespace {
+constexpr std::size_t kXsChannels = 5;  // total, elastic, absorption, fission, nu-fission
+}
+
+XsbenchParams XsbenchParams::at_scale(int scale, std::uint64_t seed) {
+  expects(scale == 1 || scale == 2 || scale == 4, "scale must be 1, 2 or 4");
+  XsbenchParams p;
+  p.seed = seed;
+  p.gridpoints = scale == 1 ? 1024 : scale == 2 ? 2048 : 4096;  // memory ∝ gridpoints
+  return p;
+}
+
+std::uint64_t Xsbench::footprint_bytes() const {
+  const std::uint64_t nuc = params_.n_nuclides;
+  const std::uint64_t g = params_.gridpoints;
+  const std::uint64_t u = params_.unionized_points();
+  return nuc * g * sizeof(double)                      // nuclide energy grids
+         + nuc * g * kXsChannels * sizeof(double)      // nuclide XS data
+         + u * sizeof(double)                          // unionized energies
+         + u * nuc * sizeof(std::uint16_t);            // unionized index grid
+}
+
+WorkloadResult Xsbench::run(sim::Engine& eng) {
+  const std::size_t nuc = params_.n_nuclides;
+  const std::size_t g = params_.gridpoints;
+  const std::size_t u_pts = params_.unionized_points();
+  expects(g < 65536, "gridpoints must fit the uint16 index grid");
+
+  sim::Array<double> nuc_energy(eng, nuc * g, memsim::MemPolicy::first_touch(), "nuc.energy");
+  sim::Array<double> nuc_xs(eng, nuc * g * kXsChannels, memsim::MemPolicy::first_touch(),
+                            "nuc.xs");
+  sim::Array<double> u_energy(eng, u_pts, memsim::MemPolicy::first_touch(), "union.energy");
+  sim::Array<std::uint16_t> u_index(eng, u_pts * nuc, memsim::MemPolicy::first_touch(),
+                                    "union.index");
+
+  // ---- p1: grid generation and unionization --------------------------------
+  eng.pf_start("p1");
+  Xoshiro256 rng(params_.seed);
+  {
+    auto ne = nuc_energy.raw_mutable();
+    auto nx = nuc_xs.raw_mutable();
+    std::vector<double> tmp(g);
+    for (std::size_t m = 0; m < nuc; ++m) {
+      for (std::size_t i = 0; i < g; ++i) tmp[i] = rng.uniform();
+      std::sort(tmp.begin(), tmp.end());
+      tmp.front() = 0.0;  // cover the full sampling range
+      tmp.back() = 1.0;
+      for (std::size_t i = 0; i < g; ++i) {
+        ne[m * g + i] = tmp[i];
+        eng.store(nuc_energy.addr_of(m * g + i), 8);
+        for (std::size_t c = 0; c < kXsChannels; ++c)
+          nx[(m * g + i) * kXsChannels + c] = rng.uniform();
+        eng.store(nuc_xs.addr_of((m * g + i) * kXsChannels), 40);
+      }
+    }
+    // Merge all nuclide grids into the unionized grid.
+    auto ue = u_energy.raw_mutable();
+    std::vector<double> all(ne.begin(), ne.end());
+    std::sort(all.begin(), all.end());
+    for (std::size_t t = 0; t < u_pts; ++t) {
+      ue[t] = all[t];
+      eng.store(u_energy.addr_of(t), 8);
+    }
+    // Index grid: simultaneous two-pointer sweep, one row store per point.
+    auto ui = u_index.raw_mutable();
+    std::vector<std::size_t> cursor(nuc, 0);
+    for (std::size_t t = 0; t < u_pts; ++t) {
+      for (std::size_t m = 0; m < nuc; ++m) {
+        while (cursor[m] + 1 < g && ne[m * g + cursor[m] + 1] <= ue[t]) {
+          ++cursor[m];
+          eng.load(nuc_energy.addr_of(m * g + cursor[m]), 8);
+        }
+        ui[t * nuc + m] = static_cast<std::uint16_t>(cursor[m]);
+      }
+      eng.store(u_index.addr_of(t * nuc), static_cast<std::uint32_t>(nuc * 2));
+    }
+  }
+  eng.pf_stop();
+
+  const auto ne = nuc_energy.raw();
+  const auto nx = nuc_xs.raw();
+  const auto ue = u_energy.raw();
+  const auto ui = u_index.raw();
+
+  // Host-side reference lookup (per-nuclide binary search, no union grid).
+  const auto reference_lookup = [&](double energy, double* out) {
+    for (std::size_t c = 0; c < kXsChannels; ++c) out[c] = 0.0;
+    for (std::size_t m = 0; m < nuc; ++m) {
+      const double* base = &ne[m * g];
+      auto it = std::upper_bound(base, base + g, energy);
+      std::size_t i = it == base ? 0 : static_cast<std::size_t>(it - base) - 1;
+      i = std::min(i, g - 2);
+      const double e0 = base[i];
+      const double e1 = base[i + 1];
+      const double f = e1 > e0 ? (energy - e0) / (e1 - e0) : 0.0;
+      for (std::size_t c = 0; c < kXsChannels; ++c) {
+        const double x0 = nx[(m * g + i) * kXsChannels + c];
+        const double x1 = nx[(m * g + i + 1) * kXsChannels + c];
+        out[c] += x0 + f * (x1 - x0);
+      }
+    }
+  };
+
+  // ---- p2: lookup loop ------------------------------------------------------
+  eng.pf_start("p2");
+  Xoshiro256 prng(params_.seed + 7);
+  double checksum = 0.0;
+  std::vector<double> first_energies;
+  std::vector<double> first_totals;
+  for (std::size_t l = 0; l < params_.lookups; ++l) {
+    const double energy = prng.uniform();
+    // Binary search on the unionized grid (each probe is a random DRAM hit).
+    std::size_t lo = 0;
+    std::size_t hi = u_pts - 1;
+    while (lo + 1 < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      eng.load(u_energy.addr_of(mid), 8);
+      if (ue[mid] <= energy) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    const std::size_t t = lo;
+    // One contiguous row of per-nuclide indices.
+    eng.load(u_index.addr_of(t * nuc), static_cast<std::uint32_t>(nuc * 2));
+    double macro[kXsChannels] = {};
+    for (std::size_t m = 0; m < nuc; ++m) {
+      std::size_t i = ui[t * nuc + m];
+      i = std::min(i, g - 2);
+      eng.load(nuc_energy.addr_of(m * g + i), 16);  // e_i and e_{i+1}
+      const double e0 = ne[m * g + i];
+      const double e1 = ne[m * g + i + 1];
+      const double f = e1 > e0 ? (energy - e0) / (e1 - e0) : 0.0;
+      eng.load(nuc_xs.addr_of((m * g + i) * kXsChannels), 40);
+      eng.load(nuc_xs.addr_of((m * g + i + 1) * kXsChannels), 40);
+      for (std::size_t c = 0; c < kXsChannels; ++c) {
+        const double x0 = nx[(m * g + i) * kXsChannels + c];
+        const double x1 = nx[(m * g + i + 1) * kXsChannels + c];
+        macro[c] += x0 + f * (x1 - x0);
+      }
+      eng.flops(3 + 3 * kXsChannels);
+    }
+    checksum += macro[0];
+    if (first_energies.size() < 32) {
+      first_energies.push_back(energy);
+      first_totals.push_back(macro[0]);
+    }
+  }
+  eng.pf_stop();
+
+  // ---- verification: unionized result == direct per-nuclide result ---------
+  bool ok = std::isfinite(checksum);
+  double max_err = 0.0;
+  for (std::size_t s = 0; s < first_energies.size() && ok; ++s) {
+    double ref[kXsChannels];
+    reference_lookup(first_energies[s], ref);
+    const double err = std::abs(ref[0] - first_totals[s]);
+    max_err = std::max(max_err, err);
+    if (err > 1e-9) ok = false;
+  }
+  WorkloadResult result;
+  result.verified = ok;
+  result.residual = max_err;
+  result.detail = "XSBench checksum " + std::to_string(checksum) +
+                  ", max lookup error vs direct search " + std::to_string(max_err);
+  return result;
+}
+
+}  // namespace memdis::workloads

@@ -1,0 +1,48 @@
+// XSBench: Monte Carlo neutron transport proxy — macroscopic cross-section
+// lookups on a unionized energy grid (paper: "large", 2M particles,
+// 11303/22606/45212 gridpoints).
+//
+// Memory behaviour: large grid structures of which only the sampled lookup
+// path is touched (strongly skewed scaling curve, Fig. 6f, stable across
+// input sizes because the lookup count is fixed); random binary-search
+// probes give the lowest prefetch accuracy and <1% coverage of the six
+// apps (Fig. 8) → latency-bound, so minimizing remote exposure beats
+// adding remote bandwidth (Sec. 5.1).
+//
+// Phases: p1 = grid generation + unionization, p2 = lookup loop.
+#pragma once
+
+#include "workloads/workload.h"
+
+namespace memdis::workloads {
+
+// Proportions mirror the paper's "large" problem: the unionized index grid
+// dominates the footprint (and spills to the pool under first-touch), while
+// the per-nuclide grids — which dominate the *per-lookup traffic*, since a
+// macroscopic lookup reads every nuclide — are small and allocated first,
+// staying node-local. That is what keeps XSBench's remote access ratio
+// below ~6% in every configuration (Sec. 5.1).
+struct XsbenchParams {
+  std::size_t n_nuclides = 64;
+  std::size_t gridpoints = 1024;  ///< per-nuclide energy gridpoints
+  std::size_t lookups = 15000;
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] std::size_t unionized_points() const { return n_nuclides * gridpoints; }
+
+  [[nodiscard]] static XsbenchParams at_scale(int scale, std::uint64_t seed);
+};
+
+class Xsbench final : public Workload {
+ public:
+  explicit Xsbench(const XsbenchParams& params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "XSBench"; }
+  [[nodiscard]] std::uint64_t footprint_bytes() const override;
+  WorkloadResult run(sim::Engine& eng) override;
+
+ private:
+  XsbenchParams params_;
+};
+
+}  // namespace memdis::workloads

@@ -1,0 +1,418 @@
+// Unit and property tests for the cache hierarchy: set-associative LRU
+// cache, stream prefetcher (training, direction, throttling, page bounds),
+// hardware counters, and PEBS sampling.
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.h"
+#include "cachesim/hierarchy.h"
+#include "cachesim/pebs.h"
+#include "cachesim/prefetcher.h"
+#include "common/contract.h"
+#include "memsim/page_table.h"
+
+namespace memdis::cachesim {
+namespace {
+
+using memsim::MachineConfig;
+using memsim::Tier;
+using memsim::TieredMemory;
+
+// ---------- SetAssocCache ----------------------------------------------------
+
+TEST(Cache, MissThenHit) {
+  SetAssocCache c({1024, 2, 64});
+  EXPECT_FALSE(c.access(0, false).hit);
+  c.fill(0, false, false);
+  EXPECT_TRUE(c.access(0, false).hit);
+}
+
+TEST(Cache, HitAnywhereInLine) {
+  SetAssocCache c({1024, 2, 64});
+  c.fill(128, false, false);
+  EXPECT_TRUE(c.access(128 + 63, true).hit);
+  EXPECT_FALSE(c.access(192, false).hit);
+}
+
+TEST(Cache, LruEvictsOldest) {
+  // 2-way, 8 sets: addresses 0, 1024, 2048 map to set 0 (line 64, sets 8).
+  SetAssocCache c({1024, 2, 64});
+  c.fill(0, false, false);
+  c.fill(1024, false, false);
+  (void)c.access(0, false);  // make line 0 MRU
+  const auto ev = c.fill(2048, false, false);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 1024u);  // LRU victim
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(2048));
+}
+
+TEST(Cache, DirtyEvictionReported) {
+  SetAssocCache c({1024, 2, 64});
+  c.fill(0, true, false);
+  c.fill(1024, false, false);
+  const auto ev = c.fill(2048, false, false);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 0u);
+  EXPECT_TRUE(ev->dirty);
+}
+
+TEST(Cache, StoreHitSetsDirty) {
+  SetAssocCache c({1024, 2, 64});
+  c.fill(0, false, false);
+  (void)c.access(0, true);
+  const auto ev = c.invalidate(0);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_TRUE(ev->dirty);
+}
+
+TEST(Cache, PrefetchedLineFirstUseReported) {
+  SetAssocCache c({1024, 2, 64});
+  c.fill(0, false, /*prefetched=*/true);
+  const auto h1 = c.access(0, false);
+  EXPECT_TRUE(h1.hit);
+  EXPECT_TRUE(h1.first_use_of_prefetch);
+  const auto h2 = c.access(0, false);
+  EXPECT_FALSE(h2.first_use_of_prefetch);  // only the first use counts
+}
+
+TEST(Cache, UnusedPrefetchEvictionFlagged) {
+  SetAssocCache c({1024, 2, 64});
+  c.fill(0, false, true);
+  c.fill(1024, false, false);
+  const auto ev = c.fill(2048, false, false);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_TRUE(ev->prefetched_unused);
+}
+
+TEST(Cache, UsedPrefetchEvictionNotFlagged) {
+  SetAssocCache c({1024, 2, 64});
+  c.fill(0, false, true);
+  (void)c.access(0, false);
+  c.fill(1024, false, false);
+  (void)c.access(1024, false);
+  const auto ev = c.fill(2048, false, false);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_FALSE(ev->prefetched_unused);
+}
+
+TEST(Cache, RefillOfPresentLineDoesNotEvict) {
+  SetAssocCache c({1024, 2, 64});
+  c.fill(0, false, false);
+  EXPECT_FALSE(c.fill(0, true, false).has_value());
+  const auto ev = c.invalidate(0);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_TRUE(ev->dirty);  // refill merged the dirty bit
+}
+
+TEST(Cache, DrainVisitsAllValidLines) {
+  SetAssocCache c({1024, 2, 64});
+  c.fill(0, true, false);
+  c.fill(64, false, false);
+  int seen = 0;
+  c.drain([&](const Eviction&) { ++seen; });
+  EXPECT_EQ(seen, 2);
+  EXPECT_FALSE(c.contains(0));
+}
+
+TEST(Cache, InvalidConfigViolatesContract) {
+  EXPECT_THROW(SetAssocCache({1024, 0, 64}), contract_violation);
+  EXPECT_THROW(SetAssocCache({1000, 2, 60}), contract_violation);
+}
+
+// Property: for any power-of-two geometry, filling N distinct lines in one
+// set keeps exactly `ways` resident.
+class CacheGeometryTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CacheGeometryTest, SetNeverExceedsWays) {
+  const std::uint32_t ways = GetParam();
+  SetAssocCache c({64 * 8 * ways, ways, 64});
+  const std::uint64_t set_stride = 8 * 64;  // 8 sets
+  for (std::uint64_t i = 0; i < ways + 4; ++i) c.fill(i * set_stride, false, false);
+  int resident = 0;
+  for (std::uint64_t i = 0; i < ways + 4; ++i)
+    if (c.contains(i * set_stride)) ++resident;
+  EXPECT_EQ(resident, static_cast<int>(ways));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, CacheGeometryTest, ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+// ---------- StreamPrefetcher ---------------------------------------------------
+
+PrefetcherConfig pf_config() {
+  PrefetcherConfig cfg;
+  cfg.num_streams = 4;
+  cfg.max_degree = 4;
+  cfg.train_threshold = 2;
+  return cfg;
+}
+
+TEST(Prefetcher, TrainsOnAscendingStream) {
+  StreamPrefetcher pf(pf_config());
+  std::vector<PrefetchRequest> out;
+  for (int i = 0; i < 4; ++i) {
+    out.clear();
+    pf.observe(static_cast<std::uint64_t>(i) * 64, false, out);
+  }
+  EXPECT_FALSE(out.empty());
+  EXPECT_EQ(out.front().line_addr, 4u * 64u);  // next line ahead
+}
+
+TEST(Prefetcher, TrainsOnDescendingStream) {
+  StreamPrefetcher pf(pf_config());
+  std::vector<PrefetchRequest> out;
+  for (int i = 40; i >= 36; --i) {
+    out.clear();
+    pf.observe(static_cast<std::uint64_t>(i) * 64, false, out);
+  }
+  EXPECT_FALSE(out.empty());
+  EXPECT_EQ(out.front().line_addr, 35u * 64u);
+}
+
+TEST(Prefetcher, RandomAccessesNeverTrain) {
+  StreamPrefetcher pf(pf_config());
+  std::vector<PrefetchRequest> out;
+  const std::uint64_t lines[] = {3, 40, 11, 60, 25, 7, 50, 1};
+  for (const auto l : lines) pf.observe(l * 64, false, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Prefetcher, NeverCrossesPageBoundary) {
+  StreamPrefetcher pf(pf_config());
+  std::vector<PrefetchRequest> out;
+  const std::uint64_t last_lines = 4096 / 64;  // 64 lines per page
+  for (std::uint64_t l = last_lines - 5; l < last_lines; ++l) {
+    out.clear();
+    pf.observe(l * 64, false, out);
+  }
+  for (const auto& req : out) EXPECT_LT(req.line_addr, 4096u);
+}
+
+TEST(Prefetcher, RfoFlagFollowsStoreStream) {
+  StreamPrefetcher pf(pf_config());
+  std::vector<PrefetchRequest> out;
+  for (int i = 0; i < 4; ++i) {
+    out.clear();
+    pf.observe(static_cast<std::uint64_t>(i) * 64, /*is_store=*/true, out);
+  }
+  ASSERT_FALSE(out.empty());
+  EXPECT_TRUE(out.front().rfo);
+}
+
+TEST(Prefetcher, DisabledIssuesNothing) {
+  auto cfg = pf_config();
+  cfg.enabled = false;
+  StreamPrefetcher pf(cfg);
+  std::vector<PrefetchRequest> out;
+  for (int i = 0; i < 10; ++i) pf.observe(static_cast<std::uint64_t>(i) * 64, false, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Prefetcher, ThrottlesOnLowAccuracy) {
+  StreamPrefetcher pf(pf_config());
+  // Report many useless prefetches: accuracy collapses, degree drops to 1.
+  std::vector<PrefetchRequest> out;
+  for (int i = 0; i < 40; ++i) {
+    out.clear();
+    pf.observe(static_cast<std::uint64_t>(i % 60) * 64, false, out);
+    for (std::size_t k = 0; k < out.size(); ++k) pf.record_useless();
+  }
+  EXPECT_LT(pf.accuracy_estimate(), 0.35);
+  EXPECT_EQ(pf.effective_degree(), 1u);
+}
+
+TEST(Prefetcher, HighAccuracyKeepsFullDegree) {
+  StreamPrefetcher pf(pf_config());
+  std::vector<PrefetchRequest> out;
+  for (int i = 0; i < 16; ++i) {
+    out.clear();
+    pf.observe(static_cast<std::uint64_t>(i) * 64, false, out);
+    for (std::size_t k = 0; k < out.size(); ++k) pf.record_useful();
+  }
+  EXPECT_GT(pf.accuracy_estimate(), 0.7);
+  EXPECT_EQ(pf.effective_degree(), 4u);
+}
+
+TEST(Prefetcher, StreamTableEvictsLru) {
+  auto cfg = pf_config();
+  cfg.num_streams = 2;
+  StreamPrefetcher pf(cfg);
+  std::vector<PrefetchRequest> out;
+  // Train streams in pages 0 and 1, then a page-2 stream evicts page 0.
+  for (int i = 0; i < 3; ++i) pf.observe(static_cast<std::uint64_t>(i) * 64, false, out);
+  for (int i = 0; i < 3; ++i) pf.observe(4096 + static_cast<std::uint64_t>(i) * 64, false, out);
+  for (int i = 0; i < 3; ++i) pf.observe(8192 + static_cast<std::uint64_t>(i) * 64, false, out);
+  out.clear();
+  // Page 0 must retrain from scratch: one access issues nothing.
+  pf.observe(10 * 64, false, out);
+  EXPECT_TRUE(out.empty());
+}
+
+// ---------- CacheHierarchy -------------------------------------------------------
+
+HierarchyConfig tiny_hierarchy() {
+  HierarchyConfig cfg;
+  cfg.l1 = {1024, 2, 64};
+  cfg.l2 = {4096, 4, 64};
+  cfg.l3 = {16384, 8, 64};
+  return cfg;
+}
+
+TEST(Hierarchy, FirstAccessGoesToDram) {
+  TieredMemory mem(MachineConfig::skylake_testbed());
+  CacheHierarchy h(tiny_hierarchy(), mem);
+  const auto r = mem.alloc(1 << 20);
+  const auto res = h.access(r.base, false);
+  EXPECT_EQ(res.level, HitLevel::kDram);
+  EXPECT_EQ(h.counters().offcore_l3_miss, 1u);
+  EXPECT_EQ(h.counters().demand_dram[0], 1u);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1) {
+  TieredMemory mem(MachineConfig::skylake_testbed());
+  CacheHierarchy h(tiny_hierarchy(), mem);
+  const auto r = mem.alloc(1 << 20);
+  (void)h.access(r.base, false);
+  const auto res = h.access(r.base, false);
+  EXPECT_EQ(res.level, HitLevel::kL1);
+  EXPECT_EQ(h.counters().l1_hits, 1u);
+}
+
+TEST(Hierarchy, LoadsAndStoresCounted) {
+  TieredMemory mem(MachineConfig::skylake_testbed());
+  CacheHierarchy h(tiny_hierarchy(), mem);
+  const auto r = mem.alloc(1 << 20);
+  (void)h.access(r.base, false);
+  (void)h.access(r.base + 64, true);
+  EXPECT_EQ(h.counters().loads, 1u);
+  EXPECT_EQ(h.counters().stores, 1u);
+}
+
+TEST(Hierarchy, DramBytesArePerLine) {
+  TieredMemory mem(MachineConfig::skylake_testbed());
+  CacheHierarchy h(tiny_hierarchy(), mem);
+  const auto r = mem.alloc(1 << 20);
+  h.set_prefetch_enabled(false);
+  for (int i = 0; i < 10; ++i) (void)h.access(r.base + static_cast<std::uint64_t>(i) * 64, false);
+  EXPECT_EQ(h.counters().dram_read_bytes[0], 10 * 64u);
+}
+
+TEST(Hierarchy, RemoteTierCounted) {
+  MachineConfig cfg = MachineConfig::skylake_testbed();
+  cfg.local.capacity_bytes = 4096;  // one page local, rest spills
+  TieredMemory mem(cfg);
+  CacheHierarchy h(tiny_hierarchy(), mem);
+  const auto r = mem.alloc(1 << 20);
+  h.set_prefetch_enabled(false);
+  (void)h.access(r.base, false);          // local page
+  (void)h.access(r.base + 4096, false);   // remote page
+  EXPECT_EQ(h.counters().offcore_dram[0], 1u);
+  EXPECT_EQ(h.counters().offcore_dram[1], 1u);
+}
+
+TEST(Hierarchy, StreamingTriggersPrefetchFills) {
+  TieredMemory mem(MachineConfig::skylake_testbed());
+  CacheHierarchy h(tiny_hierarchy(), mem);
+  const auto r = mem.alloc(1 << 20);
+  for (int i = 0; i < 32; ++i) (void)h.access(r.base + static_cast<std::uint64_t>(i) * 64, false);
+  EXPECT_GT(h.counters().prefetch_fills(), 0u);
+  EXPECT_GT(h.counters().pf_hits, 0u);
+}
+
+TEST(Hierarchy, PrefetchDisabledMatchesDemandOnly) {
+  TieredMemory mem(MachineConfig::skylake_testbed());
+  CacheHierarchy h(tiny_hierarchy(), mem);
+  h.set_prefetch_enabled(false);
+  const auto r = mem.alloc(1 << 20);
+  for (int i = 0; i < 32; ++i) (void)h.access(r.base + static_cast<std::uint64_t>(i) * 64, false);
+  EXPECT_EQ(h.counters().prefetch_fills(), 0u);
+  EXPECT_EQ(h.counters().offcore_l3_miss, 32u);
+}
+
+TEST(Hierarchy, PrefetchCoversDemandMisses) {
+  TieredMemory mem(MachineConfig::skylake_testbed());
+  CacheHierarchy h(tiny_hierarchy(), mem);
+  const auto r = mem.alloc(1 << 20);
+  for (int i = 0; i < 64; ++i) (void)h.access(r.base + static_cast<std::uint64_t>(i) * 64, false);
+  // With the streamer on, many of the 64 line touches are prefetched, so
+  // demand DRAM misses are well below 64.
+  EXPECT_LT(h.counters().demand_dram_total(), 40u);
+}
+
+TEST(Hierarchy, DirtyWritebackOnDrain) {
+  TieredMemory mem(MachineConfig::skylake_testbed());
+  CacheHierarchy h(tiny_hierarchy(), mem);
+  const auto r = mem.alloc(1 << 20);
+  (void)h.access(r.base, true);  // dirty line
+  h.drain();
+  EXPECT_EQ(h.counters().dram_writeback_bytes[0], 64u);
+}
+
+TEST(Hierarchy, CleanDrainWritesNothing) {
+  TieredMemory mem(MachineConfig::skylake_testbed());
+  CacheHierarchy h(tiny_hierarchy(), mem);
+  const auto r = mem.alloc(1 << 20);
+  (void)h.access(r.base, false);
+  h.drain();
+  EXPECT_EQ(h.counters().dram_writeback_bytes[0], 0u);
+}
+
+TEST(Hierarchy, WritebackTargetsCorrectTier) {
+  MachineConfig cfg = MachineConfig::skylake_testbed();
+  cfg.local.capacity_bytes = 4096;  // one page, filled by the first touch
+  TieredMemory mem(cfg);
+  CacheHierarchy h(tiny_hierarchy(), mem);
+  const auto r = mem.alloc(1 << 20);
+  h.set_prefetch_enabled(false);
+  (void)h.access(r.base, false);        // page 0 claims the only local page
+  (void)h.access(r.base + 4096, true);  // page 1 spills remote, line dirtied
+  h.drain();
+  EXPECT_EQ(h.counters().dram_writeback_bytes[1], 64u);
+  EXPECT_EQ(h.counters().dram_writeback_bytes[0], 0u);
+}
+
+TEST(Hierarchy, CountersDeltaSince) {
+  TieredMemory mem(MachineConfig::skylake_testbed());
+  CacheHierarchy h(tiny_hierarchy(), mem);
+  const auto r = mem.alloc(1 << 20);
+  (void)h.access(r.base, false);
+  const HwCounters snap = h.counters();
+  (void)h.access(r.base, false);
+  (void)h.access(r.base + 64, true);
+  const HwCounters d = h.counters().delta_since(snap);
+  EXPECT_EQ(d.loads, 1u);
+  EXPECT_EQ(d.stores, 1u);
+  EXPECT_EQ(d.l1_hits, 1u);
+}
+
+// ---------- PEBS -------------------------------------------------------------------
+
+TEST(Pebs, RecordsEveryEventAtPeriodOne) {
+  PebsSampler pebs(1);
+  pebs.sample(0, Tier::kLocal);
+  pebs.sample(4096, Tier::kRemote);
+  pebs.sample(4100, Tier::kRemote);
+  EXPECT_EQ(pebs.total_samples(), 3u);
+  EXPECT_EQ(pebs.samples(Tier::kRemote), 2u);
+  EXPECT_EQ(pebs.page_counts().at(1), 2u);
+}
+
+TEST(Pebs, PeriodSubsamples) {
+  PebsSampler pebs(4);
+  for (int i = 0; i < 16; ++i) pebs.sample(static_cast<std::uint64_t>(i) * 64, Tier::kLocal);
+  EXPECT_EQ(pebs.total_samples(), 4u);
+}
+
+TEST(Pebs, ResetClearsState) {
+  PebsSampler pebs(1);
+  pebs.sample(0, Tier::kLocal);
+  pebs.reset();
+  EXPECT_EQ(pebs.total_samples(), 0u);
+  EXPECT_TRUE(pebs.page_counts().empty());
+}
+
+TEST(Pebs, ZeroPeriodViolatesContract) {
+  EXPECT_THROW(PebsSampler(0), contract_violation);
+}
+
+}  // namespace
+}  // namespace memdis::cachesim

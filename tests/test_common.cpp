@@ -1,0 +1,286 @@
+// Unit tests for the common utilities: RNG, statistics, table/CSV printing,
+// units, and contract checks.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/contract.h"
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace memdis {
+namespace {
+
+// ---------- RNG -------------------------------------------------------------
+
+TEST(Xoshiro, DeterministicForSameSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Xoshiro, UniformBelowIsBoundedAndCoversRange) {
+  Xoshiro256 rng(11);
+  std::array<int, 5> hits{};
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_below(5);
+    ASSERT_LT(v, 5u);
+    ++hits[v];
+  }
+  for (const int h : hits) EXPECT_GT(h, 500);  // roughly uniform
+}
+
+TEST(Xoshiro, UniformBelowOneAlwaysZero) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Xoshiro, UniformBelowZeroViolatesContract) {
+  Xoshiro256 rng(3);
+  EXPECT_THROW(rng.uniform_below(0), contract_violation);
+}
+
+TEST(Xoshiro, NormalHasApproxZeroMeanUnitVariance) {
+  Xoshiro256 rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.1);
+}
+
+TEST(SplitMix, KnownFirstValueStable) {
+  SplitMix64 sm(0);
+  const auto v1 = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(v1, sm2.next());
+}
+
+// ---------- RunningStats ----------------------------------------------------
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -5.0);
+}
+
+// ---------- percentile / five-number ----------------------------------------
+
+TEST(Percentile, MedianOfOddCount) {
+  const std::vector<double> xs = {3, 1, 2};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.75), 7.5);
+}
+
+TEST(Percentile, EndpointsAreMinMax) {
+  const std::vector<double> xs = {5, -2, 8, 3};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), -2.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 8.0);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> xs = {42.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.3), 42.0);
+}
+
+TEST(Percentile, EmptyViolatesContract) {
+  const std::vector<double> xs;
+  EXPECT_THROW((void)percentile(xs, 0.5), contract_violation);
+}
+
+TEST(Percentile, OutOfRangeQViolatesContract) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW((void)percentile(xs, 1.5), contract_violation);
+  EXPECT_THROW((void)percentile(xs, -0.1), contract_violation);
+}
+
+TEST(FiveNumber, OrderedSummary) {
+  std::vector<double> xs;
+  for (int i = 100; i >= 1; --i) xs.push_back(i);
+  const FiveNumber f = five_number_summary(xs);
+  EXPECT_DOUBLE_EQ(f.min, 1.0);
+  EXPECT_DOUBLE_EQ(f.max, 100.0);
+  EXPECT_LE(f.min, f.q1);
+  EXPECT_LE(f.q1, f.median);
+  EXPECT_LE(f.median, f.q3);
+  EXPECT_LE(f.q3, f.max);
+  EXPECT_NEAR(f.median, 50.5, 1e-9);
+}
+
+TEST(MeanOf, SimpleAverage) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.0);
+}
+
+// ---------- linear fit --------------------------------------------------------
+
+TEST(LinearFit, ExactLine) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {3, 5, 7, 9};  // y = 2x + 1
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, ConstantXGivesZeroSlope) {
+  const std::vector<double> xs = {2, 2, 2};
+  const std::vector<double> ys = {1, 2, 3};
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(LinearFit, SizeMismatchViolatesContract) {
+  const std::vector<double> xs = {1, 2};
+  const std::vector<double> ys = {1};
+  EXPECT_THROW((void)linear_fit(xs, ys), contract_violation);
+}
+
+// ---------- Table -------------------------------------------------------------
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  Table t({"a", "long-header"});
+  t.add_row({"x", "1"});
+  t.add_row({"yyyy", "2"});
+  EXPECT_EQ(t.rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("yyyy"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchViolatesContract) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), contract_violation);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::pct(0.5), "50.0%");
+  EXPECT_EQ(Table::pct(0.123, 2), "12.30%");
+}
+
+// ---------- CSV -----------------------------------------------------------------
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = "/tmp/memdis_test_csv.csv";
+  {
+    CsvWriter w(path, {"a", "b"});
+    w.add_row({"1", "2"});
+    w.add_row({"x,y", "quote\"inside"});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",\"quote\"\"inside\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RowWidthMismatchViolatesContract) {
+  const std::string path = "/tmp/memdis_test_csv2.csv";
+  CsvWriter w(path, {"a"});
+  EXPECT_THROW(w.add_row({"1", "2"}), contract_violation);
+  std::remove(path.c_str());
+}
+
+// ---------- units ----------------------------------------------------------------
+
+TEST(Units, BandwidthConversionRoundTrips) {
+  EXPECT_DOUBLE_EQ(gbps_to_bytes_per_sec(73.0), 73e9);
+  EXPECT_DOUBLE_EQ(bytes_per_sec_to_gbps(34e9), 34.0);
+  EXPECT_DOUBLE_EQ(ns_to_s(111.0), 111e-9);
+  EXPECT_DOUBLE_EQ(s_to_ns(1e-6), 1000.0);
+}
+
+TEST(Units, FormatBytesPicksSuffix) {
+  EXPECT_EQ(format_bytes(512.0), "512.0 B");
+  EXPECT_EQ(format_bytes(2048.0), "2.0 KiB");
+  EXPECT_EQ(format_bytes(3.5 * 1024 * 1024), "3.5 MiB");
+}
+
+// ---------- contracts ---------------------------------------------------------------
+
+TEST(Contract, ExpectsThrowsWithMessage) {
+  try {
+    expects(false, "my precondition");
+    FAIL() << "should have thrown";
+  } catch (const contract_violation& e) {
+    EXPECT_NE(std::string(e.what()).find("my precondition"), std::string::npos);
+  }
+}
+
+TEST(Contract, EnsuresPassesWhenTrue) { EXPECT_NO_THROW(ensures(true, "ok")); }
+
+}  // namespace
+}  // namespace memdis

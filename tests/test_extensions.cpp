@@ -1,0 +1,212 @@
+// Tests for the extension features: the hot-page migration runtime, the
+// CXL fabric presets, the numactl-style default-policy override, and the
+// engine's epoch callback hook.
+#include <gtest/gtest.h>
+
+#include "core/migration.h"
+#include "core/profiler.h"
+#include "sim/array.h"
+#include "workloads/bfs.h"
+
+namespace memdis {
+namespace {
+
+// ---------- CXL presets -------------------------------------------------------
+
+TEST(CxlPresets, DirectAttachedHasMoreBandwidthLessOverhead) {
+  const auto upi = memsim::MachineConfig::skylake_testbed();
+  const auto cxl = memsim::MachineConfig::cxl_direct_attached();
+  EXPECT_GT(cxl.remote.bandwidth_gbps, upi.remote.bandwidth_gbps);
+  EXPECT_LT(cxl.remote.latency_ns, upi.remote.latency_ns);
+  EXPECT_LT(cxl.link_protocol_overhead, upi.link_protocol_overhead);
+  // Traffic capacity consistent with data bandwidth × overhead.
+  EXPECT_NEAR(cxl.link_data_bandwidth_gbps(), cxl.remote.bandwidth_gbps, 1e-9);
+}
+
+TEST(CxlPresets, SwitchedPoolOnlyAddsLatency) {
+  const auto direct = memsim::MachineConfig::cxl_direct_attached();
+  const auto switched = memsim::MachineConfig::cxl_switched_pool();
+  EXPECT_GT(switched.remote.latency_ns, direct.remote.latency_ns);
+  EXPECT_DOUBLE_EQ(switched.remote.bandwidth_gbps, direct.remote.bandwidth_gbps);
+  EXPECT_DOUBLE_EQ(switched.link_traffic_capacity_gbps, direct.link_traffic_capacity_gbps);
+}
+
+TEST(CxlPresets, RemoteStreamingFasterOnDirectCxlThanUpi) {
+  const auto run_on = [](const memsim::MachineConfig& base) {
+    sim::EngineConfig cfg;
+    cfg.machine = base;
+    cfg.machine.local.capacity_bytes = cfg.machine.page_bytes;  // force remote
+    sim::Engine eng(cfg);
+    sim::Array<double> a(eng, 1 << 18);
+    for (std::size_t i = 0; i < a.size(); ++i) a.st(i, 1.0);
+    double sum = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) sum += a.ld(i);
+    eng.finish();
+    EXPECT_GT(sum, 0.0);
+    return eng.elapsed_seconds();
+  };
+  EXPECT_LT(run_on(memsim::MachineConfig::cxl_direct_attached()),
+            run_on(memsim::MachineConfig::skylake_testbed()));
+}
+
+// ---------- default-policy override -------------------------------------------
+
+TEST(PolicyOverride, InterleaveOverrideSpreadsDefaultAllocations) {
+  sim::EngineConfig cfg;
+  cfg.default_policy_override = memsim::MemPolicy::interleave(1, 1);
+  sim::Engine eng(cfg);
+  const std::uint64_t page = eng.memory().page_bytes();
+  sim::Array<std::uint8_t> a(eng, 8 * page);
+  for (std::size_t i = 0; i < a.size(); i += page) a.st(i, 1);
+  const auto snap = eng.memory().snapshot();
+  EXPECT_NEAR(snap.remote_ratio(), 0.5, 0.01);
+}
+
+TEST(PolicyOverride, ExplicitBindingsWinOverOverride) {
+  sim::EngineConfig cfg;
+  cfg.default_policy_override = memsim::MemPolicy::interleave(1, 1);
+  sim::Engine eng(cfg);
+  const std::uint64_t page = eng.memory().page_bytes();
+  sim::Array<std::uint8_t> a(eng, 4 * page, memsim::MemPolicy::bind_remote());
+  for (std::size_t i = 0; i < a.size(); i += page) a.st(i, 1);
+  EXPECT_EQ(eng.memory().used_bytes(memsim::Tier::kLocal), 0u);
+}
+
+TEST(PolicyOverride, NoOverrideKeepsFirstTouch) {
+  sim::EngineConfig cfg;
+  sim::Engine eng(cfg);
+  const std::uint64_t page = eng.memory().page_bytes();
+  sim::Array<std::uint8_t> a(eng, 4 * page);
+  for (std::size_t i = 0; i < a.size(); i += page) a.st(i, 1);
+  EXPECT_EQ(eng.memory().used_bytes(memsim::Tier::kRemote), 0u);
+}
+
+// ---------- epoch callback ------------------------------------------------------
+
+TEST(EpochCallback, FiresOncePerClosedEpoch) {
+  sim::EngineConfig cfg;
+  cfg.epoch_accesses = 1000;
+  sim::Engine eng(cfg);
+  int fired = 0;
+  eng.set_epoch_callback([&](sim::Engine&) { ++fired; });
+  sim::Array<double> a(eng, 16 * 1024);
+  for (std::size_t i = 0; i < a.size(); ++i) a.st(i, 0.0);
+  eng.finish();
+  EXPECT_EQ(static_cast<std::size_t>(fired), eng.epochs().size());
+  EXPECT_GT(fired, 4);
+}
+
+// ---------- migration runtime ----------------------------------------------------
+
+TEST(Migration, PromotesHotRemotePages) {
+  // One hot array forced remote; local has plenty of room for promotion.
+  sim::EngineConfig cfg;
+  cfg.epoch_accesses = 5'000;
+  sim::Engine eng(cfg);
+  core::MigrationConfig mcfg;
+  mcfg.period_epochs = 1;
+  mcfg.min_heat = 2;
+  core::MigrationRuntime runtime(mcfg);
+  runtime.attach(eng);
+
+  const std::uint64_t page = eng.memory().page_bytes();
+  sim::Array<std::uint8_t> hot(eng, 8 * page, memsim::MemPolicy::bind_remote(), "hot");
+  for (int pass = 0; pass < 50; ++pass)
+    for (std::size_t i = 0; i < hot.size(); i += 64) hot.st(i, 1);
+  eng.finish();
+
+  EXPECT_GT(runtime.pages_promoted(), 0u);
+  EXPECT_GT(runtime.scans(), 0u);
+  // The hot pages should now live locally.
+  EXPECT_GT(eng.memory().used_bytes(memsim::Tier::kLocal), 0u);
+}
+
+TEST(Migration, DemotesColdToMakeRoom) {
+  // Local tier sized to 8 pages, filled by a cold array; a hot remote array
+  // must displace it.
+  sim::EngineConfig cfg;
+  cfg.epoch_accesses = 5'000;
+  cfg.machine.local.capacity_bytes = 8 * cfg.machine.page_bytes;
+  sim::Engine eng(cfg);
+  core::MigrationConfig mcfg;
+  mcfg.period_epochs = 1;
+  mcfg.min_heat = 2;
+  core::MigrationRuntime runtime(mcfg);
+  runtime.attach(eng);
+
+  const std::uint64_t page = eng.memory().page_bytes();
+  sim::Array<std::uint8_t> cold(eng, 8 * page, memsim::MemPolicy::bind_local(), "cold");
+  for (std::size_t i = 0; i < cold.size(); i += page) cold.st(i, 1);  // touch once
+  sim::Array<std::uint8_t> hot(eng, 8 * page, memsim::MemPolicy::bind_remote(), "hot");
+  for (int pass = 0; pass < 80; ++pass)
+    for (std::size_t i = 0; i < hot.size(); i += 64) hot.st(i, 1);
+  eng.finish();
+
+  EXPECT_GT(runtime.pages_demoted(), 0u);
+  EXPECT_GT(runtime.pages_promoted(), 0u);
+  // At least part of the hot array must have been promoted.
+  EXPECT_TRUE(eng.memory().resident(hot.range().base));
+}
+
+TEST(Migration, IdleWithoutHeat) {
+  sim::EngineConfig cfg;
+  cfg.epoch_accesses = 5'000;
+  sim::Engine eng(cfg);
+  core::MigrationRuntime runtime({1, 64, 1000, true});  // very high heat bar
+  runtime.attach(eng);
+  sim::Array<std::uint8_t> a(eng, 16 * eng.memory().page_bytes(),
+                             memsim::MemPolicy::bind_remote());
+  for (std::size_t i = 0; i < a.size(); i += 64) a.st(i, 1);
+  eng.finish();
+  EXPECT_EQ(runtime.pages_promoted(), 0u);
+}
+
+TEST(Migration, ReducesBfsRemoteTraffic) {
+  const auto run_bfs = [](bool with_runtime) {
+    workloads::BfsParams params;
+    params.log2_vertices = 13;
+    params.num_roots = 2;
+    workloads::Bfs bfs(params);
+    sim::EngineConfig cfg;
+    cfg.machine = cfg.machine.with_remote_capacity_ratio(0.75, bfs.footprint_bytes());
+    cfg.epoch_accesses = 100'000;
+    sim::Engine eng(cfg);
+    core::MigrationConfig mcfg;
+    mcfg.period_epochs = 1;
+    core::MigrationRuntime runtime(mcfg);
+    if (with_runtime) runtime.attach(eng);
+    const auto res = bfs.run(eng);
+    eng.finish();
+    EXPECT_TRUE(res.verified);
+    return static_cast<double>(eng.counters().dram_bytes(memsim::Tier::kRemote)) /
+           static_cast<double>(eng.counters().dram_bytes_total());
+  };
+  const double without = run_bfs(false);
+  const double with = run_bfs(true);
+  EXPECT_LT(with, without);
+}
+
+// Property sweep: migration never corrupts the traversal at any cadence.
+class MigrationCadenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MigrationCadenceTest, BfsStaysCorrectUnderMigration) {
+  workloads::BfsParams params;
+  params.log2_vertices = 12;
+  workloads::Bfs bfs(params);
+  sim::EngineConfig cfg;
+  cfg.machine = cfg.machine.with_remote_capacity_ratio(0.5, bfs.footprint_bytes());
+  cfg.epoch_accesses = 50'000;
+  sim::Engine eng(cfg);
+  core::MigrationConfig mcfg;
+  mcfg.period_epochs = GetParam();
+  core::MigrationRuntime runtime(mcfg);
+  runtime.attach(eng);
+  const auto res = bfs.run(eng);
+  eng.finish();
+  EXPECT_TRUE(res.verified) << res.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cadences, MigrationCadenceTest, ::testing::Values(1u, 2u, 8u, 32u));
+
+}  // namespace
+}  // namespace memdis

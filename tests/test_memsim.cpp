@@ -1,0 +1,363 @@
+// Unit and property tests for the tiered-memory substrate: machine config,
+// page table + placement policies, and the pool-link queueing model.
+#include <gtest/gtest.h>
+
+#include "common/contract.h"
+#include "memsim/link.h"
+#include "memsim/machine.h"
+#include "memsim/page_table.h"
+
+namespace memdis::memsim {
+namespace {
+
+MachineConfig small_machine(std::uint64_t local_pages, std::uint64_t remote_pages) {
+  MachineConfig cfg = MachineConfig::skylake_testbed();
+  cfg.local.capacity_bytes = local_pages * cfg.page_bytes;
+  cfg.remote.capacity_bytes = remote_pages * cfg.page_bytes;
+  return cfg;
+}
+
+// ---------- MachineConfig -----------------------------------------------------
+
+TEST(MachineConfig, TestbedMatchesPaperNumbers) {
+  const auto m = MachineConfig::skylake_testbed();
+  EXPECT_DOUBLE_EQ(m.local.bandwidth_gbps, 73.0);
+  EXPECT_DOUBLE_EQ(m.local.latency_ns, 111.0);
+  EXPECT_DOUBLE_EQ(m.remote.bandwidth_gbps, 34.0);
+  EXPECT_DOUBLE_EQ(m.remote.latency_ns, 202.0);
+  EXPECT_DOUBLE_EQ(m.link_traffic_capacity_gbps, 85.0);
+}
+
+TEST(MachineConfig, LinkDataBandwidthConsistentWithOverhead) {
+  const auto m = MachineConfig::skylake_testbed();
+  EXPECT_NEAR(m.link_data_bandwidth_gbps(), 34.0, 1e-9);
+}
+
+TEST(MachineConfig, RemoteBandwidthRatio) {
+  const auto m = MachineConfig::skylake_testbed();
+  EXPECT_NEAR(m.remote_bandwidth_ratio(), 34.0 / 107.0, 1e-12);
+}
+
+TEST(MachineConfig, WithRemoteCapacityRatioShrinksLocal) {
+  const auto m = MachineConfig::skylake_testbed();
+  const std::uint64_t footprint = 100 * m.page_bytes;
+  const auto m75 = m.with_remote_capacity_ratio(0.75, footprint);
+  EXPECT_EQ(m75.local.capacity_bytes, 25 * m.page_bytes);
+  const auto m0 = m.with_remote_capacity_ratio(0.0, footprint);
+  EXPECT_EQ(m0.local.capacity_bytes, footprint);
+}
+
+TEST(MachineConfig, WithRemoteCapacityRatioRoundsUpToPages) {
+  const auto m = MachineConfig::skylake_testbed();
+  const auto cfg = m.with_remote_capacity_ratio(0.5, 3 * m.page_bytes);
+  EXPECT_EQ(cfg.local.capacity_bytes % m.page_bytes, 0u);
+  EXPECT_GE(cfg.local.capacity_bytes, m.page_bytes);
+}
+
+TEST(MachineConfig, InvalidRatioViolatesContract) {
+  const auto m = MachineConfig::skylake_testbed();
+  EXPECT_THROW((void)m.with_remote_capacity_ratio(1.0, 4096), contract_violation);
+  EXPECT_THROW((void)m.with_remote_capacity_ratio(-0.1, 4096), contract_violation);
+}
+
+// ---------- TieredMemory: first touch ------------------------------------------
+
+TEST(FirstTouch, FillsLocalThenSpills) {
+  TieredMemory mem(small_machine(2, 10));
+  const auto r = mem.alloc(4 * 4096);
+  EXPECT_EQ(mem.touch(r.base), Tier::kLocal);
+  EXPECT_EQ(mem.touch(r.base + 4096), Tier::kLocal);
+  EXPECT_EQ(mem.touch(r.base + 2 * 4096), Tier::kRemote);  // local full
+  EXPECT_EQ(mem.touch(r.base + 3 * 4096), Tier::kRemote);
+}
+
+TEST(FirstTouch, RepeatedTouchIsStable) {
+  TieredMemory mem(small_machine(1, 10));
+  const auto r = mem.alloc(2 * 4096);
+  const Tier t0 = mem.touch(r.base);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(mem.touch(r.base + 17 * i), t0);
+}
+
+TEST(FirstTouch, PlacementIsPageGranular) {
+  TieredMemory mem(small_machine(1, 10));
+  const auto r = mem.alloc(2 * 4096);
+  EXPECT_EQ(mem.touch(r.base + 4095), Tier::kLocal);   // page 0
+  EXPECT_EQ(mem.touch(r.base + 4096), Tier::kRemote);  // page 1
+}
+
+TEST(FirstTouch, BothTiersExhaustedThrowsOom) {
+  TieredMemory mem(small_machine(1, 1));
+  const auto r = mem.alloc(3 * 4096);
+  (void)mem.touch(r.base);
+  (void)mem.touch(r.base + 4096);
+  EXPECT_THROW(mem.touch(r.base + 2 * 4096), OutOfMemoryError);
+}
+
+// ---------- TieredMemory: explicit policies --------------------------------------
+
+TEST(BindPolicies, BindRemoteSkipsLocal) {
+  TieredMemory mem(small_machine(10, 10));
+  const auto r = mem.alloc(4096, MemPolicy::bind_remote());
+  EXPECT_EQ(mem.touch(r.base), Tier::kRemote);
+}
+
+TEST(BindPolicies, BindLocalThrowsWhenFull) {
+  TieredMemory mem(small_machine(1, 10));
+  const auto r1 = mem.alloc(4096, MemPolicy::bind_local());
+  EXPECT_EQ(mem.touch(r1.base), Tier::kLocal);
+  const auto r2 = mem.alloc(4096, MemPolicy::bind_local());
+  EXPECT_THROW(mem.touch(r2.base), OutOfMemoryError);
+}
+
+TEST(BindPolicies, PreferredLocalFallsBackInsteadOfOom) {
+  TieredMemory mem(small_machine(1, 10));
+  const auto r = mem.alloc(2 * 4096, MemPolicy::preferred_local());
+  EXPECT_EQ(mem.touch(r.base), Tier::kLocal);
+  EXPECT_EQ(mem.touch(r.base + 4096), Tier::kRemote);
+}
+
+TEST(Interleave, AlternatesOneToOne) {
+  TieredMemory mem(small_machine(100, 100));
+  const auto r = mem.alloc(4 * 4096, MemPolicy::interleave(1, 1));
+  EXPECT_EQ(mem.touch(r.base), Tier::kLocal);
+  EXPECT_EQ(mem.touch(r.base + 4096), Tier::kRemote);
+  EXPECT_EQ(mem.touch(r.base + 2 * 4096), Tier::kLocal);
+  EXPECT_EQ(mem.touch(r.base + 3 * 4096), Tier::kRemote);
+}
+
+TEST(Interleave, WeightedNtoM) {
+  TieredMemory mem(small_machine(100, 100));
+  const auto r = mem.alloc(10 * 4096, MemPolicy::interleave(3, 2));
+  int local = 0;
+  for (int p = 0; p < 10; ++p)
+    if (mem.touch(r.base + static_cast<std::uint64_t>(p) * 4096) == Tier::kLocal) ++local;
+  EXPECT_EQ(local, 6);  // 3 of every 5 pages
+}
+
+TEST(Interleave, FallsBackWhenPreferredTierFull) {
+  TieredMemory mem(small_machine(1, 10));
+  const auto r = mem.alloc(4 * 4096, MemPolicy::interleave(1, 1));
+  EXPECT_EQ(mem.touch(r.base), Tier::kLocal);
+  EXPECT_EQ(mem.touch(r.base + 4096), Tier::kRemote);
+  EXPECT_EQ(mem.touch(r.base + 2 * 4096), Tier::kRemote);  // local exhausted
+}
+
+// Property sweep: interleave weights always land within one page of the
+// requested proportion.
+class InterleaveRatioTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(InterleaveRatioTest, ProportionMatchesWeights) {
+  const auto [lw, rw] = GetParam();
+  TieredMemory mem(small_machine(4096, 4096));
+  const int pages = 60;
+  const auto r =
+      mem.alloc(static_cast<std::uint64_t>(pages) * 4096,
+                MemPolicy::interleave(static_cast<std::uint32_t>(lw),
+                                      static_cast<std::uint32_t>(rw)));
+  int local = 0;
+  for (int p = 0; p < pages; ++p)
+    if (mem.touch(r.base + static_cast<std::uint64_t>(p) * 4096) == Tier::kLocal) ++local;
+  const double expected = static_cast<double>(lw) / (lw + rw) * pages;
+  EXPECT_NEAR(local, expected, static_cast<double>(lw + rw));
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, InterleaveRatioTest,
+                         ::testing::Values(std::pair{1, 1}, std::pair{1, 2}, std::pair{2, 1},
+                                           std::pair{3, 2}, std::pair{1, 5}, std::pair{5, 1},
+                                           std::pair{4, 3}));
+
+// ---------- TieredMemory: free / migrate / accounting -----------------------------
+
+TEST(Accounting, UsedBytesTrackTouches) {
+  TieredMemory mem(small_machine(2, 10));
+  const auto r = mem.alloc(3 * 4096);
+  EXPECT_EQ(mem.used_bytes(Tier::kLocal), 0u);
+  (void)mem.touch(r.base);
+  (void)mem.touch(r.base + 4096);
+  (void)mem.touch(r.base + 2 * 4096);
+  EXPECT_EQ(mem.used_bytes(Tier::kLocal), 2 * 4096u);
+  EXPECT_EQ(mem.used_bytes(Tier::kRemote), 4096u);
+  EXPECT_EQ(mem.touched_pages(), 3u);
+}
+
+TEST(Accounting, SnapshotRemoteRatio) {
+  TieredMemory mem(small_machine(1, 10));
+  const auto r = mem.alloc(4 * 4096);
+  for (int p = 0; p < 4; ++p) (void)mem.touch(r.base + static_cast<std::uint64_t>(p) * 4096);
+  const auto snap = mem.snapshot();
+  EXPECT_EQ(snap.total(), 4 * 4096u);
+  EXPECT_NEAR(snap.remote_ratio(), 0.75, 1e-12);
+}
+
+TEST(Free, ReturnsCapacityAndKeepsTombstone) {
+  TieredMemory mem(small_machine(2, 10));
+  const auto r = mem.alloc(2 * 4096);
+  (void)mem.touch(r.base);
+  (void)mem.touch(r.base + 4096);
+  mem.free(r);
+  EXPECT_EQ(mem.used_bytes(Tier::kLocal), 0u);
+  // Late writebacks may still ask for the tier of a freed page.
+  EXPECT_EQ(mem.tier_of(r.base), Tier::kLocal);
+  EXPECT_FALSE(mem.resident(r.base));
+}
+
+TEST(Free, FreedLocalCapacityIsReusable) {
+  TieredMemory mem(small_machine(1, 10));
+  const auto r1 = mem.alloc(4096);
+  (void)mem.touch(r1.base);
+  mem.free(r1);
+  const auto r2 = mem.alloc(4096);
+  EXPECT_EQ(mem.touch(r2.base), Tier::kLocal);  // freed page made room
+}
+
+TEST(Free, DoubleFreeViolatesContract) {
+  TieredMemory mem(small_machine(2, 2));
+  const auto r = mem.alloc(4096);
+  mem.free(r);
+  EXPECT_THROW(mem.free(r), contract_violation);
+}
+
+TEST(Free, TouchAfterFreeViolatesContract) {
+  TieredMemory mem(small_machine(2, 2));
+  const auto r = mem.alloc(4096);
+  mem.free(r);
+  EXPECT_THROW(mem.touch(r.base), contract_violation);
+}
+
+TEST(Migrate, MovesPagesWhenRoomAvailable) {
+  TieredMemory mem(small_machine(1, 10));
+  const auto r = mem.alloc(2 * 4096);
+  (void)mem.touch(r.base);          // local
+  (void)mem.touch(r.base + 4096);   // remote (local full)
+  // Free nothing: local is full, migration to local moves 0 pages.
+  EXPECT_EQ(mem.migrate(VRange{r.base + 4096, 4096}, Tier::kLocal), 0u);
+  // Migrate the local page to remote: succeeds.
+  EXPECT_EQ(mem.migrate(VRange{r.base, 4096}, Tier::kRemote), 1u);
+  EXPECT_EQ(mem.tier_of(r.base), Tier::kRemote);
+  // Now local is empty; the other page can move in.
+  EXPECT_EQ(mem.migrate(VRange{r.base + 4096, 4096}, Tier::kLocal), 1u);
+}
+
+TEST(WasteLocal, ShrinksEffectiveLocalCapacity) {
+  TieredMemory mem(small_machine(4, 10));
+  mem.waste_local(2 * 4096);
+  EXPECT_EQ(mem.capacity_bytes(Tier::kLocal), 2 * 4096u);
+  const auto r = mem.alloc(3 * 4096);
+  (void)mem.touch(r.base);
+  (void)mem.touch(r.base + 4096);
+  EXPECT_EQ(mem.touch(r.base + 2 * 4096), Tier::kRemote);
+}
+
+TEST(Alloc, ZeroBytesViolatesContract) {
+  TieredMemory mem(small_machine(2, 2));
+  EXPECT_THROW((void)mem.alloc(0), contract_violation);
+}
+
+TEST(Alloc, TouchOutsideAllocationsViolatesContract) {
+  TieredMemory mem(small_machine(2, 2));
+  EXPECT_THROW((void)mem.touch(0x1000), contract_violation);
+}
+
+TEST(Alloc, RangesAreDisjointAndPageAligned) {
+  TieredMemory mem(small_machine(64, 64));
+  const auto a = mem.alloc(100);
+  const auto b = mem.alloc(100);
+  EXPECT_EQ(a.bytes % 4096, 0u);
+  EXPECT_GE(b.base, a.end());
+}
+
+// ---------- LinkModel ----------------------------------------------------------------
+
+TEST(Link, TrafficIncludesProtocolOverhead) {
+  LinkModel link(MachineConfig::skylake_testbed());
+  EXPECT_DOUBLE_EQ(link.traffic_of_data_gbps(10.0), 25.0);
+}
+
+TEST(Link, MeasuredTrafficSaturatesAtCapacity) {
+  LinkModel link(MachineConfig::skylake_testbed());
+  EXPECT_DOUBLE_EQ(link.measured_traffic_gbps(100.0), 85.0);
+  EXPECT_NEAR(link.measured_traffic_gbps(10.0), 25.0, 1e-12);
+}
+
+TEST(Link, BackgroundLoiSetsTraffic) {
+  LinkModel link(MachineConfig::skylake_testbed());
+  link.set_background_loi(50.0);
+  EXPECT_DOUBLE_EQ(link.background_traffic_gbps(), 42.5);
+}
+
+TEST(Link, LatencyMultiplierMonotoneInLoad) {
+  LinkModel link(MachineConfig::skylake_testbed());
+  double prev = 0.0;
+  for (double loi = 0; loi <= 300; loi += 10) {
+    link.set_background_loi(loi);
+    const double mult = link.latency_multiplier(0.0);
+    EXPECT_GE(mult, prev);
+    EXPECT_GE(mult, 1.0);
+    prev = mult;
+  }
+}
+
+TEST(Link, LatencyMultiplierCapped) {
+  MachineConfig cfg = MachineConfig::skylake_testbed();
+  cfg.link_max_latency_multiplier = 3.0;
+  LinkModel link(cfg);
+  link.set_background_loi(2000.0);
+  EXPECT_LE(link.latency_multiplier(30.0), 3.0);
+}
+
+TEST(Link, UnloadedLatencyIsBaseLatency) {
+  LinkModel link(MachineConfig::skylake_testbed());
+  EXPECT_DOUBLE_EQ(link.effective_latency_ns(0.0), 202.0);
+}
+
+TEST(Link, EffectiveBandwidthShrinksWithLoi) {
+  LinkModel link(MachineConfig::skylake_testbed());
+  const double bw0 = link.effective_data_bandwidth_gbps(0.0);
+  link.set_background_loi(50.0);
+  const double bw50 = link.effective_data_bandwidth_gbps(0.0);
+  EXPECT_LT(bw50, bw0);
+  EXPECT_GT(bw50, 0.0);
+}
+
+TEST(Link, EffectiveBandwidthNeverBelowMinShare) {
+  LinkModel link(MachineConfig::skylake_testbed());
+  link.set_background_loi(2000.0);
+  EXPECT_GE(link.effective_data_bandwidth_gbps(0.0), 85.0 * 0.05 / 2.5 - 1e-12);
+}
+
+TEST(Link, OfferedUtilizationAddsAppAndBackground) {
+  LinkModel link(MachineConfig::skylake_testbed());
+  link.set_background_loi(50.0);
+  // app 10 GB/s data → 25 traffic; background 42.5; total 67.5 / 85.
+  EXPECT_NEAR(link.offered_utilization(10.0), 67.5 / 85.0, 1e-12);
+}
+
+TEST(Link, LoiOutOfRangeViolatesContract) {
+  LinkModel link(MachineConfig::skylake_testbed());
+  EXPECT_THROW(link.set_background_loi(-1.0), contract_violation);
+  EXPECT_THROW(link.set_background_loi(5000.0), contract_violation);
+}
+
+// Property sweep: queueing delay grows with LoI for any app rate.
+class LinkLoadTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LinkLoadTest, MoreBackgroundNeverHelps) {
+  const double app_rate = GetParam();
+  LinkModel link(MachineConfig::skylake_testbed());
+  double prev_lat = 0.0;
+  double prev_bw = 1e18;
+  for (double loi = 0; loi <= 100; loi += 25) {
+    link.set_background_loi(loi);
+    const double lat = link.effective_latency_ns(app_rate);
+    const double bw = link.effective_data_bandwidth_gbps(app_rate);
+    EXPECT_GE(lat, prev_lat);
+    EXPECT_LE(bw, prev_bw);
+    prev_lat = lat;
+    prev_bw = bw;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AppRates, LinkLoadTest, ::testing::Values(0.0, 5.0, 17.0, 34.0));
+
+}  // namespace
+}  // namespace memdis::memsim

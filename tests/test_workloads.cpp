@@ -1,0 +1,458 @@
+// Workload correctness tests: each mini-app must compute verified results
+// while running through the simulation engine, expose the paper's phase
+// structure, and scale its footprint ~1:2:4 across inputs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "sim/engine.h"
+#include "workloads/bfs.h"
+#include "workloads/hpl.h"
+#include "workloads/hypre.h"
+#include "workloads/lbench.h"
+#include "workloads/nekrs.h"
+#include "workloads/superlu.h"
+#include "workloads/workload.h"
+#include "workloads/xsbench.h"
+
+namespace memdis::workloads {
+namespace {
+
+sim::EngineConfig test_engine() {
+  sim::EngineConfig cfg;
+  cfg.epoch_accesses = 200'000;
+  return cfg;
+}
+
+WorkloadResult run(Workload& wl, sim::Engine& eng) {
+  const auto res = wl.run(eng);
+  eng.finish();
+  return res;
+}
+
+// ---------- HPL ----------------------------------------------------------------
+
+TEST(Hpl, SmallSystemSolvesExactly) {
+  HplParams p;
+  p.n = 96;
+  p.block = 32;
+  Hpl hpl(p);
+  sim::Engine eng(test_engine());
+  const auto res = run(hpl, eng);
+  EXPECT_TRUE(res.verified) << res.detail;
+  EXPECT_LT(res.residual, 1e-8);
+}
+
+TEST(Hpl, NonMultipleBlockSizeWorks) {
+  HplParams p;
+  p.n = 100;  // not a multiple of 32
+  p.block = 32;
+  Hpl hpl(p);
+  sim::Engine eng(test_engine());
+  EXPECT_TRUE(run(hpl, eng).verified);
+}
+
+TEST(Hpl, HasTwoPhases) {
+  HplParams p;
+  p.n = 64;
+  p.block = 32;
+  Hpl hpl(p);
+  sim::Engine eng(test_engine());
+  (void)run(hpl, eng);
+  ASSERT_EQ(eng.phases().size(), 2u);
+  EXPECT_EQ(eng.phases()[0].tag, "p1");
+  EXPECT_EQ(eng.phases()[1].tag, "p2");
+}
+
+TEST(Hpl, FactorizationPhaseDominatesFlops) {
+  HplParams p;
+  p.n = 128;
+  p.block = 32;
+  Hpl hpl(p);
+  sim::Engine eng(test_engine());
+  (void)run(hpl, eng);
+  EXPECT_GT(eng.phases()[1].flops, eng.phases()[0].flops);
+}
+
+TEST(Hpl, ScaleFootprintsRoughlyDouble) {
+  const auto f1 = Hpl(HplParams::at_scale(1, 42)).footprint_bytes();
+  const auto f2 = Hpl(HplParams::at_scale(2, 42)).footprint_bytes();
+  const auto f4 = Hpl(HplParams::at_scale(4, 42)).footprint_bytes();
+  EXPECT_NEAR(static_cast<double>(f2) / f1, 2.0, 0.5);
+  EXPECT_NEAR(static_cast<double>(f4) / f1, 4.0, 0.5);
+}
+
+TEST(Hpl, DifferentSeedsStillSolve) {
+  for (const std::uint64_t seed : {1ull, 99ull, 12345ull}) {
+    HplParams p;
+    p.n = 64;
+    p.block = 16;
+    p.seed = seed;
+    Hpl hpl(p);
+    sim::Engine eng(test_engine());
+    EXPECT_TRUE(run(hpl, eng).verified) << "seed " << seed;
+  }
+}
+
+// ---------- Hypre ------------------------------------------------------------------
+
+TEST(Hypre, ResidualDropsMonotonically) {
+  HypreParams p;
+  p.grid = 64;
+  p.iterations = 20;
+  Hypre hypre(p);
+  sim::Engine eng(test_engine());
+  const auto res = run(hypre, eng);
+  EXPECT_TRUE(res.verified) << res.detail;
+  EXPECT_LT(res.residual, 0.5);
+}
+
+TEST(Hypre, MoreIterationsReduceResidual) {
+  double residuals[2];
+  int i = 0;
+  for (const std::size_t iters : {4ul, 24ul}) {
+    HypreParams p;
+    p.grid = 64;
+    p.iterations = iters;
+    Hypre hypre(p);
+    sim::Engine eng(test_engine());
+    residuals[i++] = run(hypre, eng).residual;
+  }
+  EXPECT_LT(residuals[1], residuals[0]);
+}
+
+TEST(Hypre, HasSetupAndSolvePhases) {
+  HypreParams p;
+  p.grid = 48;
+  p.iterations = 3;
+  Hypre hypre(p);
+  sim::Engine eng(test_engine());
+  (void)run(hypre, eng);
+  ASSERT_EQ(eng.phases().size(), 2u);
+  EXPECT_EQ(eng.phases()[0].tag, "p1");
+  EXPECT_EQ(eng.phases()[1].tag, "p2");
+  EXPECT_GT(eng.phases()[1].time_s, 0.0);
+}
+
+TEST(Hypre, SolveIsMemoryBound) {
+  HypreParams p;
+  p.grid = 192;
+  p.iterations = 6;
+  Hypre hypre(p);
+  sim::Engine eng(test_engine());
+  (void)run(hypre, eng);
+  const auto& p2 = eng.phases()[1];
+  const double ai = static_cast<double>(p2.flops) /
+                    static_cast<double>(p2.counters.dram_bytes_total());
+  EXPECT_LT(ai, 4.5);  // below the ridge point: bandwidth-bound
+}
+
+// ---------- NekRS -------------------------------------------------------------------
+
+TEST(Nekrs, CgReducesResidual) {
+  NekrsParams p;
+  p.elements = 16;
+  p.order = 3;
+  p.timesteps = 1;
+  p.cg_iters = 10;
+  Nekrs nek(p);
+  sim::Engine eng(test_engine());
+  const auto res = run(nek, eng);
+  EXPECT_TRUE(res.verified) << res.detail;
+  EXPECT_LT(res.residual, 0.9);
+}
+
+TEST(Nekrs, OrderScalingMatchesPaperInputs) {
+  const auto p1 = NekrsParams::at_scale(1, 42);
+  const auto p2 = NekrsParams::at_scale(2, 42);
+  const auto p4 = NekrsParams::at_scale(4, 42);
+  EXPECT_EQ(p1.order, 5u);
+  EXPECT_EQ(p2.order, 7u);
+  EXPECT_EQ(p4.order, 9u);
+  const double r2 = static_cast<double>(Nekrs(p2).footprint_bytes()) /
+                    static_cast<double>(Nekrs(p1).footprint_bytes());
+  const double r4 = static_cast<double>(Nekrs(p4).footprint_bytes()) /
+                    static_cast<double>(Nekrs(p1).footprint_bytes());
+  EXPECT_NEAR(r2, 2.4, 0.4);  // (8/6)^3
+  EXPECT_NEAR(r4, 4.6, 0.7);  // (10/6)^3
+}
+
+TEST(Nekrs, StreamingGivesHighPrefetchCoverage) {
+  NekrsParams p;
+  p.elements = 64;
+  p.order = 5;
+  p.timesteps = 1;
+  p.cg_iters = 4;
+  Nekrs nek(p);
+  sim::Engine eng(test_engine());
+  (void)run(nek, eng);
+  const auto& c = eng.counters();
+  const double coverage = static_cast<double>(c.prefetch_fills() - c.useless_hwpf) /
+                          static_cast<double>(c.l2_lines_in - c.useless_hwpf);
+  EXPECT_GT(coverage, 0.5);
+}
+
+// ---------- SuperLU -----------------------------------------------------------------
+
+TEST(Superlu, FactorizationSolvesSystem) {
+  SuperluParams p;
+  p.grid = 16;
+  Superlu slu(p);
+  sim::Engine eng(test_engine());
+  const auto res = run(slu, eng);
+  EXPECT_TRUE(res.verified) << res.detail;
+  EXPECT_LT(res.residual, 1e-10);
+}
+
+TEST(Superlu, HasThreePhases) {
+  SuperluParams p;
+  p.grid = 12;
+  Superlu slu(p);
+  sim::Engine eng(test_engine());
+  (void)run(slu, eng);
+  ASSERT_EQ(eng.phases().size(), 3u);
+  EXPECT_EQ(eng.phases()[2].tag, "p3");
+}
+
+TEST(Superlu, FillInExceedsOriginalNonzeros) {
+  SuperluParams p;
+  p.grid = 24;
+  Superlu slu(p);
+  sim::Engine eng(test_engine());
+  const auto res = run(slu, eng);
+  // detail reports nnz(L) and nnz(U); original A has ~5n entries, the
+  // factors of a 2D grid in natural order fill toward n·k each.
+  EXPECT_NE(res.detail.find("nnz(L)"), std::string::npos);
+  EXPECT_TRUE(res.verified);
+}
+
+TEST(Superlu, VariousGridsSolve) {
+  for (const std::size_t k : {8ul, 20ul, 32ul}) {
+    SuperluParams p;
+    p.grid = k;
+    Superlu slu(p);
+    sim::Engine eng(test_engine());
+    EXPECT_TRUE(run(slu, eng).verified) << "grid " << k;
+  }
+}
+
+// ---------- BFS ----------------------------------------------------------------------
+
+TEST(Bfs, ParentTreeValidOnAllVariants) {
+  for (const auto variant :
+       {BfsVariant::kBaseline, BfsVariant::kParentsFirst, BfsVariant::kOptimized}) {
+    BfsParams p;
+    p.log2_vertices = 12;
+    p.edge_factor = 8;
+    p.variant = variant;
+    Bfs bfs(p);
+    sim::Engine eng(test_engine());
+    const auto res = run(bfs, eng);
+    EXPECT_TRUE(res.verified) << res.detail;
+  }
+}
+
+TEST(Bfs, MultipleRootsRun) {
+  BfsParams p;
+  p.log2_vertices = 11;
+  p.num_roots = 3;
+  Bfs bfs(p);
+  sim::Engine eng(test_engine());
+  EXPECT_TRUE(run(bfs, eng).verified);
+}
+
+TEST(Bfs, VariantsComputeSameTraversal) {
+  // The placement variants must not change the algorithmic result.
+  std::set<std::string> details;
+  for (const auto variant :
+       {BfsVariant::kBaseline, BfsVariant::kParentsFirst, BfsVariant::kOptimized}) {
+    BfsParams p;
+    p.log2_vertices = 12;
+    p.variant = variant;
+    Bfs bfs(p);
+    sim::Engine eng(test_engine());
+    details.insert(run(bfs, eng).detail);  // includes reached-vertex count
+  }
+  EXPECT_EQ(details.size(), 1u);
+}
+
+TEST(Bfs, BaselineLeaksGenerationTemporaries) {
+  BfsParams p;
+  p.log2_vertices = 12;
+  p.variant = BfsVariant::kBaseline;
+  Bfs bfs(p);
+  sim::Engine eng(test_engine());
+  (void)run(bfs, eng);
+  bool src_freed = true;
+  for (const auto& alloc : eng.allocations())
+    if (alloc.name == "gen.src") src_freed = alloc.freed;
+  EXPECT_FALSE(src_freed);
+}
+
+TEST(Bfs, OptimizedFreesGenerationTemporaries) {
+  BfsParams p;
+  p.log2_vertices = 12;
+  p.variant = BfsVariant::kOptimized;
+  Bfs bfs(p);
+  sim::Engine eng(test_engine());
+  (void)run(bfs, eng);
+  for (const auto& alloc : eng.allocations())
+    if (alloc.name == "gen.src" || alloc.name == "gen.dst") {
+      EXPECT_TRUE(alloc.freed);
+    }
+}
+
+TEST(Bfs, ScaleDoublesFootprint) {
+  const auto f1 = Bfs(BfsParams::at_scale(1, 42)).footprint_bytes();
+  const auto f2 = Bfs(BfsParams::at_scale(2, 42)).footprint_bytes();
+  EXPECT_NEAR(static_cast<double>(f2) / f1, 2.0, 0.2);
+}
+
+// ---------- XSBench ------------------------------------------------------------------
+
+TEST(Xsbench, LookupsMatchDirectSearch) {
+  XsbenchParams p;
+  p.n_nuclides = 8;
+  p.gridpoints = 256;
+  p.lookups = 500;
+  Xsbench xs(p);
+  sim::Engine eng(test_engine());
+  const auto res = run(xs, eng);
+  EXPECT_TRUE(res.verified) << res.detail;
+  EXPECT_LT(res.residual, 1e-9);
+}
+
+TEST(Xsbench, PhasesPresent) {
+  XsbenchParams p;
+  p.n_nuclides = 4;
+  p.gridpoints = 128;
+  p.lookups = 100;
+  Xsbench xs(p);
+  sim::Engine eng(test_engine());
+  (void)run(xs, eng);
+  ASSERT_EQ(eng.phases().size(), 2u);
+}
+
+TEST(Xsbench, LowPrefetchCoverageInLookups) {
+  XsbenchParams p = XsbenchParams::at_scale(1, 42);
+  p.lookups = 5000;
+  Xsbench xs(p);
+  sim::Engine eng(test_engine());
+  (void)run(xs, eng);
+  const auto& p2 = eng.phases()[1].counters;
+  const double coverage =
+      p2.l2_lines_in > p2.useless_hwpf
+          ? static_cast<double>(p2.prefetch_fills() - p2.useless_hwpf) /
+                static_cast<double>(p2.l2_lines_in - p2.useless_hwpf)
+          : 0.0;
+  EXPECT_LT(coverage, 0.15);  // the paper reports < 1% for the real code
+}
+
+TEST(Xsbench, FootprintScalesWithGridpoints) {
+  const auto f1 = Xsbench(XsbenchParams::at_scale(1, 42)).footprint_bytes();
+  const auto f4 = Xsbench(XsbenchParams::at_scale(4, 42)).footprint_bytes();
+  EXPECT_NEAR(static_cast<double>(f4) / f1, 4.0, 0.2);
+}
+
+// ---------- LBench -------------------------------------------------------------------
+
+TEST(Lbench, KernelElementMatchesDefinition) {
+  // NFLOP=1: one add. NFLOP=2: one FMA. NFLOP=3: add + FMA.
+  EXPECT_DOUBLE_EQ(Lbench::kernel_element(0.5, 1, 0.25), 0.75);
+  EXPECT_DOUBLE_EQ(Lbench::kernel_element(0.5, 2, 0.25), 0.5 * 0.5 + 0.25);
+  EXPECT_DOUBLE_EQ(Lbench::kernel_element(0.5, 3, 0.25), 0.75 * 0.5 + 0.25);
+}
+
+TEST(Lbench, RunsOnPoolAndVerifies) {
+  LbenchParams p;
+  p.elements = 1 << 14;
+  p.nflop = 4;
+  p.sweeps = 2;
+  Lbench lb(p);
+  sim::Engine eng(test_engine());
+  const auto res = run(lb, eng);
+  EXPECT_TRUE(res.verified) << res.detail;
+  // All data bound to the pool tier.
+  EXPECT_EQ(eng.counters().dram_read_bytes[0], 0u);
+  EXPECT_GT(eng.counters().dram_read_bytes[1], 0u);
+}
+
+TEST(Lbench, FlopsScaleWithNflop) {
+  for (const std::uint32_t nflop : {1u, 16u}) {
+    LbenchParams p;
+    p.elements = 1 << 12;
+    p.nflop = nflop;
+    p.sweeps = 1;
+    Lbench lb(p);
+    sim::Engine eng(test_engine());
+    (void)run(lb, eng);
+    EXPECT_EQ(eng.total_flops(), static_cast<std::uint64_t>(p.elements) * nflop);
+  }
+}
+
+TEST(Lbench, HigherNflopLowersTrafficRate) {
+  double rates[2];
+  int i = 0;
+  for (const std::uint32_t nflop : {1u, 128u}) {
+    LbenchParams p;
+    p.elements = 1 << 16;
+    p.nflop = nflop;
+    Lbench lb(p);
+    sim::EngineConfig cfg = test_engine();
+    cfg.machine.peak_gflops = 24.0;  // serial-dependence-limited kernel
+    sim::Engine eng(cfg);
+    (void)run(lb, eng);
+    rates[i++] = static_cast<double>(eng.counters().dram_bytes_total()) /
+                 eng.elapsed_seconds();
+  }
+  EXPECT_GT(rates[0], rates[1] * 2.0);
+}
+
+// ---------- factory / Table 2 ---------------------------------------------------------
+
+TEST(Factory, AllAppsConstructAtAllScales) {
+  for (const auto app : kAllApps) {
+    for (const int scale : {1, 2, 4}) {
+      const auto wl = make_workload(app, scale);
+      ASSERT_NE(wl, nullptr);
+      EXPECT_GT(wl->footprint_bytes(), 0u);
+      EXPECT_FALSE(wl->name().empty());
+    }
+  }
+}
+
+TEST(Factory, InvalidScaleViolatesContract) {
+  EXPECT_THROW((void)make_workload(App::kHPL, 3), contract_violation);
+}
+
+TEST(Factory, AppNamesMatchPaper) {
+  EXPECT_STREQ(app_name(App::kHPL), "HPL");
+  EXPECT_STREQ(app_name(App::kSuperLU), "SuperLU");
+  EXPECT_STREQ(app_name(App::kNekRS), "NekRS");
+  EXPECT_STREQ(app_name(App::kHypre), "Hypre");
+  EXPECT_STREQ(app_name(App::kBFS), "BFS");
+  EXPECT_STREQ(app_name(App::kXSBench), "XSBench");
+}
+
+// Property sweep: footprints follow the 1:2:4 design across all apps.
+class FootprintScalingTest : public ::testing::TestWithParam<App> {};
+
+TEST_P(FootprintScalingTest, RoughlyOneTwoFour) {
+  const App app = GetParam();
+  const auto f1 = make_workload(app, 1)->footprint_bytes();
+  const auto f2 = make_workload(app, 2)->footprint_bytes();
+  const auto f4 = make_workload(app, 4)->footprint_bytes();
+  const double r2 = static_cast<double>(f2) / f1;
+  const double r4 = static_cast<double>(f4) / f1;
+  EXPECT_GT(r2, 1.5);
+  EXPECT_LT(r2, 2.8);
+  EXPECT_GT(r4, 3.2);
+  EXPECT_LT(r4, 5.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, FootprintScalingTest, ::testing::ValuesIn(kAllApps),
+                         [](const auto& param_info) { return app_name(param_info.param); });
+
+}  // namespace
+}  // namespace memdis::workloads

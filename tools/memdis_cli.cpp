@@ -1,0 +1,288 @@
+// memdis — command-line front end to the multi-level profiler.
+//
+// The programmatic analogue of the paper's `nmo` tool (Fig. 4 shows its
+// environment-variable workflow: NMO_TRACK_RSS, NMO_MODE=counters/sample/
+// prefetch, setup_waste, gauge_loop, upi.sh). Subcommands map onto the
+// same workflow steps:
+//
+//   memdis machine [--fabric upi|cxl|cxl-switched]
+//   memdis level1  --app HPL [--scale 1] [--csv file]
+//   memdis level2  --app BFS --ratio 0.75
+//   memdis level3  --app Hypre --ratio 0.5 [--lois 0,10,20,30,40,50]
+//   memdis lbench  [--nflop 1] [--threads 12] [--elements 1048576]
+//   memdis report  [--scale 1]
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/advisor.h"
+#include "core/interference.h"
+#include "core/profiler.h"
+#include "native/lbench_native.h"
+#include "workloads/lbench.h"
+
+namespace {
+
+using namespace memdis;
+
+struct Args {
+  std::string command;
+  std::optional<std::string> app;
+  int scale = 1;
+  double ratio = 0.5;
+  std::string fabric = "upi";
+  std::vector<double> lois = {0, 10, 20, 30, 40, 50};
+  std::uint32_t nflop = 1;
+  int threads = 12;
+  std::size_t elements = 1 << 20;
+  std::optional<std::string> csv_path;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: memdis <command> [options]\n"
+     << "commands:\n"
+     << "  machine   print the emulated platform configuration\n"
+     << "  level1    intrinsic requirements (AI, scaling curve, prefetch)\n"
+     << "  level2    two-tier access ratios vs. R_cap/R_bw + advisor\n"
+     << "  level3    interference sensitivity sweep + induced IC\n"
+     << "  lbench    run the LBench kernel natively (std::thread)\n"
+     << "  report    verification/traffic sweep over all applications\n"
+     << "options:\n"
+     << "  --app NAME        HPL|SuperLU|NekRS|Hypre|BFS|XSBench\n"
+     << "  --scale N         input scale 1|2|4 (default 1)\n"
+     << "  --ratio R         remote capacity ratio in [0,1) (default 0.5)\n"
+     << "  --fabric F        upi|cxl|cxl-switched (default upi)\n"
+     << "  --lois CSV        LoI sweep levels (default 0,10,20,30,40,50)\n"
+     << "  --nflop N         LBench flops/element (default 1)\n"
+     << "  --threads N       LBench threads (default 12)\n"
+     << "  --elements N      LBench array elements (default 2^20)\n"
+     << "  --csv PATH        also write machine-readable output\n";
+}
+
+std::optional<Args> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto need_value = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << flag << "\n";
+        return std::nullopt;
+      }
+      return std::string(argv[++i]);
+    };
+    const auto value = need_value();
+    if (!value) return std::nullopt;
+    if (flag == "--app") {
+      args.app = *value;
+    } else if (flag == "--scale") {
+      args.scale = std::atoi(value->c_str());
+    } else if (flag == "--ratio") {
+      args.ratio = std::atof(value->c_str());
+    } else if (flag == "--fabric") {
+      args.fabric = *value;
+    } else if (flag == "--lois") {
+      args.lois.clear();
+      std::stringstream ss(*value);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) args.lois.push_back(std::atof(tok.c_str()));
+    } else if (flag == "--nflop") {
+      args.nflop = static_cast<std::uint32_t>(std::atoi(value->c_str()));
+    } else if (flag == "--threads") {
+      args.threads = std::atoi(value->c_str());
+    } else if (flag == "--elements") {
+      args.elements = static_cast<std::size_t>(std::atoll(value->c_str()));
+    } else if (flag == "--csv") {
+      args.csv_path = *value;
+    } else {
+      std::cerr << "unknown option " << flag << "\n";
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+std::optional<workloads::App> app_of(const std::string& name) {
+  for (const auto app : workloads::kAllApps)
+    if (name == workloads::app_name(app)) return app;
+  return std::nullopt;
+}
+
+memsim::MachineConfig machine_of(const std::string& fabric) {
+  if (fabric == "cxl") return memsim::MachineConfig::cxl_direct_attached();
+  if (fabric == "cxl-switched") return memsim::MachineConfig::cxl_switched_pool();
+  return memsim::MachineConfig::skylake_testbed();
+}
+
+int cmd_machine(const Args& args) {
+  const auto m = machine_of(args.fabric);
+  Table t({"parameter", "value"});
+  t.add_row({"peak compute", Table::num(m.peak_gflops, 0) + " Gflop/s (" +
+                                 std::to_string(m.threads) + " threads)"});
+  t.add_row({"local tier", m.local.name + ": " + Table::num(m.local.bandwidth_gbps, 0) +
+                               " GB/s, " + Table::num(m.local.latency_ns, 0) + " ns, " +
+                               format_bytes(static_cast<double>(m.local.capacity_bytes))});
+  t.add_row({"pool tier", m.remote.name + ": " + Table::num(m.remote.bandwidth_gbps, 0) +
+                              " GB/s, " + Table::num(m.remote.latency_ns, 0) + " ns"});
+  t.add_row({"link traffic capacity", Table::num(m.link_traffic_capacity_gbps, 0) + " GB/s"});
+  t.add_row({"protocol overhead", Table::num(m.link_protocol_overhead, 2) + "x"});
+  t.add_row({"R_bw (remote)", Table::pct(m.remote_bandwidth_ratio())});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_level1(const Args& args, workloads::App app) {
+  core::RunConfig rc;
+  rc.machine = machine_of(args.fabric);
+  core::MultiLevelProfiler profiler(rc);
+  auto wl = workloads::make_workload(app, args.scale);
+  const auto l1 = profiler.level1(*wl);
+  Table t({"metric", "value"});
+  t.add_row({"verified", l1.result.verified ? "yes" : "NO"});
+  t.add_row({"simulated time", Table::num(l1.elapsed_s * 1e3, 3) + " ms"});
+  t.add_row({"peak footprint", format_bytes(static_cast<double>(l1.peak_rss_bytes))});
+  t.add_row({"arithmetic intensity", Table::num(l1.arithmetic_intensity, 3) + " flop/B"});
+  t.add_row({"mean DRAM bandwidth", Table::num(l1.mean_dram_gbps, 1) + " GB/s"});
+  t.add_row({"scaling-curve skew", Table::num(l1.scaling_curve.skewness(), 3)});
+  t.add_row({"hot set for 90% traffic",
+             Table::pct(l1.scaling_curve.footprint_fraction_for(0.9)) + " of footprint"});
+  t.add_row({"prefetch accuracy", Table::pct(l1.prefetch.accuracy)});
+  t.add_row({"prefetch coverage", Table::pct(l1.prefetch.coverage)});
+  t.add_row({"prefetch excess traffic", Table::pct(l1.prefetch.excess_traffic)});
+  t.add_row({"prefetch performance gain", Table::pct(l1.prefetch.performance_gain)});
+  t.print(std::cout);
+  std::cout << "\nphases:\n";
+  Table p({"phase", "time share", "AI", "Gflop/s", "DRAM GB/s"});
+  for (const auto& phase : l1.phases)
+    p.add_row({phase.tag, Table::pct(phase.weight), Table::num(phase.arithmetic_intensity, 3),
+               Table::num(phase.gflops_rate, 2), Table::num(phase.dram_gbps, 1)});
+  p.print(std::cout);
+  if (args.csv_path) {
+    CsvWriter csv(*args.csv_path, {"footprint_fraction", "access_fraction"});
+    const auto ys = l1.scaling_curve.sample(101);
+    for (std::size_t i = 0; i < ys.size(); ++i)
+      csv.add_row({Table::num(static_cast<double>(i) / 100.0, 2), Table::num(ys[i], 5)});
+    std::cout << "\nscaling curve written to " << *args.csv_path << "\n";
+  }
+  return l1.result.verified ? 0 : 1;
+}
+
+int cmd_level2(const Args& args, workloads::App app) {
+  core::RunConfig rc;
+  rc.machine = machine_of(args.fabric);
+  core::MultiLevelProfiler profiler(rc);
+  auto wl = workloads::make_workload(app, args.scale);
+  const auto l2 = profiler.level2(*wl, args.ratio);
+  std::cout << "R_cap(remote) = " << Table::pct(l2.remote_capacity_ratio_configured)
+            << " (measured " << Table::pct(l2.remote_capacity_ratio_measured)
+            << "), R_bw(remote) = " << Table::pct(l2.remote_bandwidth_ratio) << "\n\n";
+  Table t({"phase", "time share", "%remote access", "AI"});
+  for (const auto& phase : l2.phases)
+    t.add_row({phase.tag, Table::pct(phase.weight), Table::pct(phase.remote_access_ratio),
+               Table::num(phase.arithmetic_intensity, 3)});
+  t.print(std::cout);
+  const auto advice = core::advise(l2);
+  std::cout << "\nadvisor: " << advice.summary << "\n";
+  return 0;
+}
+
+int cmd_level3(const Args& args, workloads::App app) {
+  core::RunConfig rc;
+  rc.machine = machine_of(args.fabric);
+  core::MultiLevelProfiler profiler(rc);
+  auto wl = workloads::make_workload(app, args.scale);
+  const auto l3 = profiler.level3(*wl, args.ratio, args.lois);
+  Table t({"LoI (%)", "relative performance"});
+  for (const auto& pt : l3.sensitivity)
+    t.add_row({Table::num(pt.loi, 0), Table::num(pt.relative_performance, 4)});
+  t.print(std::cout);
+  std::cout << "\ninduced interference coefficient: " << Table::num(l3.induced.ic_mean, 3)
+            << " (phase spread " << Table::num(l3.induced.ic_min, 3) << " - "
+            << Table::num(l3.induced.ic_max, 3) << ")\n";
+  if (args.csv_path) {
+    CsvWriter csv(*args.csv_path, {"loi", "relative_performance"});
+    for (const auto& pt : l3.sensitivity)
+      csv.add_row({Table::num(pt.loi, 1), Table::num(pt.relative_performance, 6)});
+    std::cout << "sensitivity curve written to " << *args.csv_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_lbench(const Args& args) {
+  native::NativeLbenchConfig cfg;
+  cfg.elements = args.elements;
+  cfg.nflop = args.nflop;
+  cfg.threads = args.threads;
+  const auto res = native::run_native_lbench(cfg);
+  Table t({"metric", "value"});
+  t.add_row({"verified", res.verified ? "yes" : "NO"});
+  t.add_row({"wall time", Table::num(res.seconds * 1e3, 2) + " ms"});
+  t.add_row({"array traffic", Table::num(res.data_gbps, 2) + " GB/s"});
+  t.add_row({"compute rate", Table::num(res.gflops, 2) + " Gflop/s"});
+  const auto m = machine_of(args.fabric);
+  t.add_row({"offered LoI (model)",
+             Table::num(100.0 * core::lbench_offered_utilization(m, args.threads, args.nflop),
+                        1) +
+                 "%"});
+  t.print(std::cout);
+  return res.verified ? 0 : 1;
+}
+
+int cmd_report(const Args& args) {
+  Table t({"app", "verified", "sim time (ms)", "AI", "DRAM GB/s", "skew"});
+  core::RunConfig rc;
+  rc.machine = machine_of(args.fabric);
+  core::MultiLevelProfiler profiler(rc);
+  bool all_ok = true;
+  for (const auto app : workloads::kAllApps) {
+    auto wl = workloads::make_workload(app, args.scale);
+    const auto l1 = profiler.level1(*wl);
+    all_ok = all_ok && l1.result.verified;
+    t.add_row({wl->name(), l1.result.verified ? "yes" : "NO",
+               Table::num(l1.elapsed_s * 1e3, 3), Table::num(l1.arithmetic_intensity, 3),
+               Table::num(l1.mean_dram_gbps, 1), Table::num(l1.scaling_curve.skewness(), 3)});
+  }
+  t.print(std::cout);
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse(argc, argv);
+  if (!args) {
+    usage(std::cerr);
+    return 2;
+  }
+  try {
+    if (args->command == "machine") return cmd_machine(*args);
+    if (args->command == "lbench") return cmd_lbench(*args);
+    if (args->command == "report") return cmd_report(*args);
+    if (args->command == "level1" || args->command == "level2" || args->command == "level3") {
+      if (!args->app) {
+        std::cerr << "error: " << args->command << " requires --app\n";
+        return 2;
+      }
+      const auto app = app_of(*args->app);
+      if (!app) {
+        std::cerr << "error: unknown app '" << *args->app << "'\n";
+        return 2;
+      }
+      if (args->command == "level1") return cmd_level1(*args, *app);
+      if (args->command == "level2") return cmd_level2(*args, *app);
+      return cmd_level3(*args, *app);
+    }
+    usage(std::cerr);
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
