@@ -1,70 +1,11 @@
-// Extension: weighted-interleave placement (the Sec. 2.2 kernel patch).
+// Extension: weighted-interleave placement (the Sec. 2.2 kernel patch) —
+// first-touch vs. N:M interleaving on the bandwidth-bound applications.
 //
-// The paper's "misconception" discussion: adding a memory tier can RAISE
-// aggregate bandwidth if both tiers are streamed concurrently, and cites
-// the N:M weighted interleaving patch as the transparent way to get there.
-// This bench runs the bandwidth-bound apps under first-touch vs. weighted
-// interleave at the bandwidth-matched 2:1 ratio (73:34 GB/s ≈ 2:1) and
-// reports runtime plus achieved aggregate DRAM bandwidth.
-#include <iostream>
-
+// The app×policy grid, metrics, and reading live in the registered
+// "ext-interleave" scenario; `memdis sweep --scenario ext-interleave` runs
+// the same entry.
 #include "bench_util.h"
-#include "common/table.h"
-#include "common/units.h"
-#include "core/profiler.h"
-#include "core/roofline.h"
 
-int main() {
-  using namespace memdis;
-  bench::banner("Extension: weighted interleave",
-                "first-touch vs. N:M interleaving on bandwidth-bound apps");
-
-  const auto machine = memsim::MachineConfig::skylake_testbed();
-  std::cout << "Model upper bound: balanced split at R_bw = "
-            << Table::pct(machine.remote_bandwidth_ratio()) << " gives B_eff = "
-            << Table::num(core::effective_bandwidth_gbps(machine,
-                                                         machine.remote_bandwidth_ratio()),
-                          0)
-            << " GB/s vs. " << Table::num(machine.local.bandwidth_gbps, 0)
-            << " GB/s local-only.\n\n";
-
-  struct Policy {
-    const char* name;
-    std::optional<memsim::MemPolicy> override;
-  };
-  const Policy policies[] = {
-      {"first-touch (local fits)", std::nullopt},
-      {"interleave 2:1", memsim::MemPolicy::interleave(2, 1)},
-      {"interleave 1:1", memsim::MemPolicy::interleave(1, 1)},
-  };
-
-  Table t({"app", "policy", "time (ms)", "DRAM GB/s (aggregate)", "%remote access",
-           "vs first-touch"});
-  for (const auto app : {workloads::App::kHypre, workloads::App::kNekRS}) {
-    double base_ms = 0.0;
-    for (const auto& policy : policies) {
-      auto wl = workloads::make_workload(app, 1);
-      sim::EngineConfig cfg;
-      cfg.default_policy_override = policy.override;
-      sim::Engine eng(cfg);
-      (void)wl->run(eng);
-      eng.finish();
-      const double ms = eng.elapsed_seconds() * 1e3;
-      if (base_ms == 0.0) base_ms = ms;
-      const auto& c = eng.counters();
-      const double agg_gbps = bytes_per_sec_to_gbps(
-          static_cast<double>(c.dram_bytes_total()) / eng.elapsed_seconds());
-      const double remote = static_cast<double>(c.dram_bytes(memsim::Tier::kRemote)) /
-                            static_cast<double>(c.dram_bytes_total());
-      t.add_row({wl->name(), policy.name, Table::num(ms, 3), Table::num(agg_gbps, 1),
-                 Table::pct(remote), Table::num(base_ms / ms, 3) + "x"});
-    }
-  }
-  t.print(std::cout);
-  std::cout << "\nReading: 2:1 interleaving pushes ~1/3 of the stream onto the pool tier\n"
-               "and raises aggregate bandwidth toward B_local+B_pool — multi-tier memory\n"
-               "can be FASTER than local-only for bandwidth-bound codes, confirming the\n"
-               "paper's rebuttal of the \"always slower\" misconception. 1:1 overshoots\n"
-               "the pool's share and gives some of the gain back.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return memdis::bench::scenario_main("ext-interleave", argc, argv);
 }

@@ -1,50 +1,8 @@
 // Figure 5: roofline model of the emulated platform with the measured
-// arithmetic intensity and throughput of every application phase, plus the
-// dashed multi-tier extension (aggregate bandwidth when the pool tier is
-// added).
-#include <algorithm>
-#include <iostream>
-
+// arithmetic intensity and throughput of every application phase.
+//
+// Grid, metrics, and summary live in the registered "fig05" scenario;
+// `memdis sweep --scenario fig05` runs the same entry.
 #include "bench_util.h"
-#include "common/table.h"
-#include "core/profiler.h"
-#include "core/roofline.h"
 
-int main() {
-  using namespace memdis;
-  bench::banner("Figure 5", "roofline placement of application phases");
-
-  const core::RunConfig base;
-  const auto local = core::RooflineModel::local_tier(base.machine);
-  const auto multi = core::RooflineModel::multi_tier(base.machine);
-  std::cout << "Platform roofs: peak " << Table::num(local.peak_gflops(), 0)
-            << " Gflop/s; local tier " << Table::num(local.bandwidth_gbps(), 0)
-            << " GB/s (ridge at AI=" << Table::num(local.ridge_point(), 2)
-            << "); +pool tier " << Table::num(multi.bandwidth_gbps(), 0)
-            << " GB/s (dashed extension, ridge at AI=" << Table::num(multi.ridge_point(), 2)
-            << ")\n\n";
-
-  Table t({"phase", "AI (flop/B)", "measured Gflop/s", "roof Gflop/s", "roof utilization",
-           "bound"});
-  core::MultiLevelProfiler profiler(base);
-  for (const auto app : workloads::kAllApps) {
-    auto wl = workloads::make_workload(app, 1);
-    const auto l1 = profiler.level1(*wl);
-    for (const auto& phase : l1.phases) {
-      if (phase.time_s <= 0) continue;
-      const double ai = std::max(phase.arithmetic_intensity, 1e-3);
-      const double roof = local.attainable_gflops(ai);
-      const bool mem_bound = ai < local.ridge_point();
-      t.add_row({wl->name() + "-" + phase.tag, Table::num(phase.arithmetic_intensity, 3),
-                 Table::num(phase.gflops_rate, 2), Table::num(roof, 1),
-                 Table::pct(std::min(phase.gflops_rate / roof, 1.5)),
-                 mem_bound ? "memory" : "compute"});
-    }
-  }
-  t.print(std::cout);
-  std::cout << "\nExpected shape (paper): phases span the memory-bound to compute-bound\n"
-               "spectrum; HPL-p2 approaches the compute roof, Hypre/NekRS sit on the\n"
-               "bandwidth slope at low AI, BFS/XSBench run far below both roofs\n"
-               "(latency-bound).\n";
-  return 0;
-}
+int main(int argc, char** argv) { return memdis::bench::scenario_main("fig05", argc, argv); }

@@ -1,52 +1,10 @@
 // Figure 6: cumulative distribution of memory accesses vs. memory footprint
 // for the six applications at three input scales (~1:2:4 memory ratio).
 //
-// Prints each curve sampled at 10% footprint steps, its skewness (Gini),
-// and the cross-scale Kolmogorov distance — the paper's observation is
-// that all apps except SuperLU (and the leftward-shifting BFS) overlap
-// across scales.
-#include <iostream>
-#include <map>
-#include <vector>
-
+// The sweep itself (grid, metrics, cross-scale Kolmogorov distances, and
+// the expected-shape reading) is the registered "fig06" scenario — this
+// binary is a thin front end; `memdis sweep --scenario fig06` runs the
+// same entry.
 #include "bench_util.h"
-#include "common/table.h"
-#include "core/profiler.h"
 
-int main() {
-  using namespace memdis;
-  bench::banner("Figure 6", "bandwidth-capacity scaling curves at 1x/2x/4x inputs");
-
-  const core::MultiLevelProfiler profiler{};
-  Table t({"app", "scale", "footprint", "10%", "20%", "30%", "50%", "70%", "90%", "skew"});
-  std::map<std::string, std::vector<core::ScalingCurve>> curves;
-  for (const auto app : workloads::kAllApps) {
-    for (const int scale : {1, 2, 4}) {
-      auto wl = workloads::make_workload(app, scale);
-      const auto l1 = profiler.level1(*wl);
-      const auto& c = l1.scaling_curve;
-      t.add_row({wl->name(), std::to_string(scale) + "x",
-                 Table::num(static_cast<double>(l1.peak_rss_bytes) / (1 << 20), 1) + " MiB",
-                 Table::pct(c.access_fraction_at(0.10)), Table::pct(c.access_fraction_at(0.20)),
-                 Table::pct(c.access_fraction_at(0.30)), Table::pct(c.access_fraction_at(0.50)),
-                 Table::pct(c.access_fraction_at(0.70)), Table::pct(c.access_fraction_at(0.90)),
-                 Table::num(c.skewness(), 3)});
-      curves[wl->name()].push_back(c);
-    }
-  }
-  t.print(std::cout);
-
-  std::cout << "\nCross-scale curve distance (max |CDF_a - CDF_b|):\n";
-  Table d({"app", "1x vs 2x", "1x vs 4x", "reading"});
-  for (const auto& [name, cs] : curves) {
-    const double d12 = cs[0].distance(cs[1]);
-    const double d14 = cs[0].distance(cs[2]);
-    std::string reading = d14 < 0.12 ? "consistent across scales" : "distribution shifts";
-    d.add_row({name, Table::num(d12, 3), Table::num(d14, 3), reading});
-  }
-  d.print(std::cout);
-  std::cout << "\nExpected shape (paper): HPL and Hypre near-diagonal (uniform); BFS and\n"
-               "XSBench strongly skewed; BFS shifts left as the input grows; SuperLU\n"
-               "moves from skewed toward uniform with scale; the others overlap.\n";
-  return 0;
-}
+int main(int argc, char** argv) { return memdis::bench::scenario_main("fig06", argc, argv); }

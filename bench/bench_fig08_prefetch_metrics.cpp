@@ -1,28 +1,8 @@
 // Figure 8: prefetch accuracy, coverage, excessive memory traffic, and
 // performance gain from prefetching, for all six applications.
-#include <iostream>
-
+//
+// Grid, metrics, and summary live in the registered "fig08" scenario;
+// `memdis sweep --scenario fig08` runs the same entry.
 #include "bench_util.h"
-#include "common/table.h"
-#include "core/profiler.h"
 
-int main() {
-  using namespace memdis;
-  bench::banner("Figure 8", "prefetch accuracy / coverage / excess traffic / gain");
-
-  const core::MultiLevelProfiler profiler{};
-  Table t({"app", "accuracy", "coverage", "excess traffic", "performance gain"});
-  for (const auto app : workloads::kAllApps) {
-    auto wl = workloads::make_workload(app, 1);
-    const auto l1 = profiler.level1(*wl);
-    t.add_row({wl->name(), Table::pct(l1.prefetch.accuracy), Table::pct(l1.prefetch.coverage),
-               Table::pct(l1.prefetch.excess_traffic),
-               Table::pct(l1.prefetch.performance_gain)});
-  }
-  t.print(std::cout);
-  std::cout << "\nExpected shape (paper): all but XSBench and BFS above ~80% accuracy;\n"
-               "Hypre and NekRS lead coverage (~70%); excess traffic low (2-6%) except\n"
-               "SuperLU (~37%) which still gains ~31%; XSBench's prefetcher throttles\n"
-               "itself (lowest accuracy yet low excess traffic, <1% coverage).\n";
-  return 0;
-}
+int main(int argc, char** argv) { return memdis::bench::scenario_main("fig08", argc, argv); }

@@ -1,41 +1,9 @@
 // Figure 9: ratio of memory accesses reaching the second (pool) tier per
 // application phase, on three two-tier configurations (25%/50%/75% remote
 // capacity), against the R_cap and R_bw reference lines.
-#include <iostream>
-
+//
+// Grid, metrics, and summary live in the registered "fig09" scenario;
+// `memdis sweep --scenario fig09` runs the same entry.
 #include "bench_util.h"
-#include "common/table.h"
-#include "core/advisor.h"
-#include "core/profiler.h"
 
-int main() {
-  using namespace memdis;
-  bench::banner("Figure 9", "remote access ratio per phase vs. R_cap / R_bw references");
-
-  const core::MultiLevelProfiler profiler{};
-  for (const double ratio : {0.25, 0.50, 0.75}) {
-    std::cout << "\n--- remote capacity ratio R_cap = " << Table::pct(ratio) << " (R_bw = "
-              << Table::pct(profiler.base_config().machine.remote_bandwidth_ratio())
-              << ") ---\n";
-    Table t({"phase", "%remote access", "vs R_cap", "vs R_bw", "verdict"});
-    for (const auto app : workloads::kAllApps) {
-      auto wl = workloads::make_workload(app, 1);
-      const auto l2 = profiler.level2(*wl, ratio);
-      const auto report = core::advise(l2);
-      for (std::size_t i = 0; i < l2.phases.size(); ++i) {
-        const auto& phase = l2.phases[i];
-        if (phase.weight <= 0) continue;
-        t.add_row({wl->name() + "-" + phase.tag, Table::pct(phase.remote_access_ratio),
-                   phase.remote_access_ratio > ratio ? "above" : "below",
-                   phase.remote_access_ratio > l2.remote_bandwidth_ratio ? "above" : "below",
-                   core::verdict_name(report.phases[i].verdict)});
-      }
-    }
-    t.print(std::cout);
-  }
-  std::cout << "\nExpected shape (paper): at 25% remote the references are close and most\n"
-               "apps sit near them (little tuning space); at 75% remote HPL, NekRS and\n"
-               "BFS exceed even R_cap, p2 phases sit far above R_bw, and XSBench stays\n"
-               "below ~6% remote access in every configuration.\n";
-  return 0;
-}
+int main(int argc, char** argv) { return memdis::bench::scenario_main("fig09", argc, argv); }

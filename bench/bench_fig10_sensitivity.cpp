@@ -1,34 +1,8 @@
 // Figure 10: application sensitivity to memory-pool interference — relative
 // performance under background LoI of 0..50%, on three capacity ratios.
-#include <iostream>
-
+//
+// Grid, metrics, and summary live in the registered "fig10" scenario;
+// `memdis sweep --scenario fig10` runs the same entry.
 #include "bench_util.h"
-#include "common/table.h"
-#include "core/profiler.h"
 
-int main() {
-  using namespace memdis;
-  bench::banner("Figure 10", "sensitivity to interference (relative performance vs. LoI)");
-
-  const core::MultiLevelProfiler profiler{};
-  const std::vector<double> lois = {0, 10, 20, 30, 40, 50};
-  for (const double ratio : {0.25, 0.50, 0.75}) {
-    std::cout << "\n--- remote capacity ratio " << Table::pct(ratio) << " ---\n";
-    Table t({"app", "LoI=0", "LoI=10", "LoI=20", "LoI=30", "LoI=40", "LoI=50",
-             "loss@50"});
-    for (const auto app : workloads::kAllApps) {
-      auto wl = workloads::make_workload(app, 1);
-      const auto curve = core::sensitivity_sweep(*wl, profiler.base_config(), ratio, lois, "p2");
-      std::vector<std::string> row{wl->name()};
-      for (const auto& pt : curve) row.push_back(Table::num(pt.relative_performance, 3));
-      row.push_back(Table::pct(1.0 - curve.back().relative_performance));
-      t.add_row(std::move(row));
-    }
-    t.print(std::cout);
-  }
-  std::cout << "\nExpected shape (paper): every app degrades monotonically with LoI;\n"
-               "Hypre and NekRS are the most sensitive (~15%/13% loss at LoI=50 on the\n"
-               "50/50 split) due to low arithmetic intensity; HPL stays under ~5% loss\n"
-               "despite high remote access (compute bound); XSBench/BFS in between.\n";
-  return 0;
-}
+int main(int argc, char** argv) { return memdis::bench::scenario_main("fig10", argc, argv); }

@@ -1,69 +1,9 @@
-// Figure 11: LBench validation —
-//   left:   measured LoI scales linearly with the configured intensity
-//           (1 and 2 injector threads),
-//   middle: interference coefficient vs. background workload intensity,
-//           compared with the PCM-style traffic measurement that saturates
-//           at the link capacity,
-//   right:  interference coefficient induced by each application on a 50%
-//           pooled setup (per-phase spread).
-#include <iostream>
-
+// Figure 11: LBench validation — LoI scaling (left), IC vs. PCM-style
+// traffic saturation (middle), and the interference coefficient induced by
+// each application on a 50% pooled setup (right).
+//
+// The per-application sweep and all three panels live in the registered
+// "fig11" scenario; `memdis sweep --scenario fig11` runs the same entry.
 #include "bench_util.h"
-#include "common/table.h"
-#include "core/interference.h"
-#include "core/profiler.h"
 
-int main() {
-  using namespace memdis;
-  bench::banner("Figure 11", "LBench: LoI scaling, IC vs. PCM saturation, per-app IC");
-
-  const core::RunConfig base;
-  const auto& machine = base.machine;
-
-  std::cout << "\n[left] configured intensity vs. measured LoI:\n";
-  Table left({"configured %", "nflop(1T)", "measured LoI 1 thread", "nflop(2T)",
-              "measured LoI 2 threads"});
-  core::LbenchCalibration cal1(machine, 1);
-  core::LbenchCalibration cal2(machine, 2);
-  for (const double target : {10.0, 20.0, 30.0, 40.0, 50.0}) {
-    const auto n1 = cal1.nflop_for_loi(target);
-    const auto n2 = cal2.nflop_for_loi(target);
-    left.add_row({Table::num(target, 0), std::to_string(n1),
-                  Table::num(std::min(cal1.loi_for_nflop(n1), 100.0), 1),
-                  std::to_string(n2),
-                  Table::num(std::min(cal2.loi_for_nflop(n2), 100.0), 1)});
-  }
-  left.print(std::cout);
-
-  std::cout << "\n[middle] IC and PCM traffic vs. background intensity (12 threads):\n";
-  Table mid({"flops/element", "offered traffic GB/s", "PCM traffic GB/s (saturates)",
-             "interference coefficient"});
-  for (const std::uint32_t nflop : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
-    const double offered = core::lbench_offered_traffic_gbps(machine, machine.threads, nflop);
-    const double pcm = std::min(offered, machine.link_traffic_capacity_gbps);
-    const double util = offered / machine.link_traffic_capacity_gbps;
-    mid.add_row({std::to_string(nflop), Table::num(offered, 1), Table::num(pcm, 1),
-                 Table::num(core::interference_coefficient_at(machine, util), 2)});
-  }
-  mid.print(std::cout);
-  std::cout << "Note: PCM clamps at " << machine.link_traffic_capacity_gbps
-            << " GB/s for every intensity below ~8 flops/element, while the IC keeps\n"
-               "rising — LBench distinguishes saturated from contended links (Sec. 3.2).\n";
-
-  std::cout << "\n[right] interference coefficient induced by each application"
-            << " (50% pooled):\n";
-  Table right({"app", "IC (time-weighted)", "IC min phase", "IC max phase"});
-  const core::MultiLevelProfiler profiler(base);
-  for (const auto app : workloads::kAllApps) {
-    auto wl = workloads::make_workload(app, 1);
-    const auto l2 = profiler.level2(*wl, 0.5);
-    const auto induced = core::induced_interference(l2.run, machine);
-    right.add_row({wl->name(), Table::num(induced.ic_mean, 2), Table::num(induced.ic_min, 2),
-                   Table::num(induced.ic_max, 2)});
-  }
-  right.print(std::cout);
-  std::cout << "\nExpected shape (paper): NekRS and Hypre induce the most interference,\n"
-               "HPL and XSBench the least; compute phases dominate the spread (e.g.\n"
-               "Hypre's solve vs. its initialization).\n";
-  return 0;
-}
+int main(int argc, char** argv) { return memdis::bench::scenario_main("fig11", argc, argv); }

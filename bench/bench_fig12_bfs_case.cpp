@@ -1,89 +1,8 @@
-// Figure 12 (case study, Sec. 7.1): optimizing BFS data placement.
+// Figure 12 (case study, Sec. 7.1): optimizing BFS data placement —
+// baseline / parents-first / optimized variants at 50% and 75% pooling.
 //
-// Three variants at 50% and 75% pooled memory:
-//   baseline      — generation temporaries leak, Parents allocated last,
-//   parents-first — Parents allocated & initialized first (first change),
-//   optimized     — additionally frees the init temporaries (the 1-line fix).
-// Reports runtime, remote access bytes/ratio, and the interference
-// sensitivity of baseline vs. optimized.
-#include <iostream>
-#include <memory>
-
+// The variant×ratio grid, metrics, and summary live in the registered
+// "fig12" scenario; `memdis sweep --scenario fig12` runs the same entry.
 #include "bench_util.h"
-#include "common/table.h"
-#include "core/interference.h"
-#include "core/profiler.h"
-#include "workloads/bfs.h"
 
-int main() {
-  using namespace memdis;
-  bench::banner("Figure 12", "BFS data-placement optimization (Sec. 7.1 case study)");
-
-  const core::RunConfig base;
-  const auto make_bfs = [](workloads::BfsVariant variant) {
-    workloads::BfsParams params = workloads::BfsParams::at_scale(1, 42);
-    params.variant = variant;
-    return std::make_unique<workloads::Bfs>(params);
-  };
-  struct VariantDesc {
-    workloads::BfsVariant variant;
-    const char* name;
-  };
-  const VariantDesc variants[] = {
-      {workloads::BfsVariant::kBaseline, "baseline"},
-      {workloads::BfsVariant::kParentsFirst, "parents-first"},
-      {workloads::BfsVariant::kOptimized, "optimized"},
-  };
-
-  for (const double ratio : {0.50, 0.75}) {
-    std::cout << "\n--- " << Table::pct(ratio) << " pooled ---\n";
-    // The paper's BFS runtime is the traversal (p2); graph construction is
-    // the Ligra load step.
-    Table t({"variant", "BFS time (ms)", "speedup", "remote bytes (MB)", "%remote (p2)",
-             "%remote (total)"});
-    double base_time = 0.0;
-    for (const auto& [variant, name] : variants) {
-      auto wl = make_bfs(variant);
-      core::MultiLevelProfiler profiler(base);
-      const auto l2 = profiler.level2(*wl, ratio);
-      double time_ms = 0.0;
-      double p2_remote = 0.0;
-      for (const auto& phase : l2.run.phases) {
-        if (phase.tag == "p2") time_ms = phase.time_s * 1e3;
-      }
-      for (const auto& phase : l2.phases)
-        if (phase.tag == "p2") p2_remote = phase.remote_access_ratio;
-      if (variant == workloads::BfsVariant::kBaseline) base_time = time_ms;
-      t.add_row({name, Table::num(time_ms, 3),
-                 Table::num(base_time > 0 ? base_time / time_ms : 1.0, 3) + "x",
-                 Table::num(static_cast<double>(l2.run.counters.dram_bytes(
-                                memsim::Tier::kRemote)) /
-                                1e6,
-                            1),
-                 Table::pct(p2_remote), Table::pct(l2.remote_access_ratio_total)});
-    }
-    t.print(std::cout);
-  }
-
-  std::cout << "\nSensitivity to interference, baseline vs. optimized:\n";
-  Table s({"config", "LoI=0", "LoI=10", "LoI=20", "LoI=30", "LoI=40", "LoI=50"});
-  for (const double ratio : {0.50, 0.75}) {
-    for (const auto variant :
-         {workloads::BfsVariant::kBaseline, workloads::BfsVariant::kOptimized}) {
-      auto wl = make_bfs(variant);
-      const auto curve =
-          core::sensitivity_sweep(*wl, base, ratio, {0, 10, 20, 30, 40, 50});
-      std::vector<std::string> row{
-          Table::pct(ratio) + (variant == workloads::BfsVariant::kBaseline ? "-baseline"
-                                                                           : "-optimized")};
-      for (const auto& pt : curve) row.push_back(Table::num(pt.relative_performance, 3));
-      s.add_row(std::move(row));
-    }
-  }
-  s.print(std::cout);
-  std::cout << "\nExpected shape (paper): remote access ratio drops 99% -> 80% -> 50% at\n"
-               "75% pooling (13% total speedup); at 50% pooling the optimized version\n"
-               "nearly eliminates remote access; optimized BFS is much less sensitive\n"
-               "to interference.\n";
-  return 0;
-}
+int main(int argc, char** argv) { return memdis::bench::scenario_main("fig12", argc, argv); }

@@ -1,0 +1,65 @@
+// Sweep-engine throughput baseline: wall-clock of the fig06 sweep
+// (18 configurations) at jobs=1 vs jobs=hardware_concurrency, so future
+// PRs can track sweep throughput. Also re-checks the determinism contract
+// (parallel rows bit-identical to serial rows) on the real scenario.
+//
+// Usage: bench_sweep_scaling [--json PATH]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+int main(int argc, char** argv) {
+  using namespace memdis;
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--json") json_path = argv[++i];
+
+  bench::banner("Sweep scaling", "fig06 sweep wall-clock, serial vs. parallel");
+  const auto* scenario = core::ScenarioRegistry::instance().find("fig06");
+  if (!scenario) {
+    std::cerr << "error: fig06 scenario is not registered\n";
+    return 2;
+  }
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  const auto serial = core::run_scenario(*scenario, {.jobs = 1});
+  const auto parallel = core::run_scenario(*scenario, {.jobs = hw});
+  const bool identical = serial.rows_equal(parallel);
+  const double speedup = parallel.wall_seconds > 0 ? serial.wall_seconds / parallel.wall_seconds
+                                                   : 0.0;
+
+  Table t({"jobs", "configs", "wall (s)", "configs/s"});
+  t.add_row({"1", std::to_string(serial.rows.size()), Table::num(serial.wall_seconds, 3),
+             Table::num(static_cast<double>(serial.rows.size()) / serial.wall_seconds, 2)});
+  t.add_row({std::to_string(hw), std::to_string(parallel.rows.size()),
+             Table::num(parallel.wall_seconds, 3),
+             Table::num(static_cast<double>(parallel.rows.size()) / parallel.wall_seconds, 2)});
+  t.print(std::cout);
+  std::cout << "\nspeedup: " << Table::num(speedup, 2) << "x on " << hw
+            << " hardware threads; rows bit-identical: " << (identical ? "yes" : "NO") << "\n";
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"sweep_scaling\",\n"
+       << "  \"scenario\": \"fig06\",\n"
+       << "  \"configs\": " << serial.rows.size() << ",\n"
+       << "  \"hardware_concurrency\": " << hw << ",\n"
+       << "  \"wall_s_jobs1\": " << serial.wall_seconds << ",\n"
+       << "  \"wall_s_jobs_hw\": " << parallel.wall_seconds << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"rows_identical\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json.str();
+    std::cout << "baseline written to " << json_path << "\n";
+  } else {
+    std::cout << "\n" << json.str();
+  }
+  return identical ? 0 : 1;
+}

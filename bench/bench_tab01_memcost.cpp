@@ -51,7 +51,10 @@ int main() {
     total_ddr += ddr_musd;
     total_hbm += hbm_musd;
     const auto money = [](double musd) {
-      return musd == 0.0 ? std::string("-") : "$" + memdis::Table::num(musd, 1) + "M";
+      // std::string + append (not `"$" + ...`) dodges gcc 12's -Wrestrict
+      // false positive (PR105651) under -O2.
+      return musd == 0.0 ? std::string("-")
+                         : std::string("$").append(memdis::Table::num(musd, 1)) + "M";
     };
     t.add_row({s.system, memdis::Table::num(s.ddr_per_node_gb, 0) + " GB",
                memdis::Table::num(s.hbm_per_node_gb, 0) + " GB",

@@ -7,8 +7,14 @@
 namespace memdis {
 
 CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
-    : out_(path), columns_(header.size()) {
-  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+    : file_(path), out_(&file_), columns_(header.size()) {
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  expects(columns_ > 0, "csv needs at least one column");
+  write_row(header);
+}
+
+CsvWriter::CsvWriter(std::ostream& os, const std::vector<std::string>& header)
+    : out_(&os), columns_(header.size()) {
   expects(columns_ > 0, "csv needs at least one column");
   write_row(header);
 }
@@ -21,10 +27,10 @@ void CsvWriter::add_row(const std::vector<std::string>& row) {
 
 void CsvWriter::write_row(const std::vector<std::string>& row) {
   for (std::size_t i = 0; i < row.size(); ++i) {
-    out_ << escape(row[i]);
-    if (i + 1 < row.size()) out_ << ',';
+    *out_ << escape(row[i]);
+    if (i + 1 < row.size()) *out_ << ',';
   }
-  out_ << '\n';
+  *out_ << '\n';
 }
 
 std::string CsvWriter::escape(const std::string& field) {

@@ -3,17 +3,27 @@
 #pragma once
 
 #include <fstream>
+#include <ostream>
 #include <string>
 #include <vector>
 
 namespace memdis {
 
-/// Streams rows to a CSV file; values are escaped per RFC 4180 when needed.
+/// Streams rows to a CSV file or stream; values are escaped per RFC 4180
+/// when needed.
 class CsvWriter {
  public:
   /// Opens `path` for writing and emits the header row.
   /// Throws std::runtime_error if the file cannot be opened.
   CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes to an existing stream (not owned); emits the header row.
+  CsvWriter(std::ostream& os, const std::vector<std::string>& header);
+
+  // out_ may point at the writer's own file_ member, so default copy/move
+  // would leave it dangling.
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
 
   void add_row(const std::vector<std::string>& row);
 
@@ -23,7 +33,8 @@ class CsvWriter {
   void write_row(const std::vector<std::string>& row);
   static std::string escape(const std::string& field);
 
-  std::ofstream out_;
+  std::ofstream file_;       ///< backing file when constructed from a path
+  std::ostream* out_;        ///< the active sink (file_ or a borrowed stream)
   std::size_t columns_;
   std::size_t rows_ = 0;
 };

@@ -1,0 +1,53 @@
+// parallel_for: the repository's std::thread worker pool for embarrassingly
+// parallel index spaces (sweep tasks, batched runs).
+//
+// Work is handed out through an atomic cursor, so the *assignment* of task
+// to thread is racy by design — callers must make each task fully
+// self-contained (own RNG stream, own output slot) so results are identical
+// for any jobs count. The first exception thrown by any task is captured
+// and rethrown on the calling thread after all workers join.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace memdis {
+
+/// Executes fn(0) .. fn(n-1) on `jobs` threads. jobs <= 1 runs inline on
+/// the calling thread (no pool); jobs == 0 uses hardware_concurrency().
+template <typename Fn>
+void parallel_for(std::size_t n, unsigned jobs, Fn&& fn) {
+  if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
+  if (jobs <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  const unsigned nthreads = static_cast<unsigned>(std::min<std::size_t>(jobs, n));
+  threads.reserve(nthreads);
+  for (unsigned t = 0; t < nthreads; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace memdis

@@ -1,0 +1,45 @@
+#include "core/scenario_registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace memdis::core {
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry();
+    detail::register_builtin_scenarios(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  if (scenario.name.empty()) throw std::invalid_argument("scenario name must not be empty");
+  if (find(scenario.name) != nullptr)
+    throw std::invalid_argument("duplicate scenario '" + scenario.name + "'");
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const {
+  for (const auto& s : scenarios_)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::list() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& s : scenarios_) out.push_back(&s);
+  std::sort(out.begin(), out.end(),
+            [](const Scenario* a, const Scenario* b) { return a->name < b->name; });
+  return out;
+}
+
+SweepResult run_scenario(const Scenario& scenario, const SweepOptions& options) {
+  SweepResult result = run_sweep(scenario.spec, scenario.measure, options);
+  result.scenario = scenario.name;
+  return result;
+}
+
+}  // namespace memdis::core

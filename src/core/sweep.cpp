@@ -1,0 +1,227 @@
+#include "core/sweep.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/contract.h"
+#include "common/csv.h"
+#include "common/parallel_for.h"
+#include "common/rng.h"
+
+namespace memdis::core {
+
+namespace {
+
+/// Fixed-width shortest-roundtrip formatting so CSV/JSON artifacts are
+/// byte-identical across jobs counts and runs: %.17g round-trips every
+/// double, then trailing noise is avoided by preferring the shortest of
+/// %.15g/%.16g/%.17g that parses back exactly.
+std::string format_double(double v) {
+  char buf[64];
+  for (const int prec : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+memsim::MachineConfig machine_for_fabric(const std::string& fabric) {
+  if (fabric == "upi") return memsim::MachineConfig::skylake_testbed();
+  if (fabric == "cxl") return memsim::MachineConfig::cxl_direct_attached();
+  if (fabric == "cxl-switched") return memsim::MachineConfig::cxl_switched_pool();
+  if (fabric == "split") return memsim::MachineConfig::split_borrowing();
+  throw std::invalid_argument("unknown fabric '" + fabric +
+                              "' (expected upi|cxl|cxl-switched|split)");
+}
+
+RunConfig SweepPoint::run_config() const {
+  RunConfig rc;
+  rc.machine = machine_for_fabric(fabric);
+  rc.background_loi = loi;
+  rc.prefetch_enabled = prefetch;
+  if (ratio != kLocalOnly) rc.remote_capacity_ratio = ratio;
+  return rc;
+}
+
+std::unique_ptr<workloads::Workload> SweepPoint::make_workload() const {
+  return workloads::make_workload(app, scale, seed);
+}
+
+std::size_t SweepSpec::size() const {
+  return apps.size() * scales.size() * ratios.size() * lois.size() * fabrics.size() *
+         prefetch.size() * variants.size();
+}
+
+std::vector<SweepPoint> SweepSpec::expand() const {
+  expects(!apps.empty() && !scales.empty() && !ratios.empty() && !lois.empty() &&
+              !fabrics.empty() && !prefetch.empty() && !variants.empty(),
+          "SweepSpec axes must be non-empty");
+  std::vector<SweepPoint> points;
+  points.reserve(size());
+  for (const auto app : apps)
+    for (const int scale : scales)
+      for (const double ratio : ratios)
+        for (const double loi : lois)
+          for (const auto& fabric : fabrics)
+            for (const bool pf : prefetch)
+              for (const auto& variant : variants) {
+                SweepPoint p;
+                p.index = points.size();
+                p.app = app;
+                p.scale = scale;
+                p.ratio = ratio;
+                p.loi = loi;
+                p.fabric = fabric;
+                p.prefetch = pf;
+                p.variant = variant;
+                // Stream-split the base seed per task: the same point gets
+                // the same seed no matter which thread runs it, and
+                // neighbouring indices get statistically independent seeds.
+                p.seed = seed_per_task
+                             ? SplitMix64(base_seed ^ (0x9e3779b97f4a7c15ULL * (p.index + 1)))
+                                   .next()
+                             : base_seed;
+                points.push_back(std::move(p));
+              }
+  return points;
+}
+
+std::vector<std::string> SweepResult::metric_names() const {
+  std::vector<std::string> names;
+  for (const auto& row : rows)
+    for (const auto& [name, value] : row.metrics) {
+      (void)value;
+      if (std::find(names.begin(), names.end(), name) == names.end()) names.push_back(name);
+    }
+  return names;
+}
+
+void SweepResult::write_csv(std::ostream& os) const {
+  std::vector<std::string> header = {"index", "app",    "scale",    "ratio",
+                                     "loi",   "fabric", "prefetch", "variant",
+                                     "seed"};
+  const auto metrics = metric_names();
+  header.insert(header.end(), metrics.begin(), metrics.end());
+  CsvWriter csv(os, header);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {
+        std::to_string(row.point.index),
+        workloads::app_name(row.point.app),
+        std::to_string(row.point.scale),
+        row.point.ratio == kLocalOnly ? "local" : format_double(row.point.ratio),
+        format_double(row.point.loi),
+        row.point.fabric,
+        row.point.prefetch ? "on" : "off",
+        row.point.variant,
+        std::to_string(row.point.seed)};
+    for (const auto& name : metrics) {
+      const auto it = std::find_if(row.metrics.begin(), row.metrics.end(),
+                                   [&](const Metric& m) { return m.first == name; });
+      cells.push_back(it == row.metrics.end() ? "" : format_double(it->second));
+    }
+    csv.add_row(cells);
+  }
+}
+
+void SweepResult::write_csv_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  write_csv(out);
+}
+
+void SweepResult::write_json(std::ostream& os) const {
+  os << "{\n  \"scenario\": \"" << json_escape(scenario) << "\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    os << "    {\"index\": " << row.point.index << ", \"app\": \""
+       << workloads::app_name(row.point.app) << "\", \"scale\": " << row.point.scale
+       << ", \"ratio\": "
+       << (row.point.ratio == kLocalOnly ? std::string("null") : format_double(row.point.ratio))
+       << ", \"loi\": " << format_double(row.point.loi) << ", \"fabric\": \""
+       << json_escape(row.point.fabric) << "\", \"prefetch\": "
+       << (row.point.prefetch ? "true" : "false") << ", \"variant\": \""
+       << json_escape(row.point.variant) << "\", \"seed\": " << row.point.seed
+       << ", \"metrics\": {";
+    for (std::size_t m = 0; m < row.metrics.size(); ++m) {
+      os << (m ? ", " : "") << "\"" << json_escape(row.metrics[m].first)
+         << "\": " << format_double(row.metrics[m].second);
+    }
+    os << "}}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+void SweepResult::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  write_json(out);
+}
+
+bool SweepResult::rows_equal(const SweepResult& other) const {
+  if (rows.size() != other.rows.size()) return false;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& a = rows[i];
+    const auto& b = other.rows[i];
+    if (a.point.index != b.point.index || a.point.app != b.point.app ||
+        a.point.scale != b.point.scale || a.point.ratio != b.point.ratio ||
+        a.point.loi != b.point.loi || a.point.fabric != b.point.fabric ||
+        a.point.prefetch != b.point.prefetch || a.point.variant != b.point.variant ||
+        a.point.seed != b.point.seed || a.metrics.size() != b.metrics.size())
+      return false;
+    for (std::size_t m = 0; m < a.metrics.size(); ++m) {
+      if (a.metrics[m].first != b.metrics[m].first) return false;
+      // Bit-pattern comparison: NaN-safe and stricter than ==.
+      std::uint64_t abits = 0, bbits = 0;
+      static_assert(sizeof(double) == sizeof(std::uint64_t));
+      std::memcpy(&abits, &a.metrics[m].second, sizeof(abits));
+      std::memcpy(&bbits, &b.metrics[m].second, sizeof(bbits));
+      if (abits != bbits) return false;
+    }
+  }
+  return true;
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const MeasureFn& measure,
+                      const SweepOptions& options) {
+  expects(static_cast<bool>(measure), "run_sweep requires a measure function");
+  const auto points = spec.expand();
+  SweepResult result;
+  result.rows.resize(points.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  parallel_for(points.size(), options.jobs, [&](std::size_t i) {
+    result.rows[i].point = points[i];
+    result.rows[i].metrics = measure(points[i]);
+  });
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace memdis::core

@@ -343,7 +343,9 @@ Level2Profile fake_level2(double r_cap, double r_bw,
   int i = 0;
   for (const auto& [ratio, weight] : phase_ratio_weight) {
     PhaseTierAccess pa;
-    pa.tag = "p" + std::to_string(++i);
+    // Built via std::string + append (not `"p" + std::to_string(...)`) to
+    // dodge gcc 12's -Wrestrict false positive (PR105651) under -O2.
+    pa.tag = std::string("p").append(std::to_string(++i));
     pa.remote_access_ratio = ratio;
     pa.weight = weight;
     p.phases.push_back(pa);

@@ -5,13 +5,16 @@
 // prefetch, setup_waste, gauge_loop, upi.sh). Subcommands map onto the
 // same workflow steps:
 //
-//   memdis machine [--fabric upi|cxl|cxl-switched]
+//   memdis machine [--fabric upi|cxl|cxl-switched|split]
 //   memdis level1  --app HPL [--scale 1] [--csv file]
 //   memdis level2  --app BFS --ratio 0.75
 //   memdis level3  --app Hypre --ratio 0.5 [--lois 0,10,20,30,40,50]
 //   memdis lbench  [--nflop 1] [--threads 12] [--elements 1048576]
 //   memdis report  [--scale 1]
+//   memdis scenarios
+//   memdis sweep   --scenario fig06 [--jobs N] [--out dir] [--csv file]
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -24,6 +27,8 @@
 #include "core/advisor.h"
 #include "core/interference.h"
 #include "core/profiler.h"
+#include "core/scenario_registry.h"
+#include "core/sweep.h"
 #include "native/lbench_native.h"
 #include "workloads/lbench.h"
 
@@ -42,6 +47,9 @@ struct Args {
   int threads = 12;
   std::size_t elements = 1 << 20;
   std::optional<std::string> csv_path;
+  std::optional<std::string> scenario;
+  unsigned jobs = 1;
+  std::optional<std::string> out_dir;
 };
 
 void usage(std::ostream& os) {
@@ -53,11 +61,16 @@ void usage(std::ostream& os) {
      << "  level3    interference sensitivity sweep + induced IC\n"
      << "  lbench    run the LBench kernel natively (std::thread)\n"
      << "  report    verification/traffic sweep over all applications\n"
+     << "  scenarios list the registered sweep scenarios\n"
+     << "  sweep     run a registered scenario on the parallel sweep engine\n"
      << "options:\n"
      << "  --app NAME        HPL|SuperLU|NekRS|Hypre|BFS|XSBench\n"
      << "  --scale N         input scale 1|2|4 (default 1)\n"
      << "  --ratio R         remote capacity ratio in [0,1) (default 0.5)\n"
-     << "  --fabric F        upi|cxl|cxl-switched (default upi)\n"
+     << "  --fabric F        upi|cxl|cxl-switched|split (default upi)\n"
+     << "  --scenario NAME   sweep scenario (see `memdis scenarios`)\n"
+     << "  --jobs N          sweep worker threads; 0 = hardware concurrency (default 1)\n"
+     << "  --out DIR         write <scenario>.csv and <scenario>.json artifacts to DIR\n"
      << "  --lois CSV        LoI sweep levels (default 0,10,20,30,40,50)\n"
      << "  --nflop N         LBench flops/element (default 1)\n"
      << "  --threads N       LBench threads (default 12)\n"
@@ -101,6 +114,12 @@ std::optional<Args> parse(int argc, char** argv) {
       args.elements = static_cast<std::size_t>(std::atoll(value->c_str()));
     } else if (flag == "--csv") {
       args.csv_path = *value;
+    } else if (flag == "--scenario") {
+      args.scenario = *value;
+    } else if (flag == "--jobs") {
+      args.jobs = static_cast<unsigned>(std::atoi(value->c_str()));
+    } else if (flag == "--out") {
+      args.out_dir = *value;
     } else {
       std::cerr << "unknown option " << flag << "\n";
       return std::nullopt;
@@ -116,9 +135,7 @@ std::optional<workloads::App> app_of(const std::string& name) {
 }
 
 memsim::MachineConfig machine_of(const std::string& fabric) {
-  if (fabric == "cxl") return memsim::MachineConfig::cxl_direct_attached();
-  if (fabric == "cxl-switched") return memsim::MachineConfig::cxl_switched_pool();
-  return memsim::MachineConfig::skylake_testbed();
+  return core::machine_for_fabric(fabric);
 }
 
 int cmd_machine(const Args& args) {
@@ -235,6 +252,48 @@ int cmd_lbench(const Args& args) {
   return res.verified ? 0 : 1;
 }
 
+int cmd_scenarios(const Args&) {
+  Table t({"scenario", "artifact", "configs", "description"});
+  for (const auto* s : core::ScenarioRegistry::instance().list())
+    t.add_row({s->name, s->artifact, std::to_string(s->spec.size()), s->caption});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  if (!args.scenario) {
+    std::cerr << "error: sweep requires --scenario (see `memdis scenarios`)\n";
+    return 2;
+  }
+  const auto* scenario = core::ScenarioRegistry::instance().find(*args.scenario);
+  if (!scenario) {
+    std::cerr << "error: unknown scenario '" << *args.scenario << "'\n";
+    cmd_scenarios(args);
+    return 2;
+  }
+  std::cout << scenario->artifact << " — " << scenario->caption << "\n"
+            << scenario->spec.size() << " configurations, jobs=" << args.jobs << "\n";
+  core::SweepOptions options;
+  options.jobs = args.jobs;
+  const auto result = core::run_scenario(*scenario, options);
+  std::cout << "sweep finished in " << Table::num(result.wall_seconds, 2) << " s ("
+            << result.rows.size() << " rows)\n\n";
+  if (scenario->summarize) scenario->summarize(result, std::cout);
+  if (args.out_dir) {
+    std::filesystem::create_directories(*args.out_dir);
+    const auto csv = *args.out_dir + "/" + scenario->name + ".csv";
+    const auto json = *args.out_dir + "/" + scenario->name + ".json";
+    result.write_csv_file(csv);
+    result.write_json_file(json);
+    std::cout << "\nartifacts written to " << csv << " and " << json << "\n";
+  }
+  if (args.csv_path) {
+    result.write_csv_file(*args.csv_path);
+    std::cout << "\nsweep rows written to " << *args.csv_path << "\n";
+  }
+  return 0;
+}
+
 int cmd_report(const Args& args) {
   Table t({"app", "verified", "sim time (ms)", "AI", "DRAM GB/s", "skew"});
   core::RunConfig rc;
@@ -265,6 +324,8 @@ int main(int argc, char** argv) {
     if (args->command == "machine") return cmd_machine(*args);
     if (args->command == "lbench") return cmd_lbench(*args);
     if (args->command == "report") return cmd_report(*args);
+    if (args->command == "scenarios") return cmd_scenarios(*args);
+    if (args->command == "sweep") return cmd_sweep(*args);
     if (args->command == "level1" || args->command == "level2" || args->command == "level3") {
       if (!args->app) {
         std::cerr << "error: " << args->command << " requires --app\n";
