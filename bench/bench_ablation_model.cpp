@@ -56,7 +56,7 @@ int main() {
   Table c({"queue weight", "relative performance at LoI=50"});
   for (const double qw : {0.06, 0.12, 0.24}) {
     core::RunConfig cfg;
-    cfg.machine.link_queue_weight = qw;
+    cfg.machine.pool_link().queue_weight = qw;
     auto wl = workloads::make_workload(workloads::App::kHypre, 1);
     const auto curve = core::sensitivity_sweep(*wl, cfg, 0.5, {0, 50});
     c.add_row({Table::num(qw, 2), Table::num(curve.back().relative_performance, 3)});

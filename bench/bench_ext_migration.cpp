@@ -48,7 +48,7 @@ Outcome run_bfs(memdis::workloads::BfsVariant variant,
     const auto total = static_cast<double>(phase.counters.dram_bytes_total());
     out.p2_remote =
         total > 0
-            ? static_cast<double>(phase.counters.dram_bytes(memsim::Tier::kRemote)) / total
+            ? static_cast<double>(phase.counters.fabric_dram_bytes()) / total
             : 0.0;
   }
   out.promoted = runtime.pages_promoted();

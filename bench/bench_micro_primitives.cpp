@@ -56,7 +56,7 @@ BENCHMARK(BM_PrefetcherObserve);
 
 void BM_PageFirstTouch(benchmark::State& state) {
   memsim::MachineConfig mcfg;
-  mcfg.local.capacity_bytes = 1ULL << 40;
+  mcfg.node_tier().capacity_bytes = 1ULL << 40;
   memsim::TieredMemory mem(mcfg);
   const auto range = mem.alloc(8ULL << 30);
   std::uint64_t addr = range.base;
@@ -69,7 +69,7 @@ void BM_PageFirstTouch(benchmark::State& state) {
 BENCHMARK(BM_PageFirstTouch);
 
 void BM_LinkLatencyModel(benchmark::State& state) {
-  memsim::LinkModel link((memsim::MachineConfig()));
+  memsim::LinkModel link(memsim::MachineConfig().pool_tier());
   link.set_background_loi(35.0);
   double rate = 0.0;
   for (auto _ : state) {

@@ -20,8 +20,8 @@ int main(int argc, char** argv) {
   const core::MultiLevelProfiler profiler;
   const auto& machine = profiler.base_config().machine;
 
-  std::cout << "Node design: " << machine.local.bandwidth_gbps << " GB/s local tier, "
-            << machine.remote.bandwidth_gbps << " GB/s pool link (R_bw = "
+  std::cout << "Node design: " << machine.node_tier().bandwidth_gbps << " GB/s local tier, "
+            << machine.pool_tier().bandwidth_gbps << " GB/s pool link (R_bw = "
             << Table::pct(machine.remote_bandwidth_ratio()) << ")\n\n";
 
   Table t({"app", "footprint", "hot set for 90% traffic", "max pooled frac (perf-neutral)",

@@ -15,7 +15,7 @@ HwCounters HwCounters::delta_since(const HwCounters& earlier) const {
   d.useless_hwpf = useless_hwpf - earlier.useless_hwpf;
   d.pf_hits = pf_hits - earlier.pf_hits;
   d.offcore_l3_miss = offcore_l3_miss - earlier.offcore_l3_miss;
-  for (int i = 0; i < memsim::kNumTiers; ++i) {
+  for (int i = 0; i < memsim::kMaxTiers; ++i) {
     d.offcore_dram[i] = offcore_dram[i] - earlier.offcore_dram[i];
     d.demand_dram[i] = demand_dram[i] - earlier.demand_dram[i];
     d.dram_read_bytes[i] = dram_read_bytes[i] - earlier.dram_read_bytes[i];
@@ -36,7 +36,7 @@ HwCounters& HwCounters::operator+=(const HwCounters& other) {
   useless_hwpf += other.useless_hwpf;
   pf_hits += other.pf_hits;
   offcore_l3_miss += other.offcore_l3_miss;
-  for (int i = 0; i < memsim::kNumTiers; ++i) {
+  for (int i = 0; i < memsim::kMaxTiers; ++i) {
     offcore_dram[i] += other.offcore_dram[i];
     demand_dram[i] += other.demand_dram[i];
     dram_read_bytes[i] += other.dram_read_bytes[i];

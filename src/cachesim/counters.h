@@ -5,6 +5,10 @@
 // the L2 prefetcher events PF_L2_DATA_RD / PF_L2_RFO / USELESS_HWPF, and
 // L2_LINES_IN. The profiler computes prefetch Accuracy/Coverage (Eq. 1–2)
 // and the remote access ratio (Sec. 5.1) from exactly these counters.
+//
+// Per-tier events are fixed-size arrays indexed by TierId (kMaxTiers slots;
+// tiers beyond the active topology stay zero) so counters remain cheap to
+// copy for the engine's per-epoch deltas.
 #pragma once
 
 #include <array>
@@ -31,27 +35,38 @@ struct HwCounters {
 
   // Offcore responses: lines retrieved from DRAM (demand + prefetch).
   std::uint64_t offcore_l3_miss = 0;
-  std::array<std::uint64_t, memsim::kNumTiers> offcore_dram{};  ///< per-tier line fetches
+  std::array<std::uint64_t, memsim::kMaxTiers> offcore_dram{};  ///< per-tier line fetches
 
   // Demand misses that had to wait for DRAM (not covered by a prefetch).
-  std::array<std::uint64_t, memsim::kNumTiers> demand_dram{};
+  std::array<std::uint64_t, memsim::kMaxTiers> demand_dram{};
 
   // Byte-level DRAM traffic per tier (reads + writebacks), for bandwidth
-  // accounting and the UPI-style link traffic measurement.
-  std::array<std::uint64_t, memsim::kNumTiers> dram_read_bytes{};
-  std::array<std::uint64_t, memsim::kNumTiers> dram_writeback_bytes{};
+  // accounting and the link traffic measurement.
+  std::array<std::uint64_t, memsim::kMaxTiers> dram_read_bytes{};
+  std::array<std::uint64_t, memsim::kMaxTiers> dram_writeback_bytes{};
 
   [[nodiscard]] std::uint64_t accesses() const { return loads + stores; }
   [[nodiscard]] std::uint64_t prefetch_fills() const { return pf_l2_data_rd + pf_l2_rfo; }
   [[nodiscard]] std::uint64_t demand_dram_total() const {
-    return demand_dram[0] + demand_dram[1];
+    std::uint64_t sum = 0;
+    for (const auto d : demand_dram) sum += d;
+    return sum;
   }
-  [[nodiscard]] std::uint64_t dram_bytes(memsim::Tier t) const {
-    const int i = memsim::tier_index(t);
+  [[nodiscard]] std::uint64_t dram_bytes(memsim::TierId t) const {
+    const auto i = static_cast<std::size_t>(t);
     return dram_read_bytes[i] + dram_writeback_bytes[i];
   }
   [[nodiscard]] std::uint64_t dram_bytes_total() const {
-    return dram_bytes(memsim::Tier::kLocal) + dram_bytes(memsim::Tier::kRemote);
+    std::uint64_t sum = 0;
+    for (int t = 0; t < memsim::kMaxTiers; ++t) sum += dram_bytes(t);
+    return sum;
+  }
+  /// DRAM bytes served by the node tier.
+  [[nodiscard]] std::uint64_t node_dram_bytes() const { return dram_bytes(memsim::kNodeTier); }
+  /// DRAM bytes served off the node — all fabric tiers combined (the
+  /// "remote" side of the paper's two-tier R_access ratio).
+  [[nodiscard]] std::uint64_t fabric_dram_bytes() const {
+    return dram_bytes_total() - node_dram_bytes();
   }
 
   /// Counter-wise difference (this - earlier); used for per-epoch deltas.

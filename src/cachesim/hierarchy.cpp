@@ -29,7 +29,7 @@ AccessResult CacheHierarchy::access(std::uint64_t vaddr, bool is_store) {
 
   if (l1_.access(vaddr, is_store).hit) {
     ++counters_.l1_hits;
-    return AccessResult{HitLevel::kL1, memsim::Tier::kLocal, false};
+    return AccessResult{HitLevel::kL1, memsim::kNodeTier, false};
   }
 
   // L1 miss: the L2 access stream is what trains the streamer.
@@ -37,7 +37,7 @@ AccessResult CacheHierarchy::access(std::uint64_t vaddr, bool is_store) {
   const auto l2_hit = l2_.access(vaddr, is_store);
   if (l2_hit.hit) {
     ++counters_.l2_hits;
-    result = AccessResult{HitLevel::kL2, memsim::Tier::kLocal, l2_hit.first_use_of_prefetch};
+    result = AccessResult{HitLevel::kL2, memsim::kNodeTier, l2_hit.first_use_of_prefetch};
     if (l2_hit.first_use_of_prefetch) {
       ++counters_.pf_hits;
       prefetcher_.record_useful();
@@ -46,9 +46,9 @@ AccessResult CacheHierarchy::access(std::uint64_t vaddr, bool is_store) {
     ++counters_.l3_hits;
     ++counters_.l2_lines_in;
     if (auto ev = l2_.fill(vaddr, is_store, /*prefetched=*/false)) handle_l2_eviction(*ev);
-    result = AccessResult{HitLevel::kL3, memsim::Tier::kLocal, false};
+    result = AccessResult{HitLevel::kL3, memsim::kNodeTier, false};
   } else {
-    const memsim::Tier tier = dram_fetch(vaddr, /*demand=*/true);
+    const memsim::TierId tier = dram_fetch(vaddr, /*demand=*/true);
     // PEBS records demand *load* misses (Sec. 3.1); RFO misses are excluded.
     if (!is_store) pebs_.sample(vaddr, tier);
     if (auto ev = l3_.fill(vaddr, /*dirty=*/false, /*prefetched=*/false))
@@ -95,9 +95,9 @@ void CacheHierarchy::issue_prefetches(std::uint64_t vaddr, bool is_store) {
   }
 }
 
-memsim::Tier CacheHierarchy::dram_fetch(std::uint64_t line_addr, bool demand) {
-  const memsim::Tier tier = mem_.touch(line_addr);
-  const int ti = memsim::tier_index(tier);
+memsim::TierId CacheHierarchy::dram_fetch(std::uint64_t line_addr, bool demand) {
+  const memsim::TierId tier = mem_.touch(line_addr);
+  const auto ti = static_cast<std::size_t>(tier);
   ++counters_.offcore_l3_miss;
   ++counters_.offcore_dram[ti];
   counters_.dram_read_bytes[ti] += l2_.line_bytes();
@@ -125,8 +125,8 @@ void CacheHierarchy::handle_l3_eviction(const Eviction& ev) {
 
 void CacheHierarchy::writeback_to_dram(std::uint64_t line_addr) {
   // The line was filled from DRAM earlier, so its page is resident.
-  const memsim::Tier tier = mem_.tier_of(line_addr);
-  counters_.dram_writeback_bytes[memsim::tier_index(tier)] += l2_.line_bytes();
+  const memsim::TierId tier = mem_.tier_of(line_addr);
+  counters_.dram_writeback_bytes[static_cast<std::size_t>(tier)] += l2_.line_bytes();
 }
 
 void CacheHierarchy::drain() {

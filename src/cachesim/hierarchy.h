@@ -1,5 +1,5 @@
 // CacheHierarchy: L1D + L2 (with stream prefetcher) + shared L3, backed by
-// the two-tier memory of `memsim`. Every simulated load/store funnels
+// the N-tier memory of `memsim`. Every simulated load/store funnels
 // through here; the hierarchy maintains the paper's hardware counters.
 //
 // Simplifications vs. Skylake-X (documented deviations):
@@ -39,8 +39,8 @@ enum class HitLevel : std::uint8_t { kL1, kL2, kL3, kDram };
 
 struct AccessResult {
   HitLevel level = HitLevel::kL1;
-  memsim::Tier tier = memsim::Tier::kLocal;  ///< valid when level == kDram
-  bool covered_by_prefetch = false;          ///< first demand use of a prefetched line
+  memsim::TierId tier = memsim::kNodeTier;  ///< valid when level == kDram
+  bool covered_by_prefetch = false;         ///< first demand use of a prefetched line
 };
 
 class CacheHierarchy {
@@ -64,7 +64,7 @@ class CacheHierarchy {
 
  private:
   /// Fetches one line from DRAM on behalf of a demand miss or a prefetch.
-  memsim::Tier dram_fetch(std::uint64_t line_addr, bool demand);
+  memsim::TierId dram_fetch(std::uint64_t line_addr, bool demand);
   void handle_l2_eviction(const Eviction& ev);
   void handle_l3_eviction(const Eviction& ev);
   void writeback_to_dram(std::uint64_t line_addr);

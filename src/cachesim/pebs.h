@@ -1,6 +1,6 @@
 // PEBS-style sampling of demand-miss virtual addresses (Sec. 3.1, Level 1:
 // "precise event-based sampling to record the virtual address of demand
-// load misses", extended at Level 2 by splitting local/remote).
+// load misses", extended at Level 2 by splitting the samples per tier).
 //
 // The page-granular histogram collected here drives the bandwidth–capacity
 // scaling curves of Fig. 6.
@@ -23,10 +23,11 @@ class PebsSampler {
     expects(period >= 1, "PEBS period must be >= 1");
   }
 
-  void sample(std::uint64_t vaddr, memsim::Tier tier) {
+  void sample(std::uint64_t vaddr, memsim::TierId tier) {
+    expects(tier >= 0 && tier < memsim::kMaxTiers, "tier id out of range");
     if (++event_counter_ % period_ != 0) return;
     ++page_counts_[vaddr / page_bytes_];
-    ++tier_samples_[memsim::tier_index(tier)];
+    ++tier_samples_[static_cast<std::size_t>(tier)];
   }
 
   /// Accesses-per-page histogram (sampled).
@@ -34,11 +35,14 @@ class PebsSampler {
     return page_counts_;
   }
 
-  [[nodiscard]] std::uint64_t samples(memsim::Tier t) const {
-    return tier_samples_[memsim::tier_index(t)];
+  [[nodiscard]] std::uint64_t samples(memsim::TierId t) const {
+    expects(t >= 0 && t < memsim::kMaxTiers, "tier id out of range");
+    return tier_samples_[static_cast<std::size_t>(t)];
   }
   [[nodiscard]] std::uint64_t total_samples() const {
-    return tier_samples_[0] + tier_samples_[1];
+    std::uint64_t sum = 0;
+    for (const auto s : tier_samples_) sum += s;
+    return sum;
   }
   [[nodiscard]] std::uint64_t period() const { return period_; }
 
@@ -53,7 +57,7 @@ class PebsSampler {
   std::uint64_t page_bytes_;
   std::uint64_t event_counter_ = 0;
   std::unordered_map<std::uint64_t, std::uint64_t> page_counts_;
-  std::array<std::uint64_t, memsim::kNumTiers> tier_samples_{};
+  std::array<std::uint64_t, memsim::kMaxTiers> tier_samples_{};
 };
 
 }  // namespace memdis::cachesim

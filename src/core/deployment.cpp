@@ -73,7 +73,7 @@ DeploymentOption DeploymentPlanner::cost_out(const JobRequirements& job, int nod
   const double t_mem = job.dram_traffic_bytes / n / b_eff;
   // Latency exposure: the share of remote traffic not covered by prefetch
   // pays the extra remote latency, amortized over line transfers.
-  const double extra_lat_s = ns_to_s(m.remote.latency_ns - m.local.latency_ns);
+  const double extra_lat_s = ns_to_s(m.pool_tier().latency_ns - m.node_tier().latency_ns);
   const double uncovered_lines = job.dram_traffic_bytes / n / 64.0 *
                                  opt.remote_access_ratio *
                                  (1.0 - job.prefetch_coverage);

@@ -5,16 +5,22 @@
 
 namespace memdis::core {
 
+std::uint64_t RunOutput::resident_fabric_bytes() const {
+  std::uint64_t sum = 0;
+  for (std::size_t t = 1; t < resident_bytes.size(); ++t) sum += resident_bytes[t];
+  return sum;
+}
+
 double RunOutput::remote_access_ratio() const {
   const auto total = static_cast<double>(counters.dram_bytes_total());
   if (total == 0) return 0.0;
-  return static_cast<double>(counters.dram_bytes(memsim::Tier::kRemote)) / total;
+  return static_cast<double>(counters.fabric_dram_bytes()) / total;
 }
 
 double RunOutput::remote_capacity_ratio() const {
-  const auto total = static_cast<double>(resident_local_bytes + resident_remote_bytes);
+  const auto total = static_cast<double>(resident_node_bytes() + resident_fabric_bytes());
   if (total == 0) return 0.0;
-  return static_cast<double>(resident_remote_bytes) / total;
+  return static_cast<double>(resident_fabric_bytes()) / total;
 }
 
 double RunOutput::arithmetic_intensity() const {
@@ -26,14 +32,17 @@ double RunOutput::arithmetic_intensity() const {
 double RunOutput::mean_offered_link_utilization(const memsim::MachineConfig& m) const {
   if (elapsed_s <= 0) return 0.0;
   const double remote_gbps = bytes_per_sec_to_gbps(
-      static_cast<double>(counters.dram_bytes(memsim::Tier::kRemote)) / elapsed_s);
-  return remote_gbps * m.link_protocol_overhead / m.link_traffic_capacity_gbps;
+      static_cast<double>(counters.fabric_dram_bytes()) / elapsed_s);
+  return remote_gbps * m.pool_link().protocol_overhead / m.pool_link().traffic_capacity_gbps;
 }
 
 RunOutput run_workload(workloads::Workload& workload, const RunConfig& cfg) {
   sim::EngineConfig ecfg;
   ecfg.machine = cfg.machine;
-  if (cfg.remote_capacity_ratio) {
+  if (cfg.capacity_fractions) {
+    ecfg.machine =
+        cfg.machine.with_capacity_fractions(*cfg.capacity_fractions, workload.footprint_bytes());
+  } else if (cfg.remote_capacity_ratio) {
     ecfg.machine = cfg.machine.with_remote_capacity_ratio(*cfg.remote_capacity_ratio,
                                                           workload.footprint_bytes());
   }
@@ -59,11 +68,10 @@ RunOutput run_workload(workloads::Workload& workload, const RunConfig& cfg) {
   // a numa_maps sampler would have seen while the job ran).
   std::uint64_t best = 0;
   for (const auto& epoch : out.epochs) {
-    const std::uint64_t total = epoch.resident_local_bytes + epoch.resident_remote_bytes;
+    const std::uint64_t total = epoch.resident_total_bytes();
     if (total >= best) {
       best = total;
-      out.resident_local_bytes = epoch.resident_local_bytes;
-      out.resident_remote_bytes = epoch.resident_remote_bytes;
+      out.resident_bytes = epoch.resident_bytes;
     }
   }
   out.allocations = eng.allocations();
@@ -73,7 +81,7 @@ RunOutput run_workload(workloads::Workload& workload, const RunConfig& cfg) {
 double phase_remote_access_ratio(const sim::PhaseRecord& phase) {
   const auto total = static_cast<double>(phase.counters.dram_bytes_total());
   if (total == 0) return 0.0;
-  return static_cast<double>(phase.counters.dram_bytes(memsim::Tier::kRemote)) / total;
+  return static_cast<double>(phase.counters.fabric_dram_bytes()) / total;
 }
 
 double phase_arithmetic_intensity(const sim::PhaseRecord& phase) {

@@ -21,9 +21,14 @@ struct RunConfig {
   cachesim::HierarchyConfig hierarchy{};
   double background_loi = 0.0;   ///< injected interference (% of link peak)
   bool prefetch_enabled = true;  ///< MSR 0x1a4 analogue
-  /// When set, shrinks the local tier so this fraction of the workload's
-  /// footprint spills to the pool (the paper's setup_waste step, Fig. 4 III).
+  /// When set, shrinks the node tier so this fraction of the workload's
+  /// footprint spills off-node (the paper's setup_waste step, Fig. 4 III).
   std::optional<double> remote_capacity_ratio;
+  /// When set, shapes per-tier capacities as fractions of the workload's
+  /// footprint (MachineConfig::with_capacity_fractions) — the N-tier
+  /// generalization of remote_capacity_ratio for spill-chain experiments.
+  /// Takes precedence over remote_capacity_ratio when both are set.
+  std::optional<std::vector<double>> capacity_fractions;
 };
 
 /// Everything captured from one run.
@@ -36,11 +41,17 @@ struct RunOutput {
   std::vector<sim::EpochRecord> epochs;
   std::unordered_map<std::uint64_t, std::uint64_t> page_accesses;  ///< PEBS histogram
   std::uint64_t peak_rss_bytes = 0;
-  std::uint64_t resident_local_bytes = 0;   ///< at end of run
-  std::uint64_t resident_remote_bytes = 0;
+  /// Per-tier resident bytes at peak residency (what a numa_maps sampler
+  /// would have seen while the job ran), indexed by TierId.
+  std::vector<std::uint64_t> resident_bytes;
   std::vector<sim::AllocationInfo> allocations;
 
-  /// Fraction of DRAM bytes served by the remote tier (R_access^remote).
+  [[nodiscard]] std::uint64_t resident_node_bytes() const {
+    return resident_bytes.empty() ? 0 : resident_bytes[memsim::kNodeTier];
+  }
+  [[nodiscard]] std::uint64_t resident_fabric_bytes() const;
+
+  /// Fraction of DRAM bytes served off the node tier (R_access^remote).
   [[nodiscard]] double remote_access_ratio() const;
   /// Measured remote capacity ratio at peak (R_cap^remote).
   [[nodiscard]] double remote_capacity_ratio() const;

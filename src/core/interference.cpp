@@ -19,12 +19,12 @@ double lbench_offered_traffic_gbps(const memsim::MachineConfig& m, int threads,
   const double data_bytes_per_element = 16.0;
   const double data_gbps =
       bytes_per_sec_to_gbps(elements_per_s_flop_bound * data_bytes_per_element);
-  return data_gbps * m.link_protocol_overhead;
+  return data_gbps * m.pool_link().protocol_overhead;
 }
 
 double lbench_offered_utilization(const memsim::MachineConfig& m, int threads,
                                   std::uint32_t nflop) {
-  return lbench_offered_traffic_gbps(m, threads, nflop) / m.link_traffic_capacity_gbps;
+  return lbench_offered_traffic_gbps(m, threads, nflop) / m.pool_link().traffic_capacity_gbps;
 }
 
 LbenchCalibration::LbenchCalibration(const memsim::MachineConfig& machine, int threads)
@@ -34,7 +34,7 @@ LbenchCalibration::LbenchCalibration(const memsim::MachineConfig& machine, int t
     LoiCalibrationPoint p;
     p.nflop = nflop;
     const double offered = lbench_offered_traffic_gbps(machine, threads, nflop);
-    p.offered_loi = 100.0 * offered / machine.link_traffic_capacity_gbps;
+    p.offered_loi = 100.0 * offered / machine.pool_link().traffic_capacity_gbps;
     p.measured_loi = std::min(p.offered_loi, 100.0);
     points_.push_back(p);
   }
@@ -56,7 +56,7 @@ double LbenchCalibration::loi_for_nflop(std::uint32_t nflop) const {
 double interference_coefficient_at(const memsim::MachineConfig& m,
                                    double offered_utilization) {
   expects(offered_utilization >= 0.0, "offered utilization cannot be negative");
-  memsim::LinkModel link(m);
+  memsim::LinkModel link(m.pool_tier());
   link.set_background_loi(std::min(offered_utilization * 100.0, 2000.0));
   // The 1-thread 1-flop probe is latency-bound on the pool link: its runtime
   // scales with the effective access latency, so IC equals the queue-delay
@@ -73,9 +73,9 @@ InducedInterference induced_interference(const RunOutput& run,
   for (const auto& phase : run.phases) {
     if (phase.time_s <= 0) continue;
     const double remote_gbps = bytes_per_sec_to_gbps(
-        static_cast<double>(phase.counters.dram_bytes(memsim::Tier::kRemote)) / phase.time_s);
+        static_cast<double>(phase.counters.fabric_dram_bytes()) / phase.time_s);
     const double offered =
-        remote_gbps * m.link_protocol_overhead / m.link_traffic_capacity_gbps;
+        remote_gbps * m.pool_link().protocol_overhead / m.pool_link().traffic_capacity_gbps;
     const double ic = interference_coefficient_at(m, offered);
     weighted += ic * phase.time_s;
     total_time += phase.time_s;

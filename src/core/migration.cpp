@@ -5,6 +5,17 @@
 
 namespace memdis::core {
 
+namespace {
+/// Demotion target: the first fabric tier with room (tier 1 in every
+/// built-in preset). When every fabric tier is full the last tier is
+/// returned and migrate() simply moves nothing.
+memsim::TierId demote_target(const memsim::TieredMemory& mem) {
+  for (memsim::TierId t = 1; t < mem.num_tiers(); ++t)
+    if (mem.free_bytes(t) >= mem.page_bytes()) return t;
+  return mem.num_tiers() - 1;
+}
+}  // namespace
+
 void MigrationRuntime::attach(sim::Engine& eng) {
   eng.set_epoch_callback([this](sim::Engine& e) { on_epoch(e); });
 }
@@ -29,7 +40,7 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
     const std::uint64_t heat = count - (it == last_hist_.end() ? 0 : it->second);
     const std::uint64_t addr = page * page_bytes;
     if (!mem.resident(addr)) continue;
-    if (mem.tier_of(addr) == memsim::Tier::kRemote) {
+    if (mem.tier_of(addr) != memsim::kNodeTier) {
       if (heat >= cfg_.min_heat) hot_remote.push_back({page, heat});
     } else {
       cold_local.push_back({page, heat});
@@ -48,7 +59,7 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
   for (const auto& cand : hot_remote) {
     if (budget == 0) break;
     const memsim::VRange range{cand.page * page_bytes, page_bytes};
-    if (mem.free_bytes(memsim::Tier::kLocal) < page_bytes) {
+    if (mem.free_bytes(memsim::kNodeTier) < page_bytes) {
       if (!cfg_.enable_demotion) break;
       // Demote the coldest local page that is still colder than the
       // candidate (never swap a hotter page out for a colder one).
@@ -57,7 +68,7 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
         const auto& victim = cold_local[demote_cursor++];
         if (victim.heat >= cand.heat) break;
         const memsim::VRange vrange{victim.page * page_bytes, page_bytes};
-        if (mem.migrate(vrange, memsim::Tier::kRemote) == 1) {
+        if (mem.migrate(vrange, demote_target(mem)) == 1) {
           ++demoted_;
           made_room = true;
           break;
@@ -65,7 +76,7 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
       }
       if (!made_room) break;
     }
-    if (mem.migrate(range, memsim::Tier::kLocal) == 1) {
+    if (mem.migrate(range, memsim::kNodeTier) == 1) {
       ++promoted_;
       --budget;
     }

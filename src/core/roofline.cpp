@@ -19,11 +19,11 @@ double RooflineModel::attainable_gflops(double ai) const {
 double RooflineModel::ridge_point() const { return peak_gflops_ / bandwidth_gbps_; }
 
 RooflineModel RooflineModel::local_tier(const memsim::MachineConfig& m) {
-  return RooflineModel(m.peak_gflops, m.local.bandwidth_gbps);
+  return RooflineModel(m.peak_gflops, m.node_tier().bandwidth_gbps);
 }
 
 RooflineModel RooflineModel::multi_tier(const memsim::MachineConfig& m) {
-  return RooflineModel(m.peak_gflops, m.local.bandwidth_gbps + m.remote.bandwidth_gbps);
+  return RooflineModel(m.peak_gflops, m.topology.total_bandwidth_gbps());
 }
 
 double effective_bandwidth_gbps(const memsim::MachineConfig& m, double remote_ratio) {
@@ -33,13 +33,14 @@ double effective_bandwidth_gbps(const memsim::MachineConfig& m, double remote_ra
 double effective_bandwidth_gbps_under_loi(const memsim::MachineConfig& m, double remote_ratio,
                                           double background_loi) {
   expects(remote_ratio >= 0.0 && remote_ratio <= 1.0, "remote ratio must be in [0,1]");
-  memsim::LinkModel link(m);
+  memsim::LinkModel link(m.pool_tier());
   link.set_background_loi(background_loi);
   const double remote_bw =
-      std::min(m.remote.bandwidth_gbps, link.effective_data_bandwidth_gbps(0.0));
-  if (remote_ratio == 0.0) return m.local.bandwidth_gbps;
+      std::min(m.pool_tier().bandwidth_gbps, link.effective_data_bandwidth_gbps(0.0));
+  if (remote_ratio == 0.0) return m.node_tier().bandwidth_gbps;
   if (remote_ratio == 1.0) return remote_bw;
-  return std::min(m.local.bandwidth_gbps / (1.0 - remote_ratio), remote_bw / remote_ratio);
+  return std::min(m.node_tier().bandwidth_gbps / (1.0 - remote_ratio),
+                  remote_bw / remote_ratio);
 }
 
 }  // namespace memdis::core

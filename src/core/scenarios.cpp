@@ -283,8 +283,8 @@ void summarize_fig11(const SweepResult& result, std::ostream& os) {
              "interference coefficient"});
   for (const std::uint32_t nflop : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
     const double offered = lbench_offered_traffic_gbps(machine, machine.threads, nflop);
-    const double pcm = std::min(offered, machine.link_traffic_capacity_gbps);
-    const double util = offered / machine.link_traffic_capacity_gbps;
+    const double pcm = std::min(offered, machine.pool_link().traffic_capacity_gbps);
+    const double util = offered / machine.pool_link().traffic_capacity_gbps;
     mid.add_row({std::to_string(nflop), Table::num(offered, 1), Table::num(pcm, 1),
                  Table::num(interference_coefficient_at(machine, util), 2)});
   }
@@ -325,8 +325,7 @@ std::vector<Metric> measure_fig12(const SweepPoint& point) {
   workloads::Bfs bfs_sens(params);
   const auto curve = sensitivity_sweep(bfs_sens, point.run_config(), point.ratio, {0, 50});
   return {{"p2_ms", p2_ms},
-          {"remote_mb",
-           static_cast<double>(l2.run.counters.dram_bytes(memsim::Tier::kRemote)) / 1e6},
+          {"remote_mb", static_cast<double>(l2.run.counters.fabric_dram_bytes()) / 1e6},
           {"p2_remote", p2_remote},
           {"remote_total", l2.remote_access_ratio_total},
           {"relperf_loi50", curve.back().relative_performance}};
@@ -385,8 +384,9 @@ void summarize_ext_cxl(const SweepResult& result, std::ostream& os) {
   Table f({"fabric", "data BW (GB/s)", "latency (ns)", "traffic cap (GB/s)"});
   for (const char* fabric : {"upi", "cxl", "cxl-switched", "split"}) {
     const auto m = machine_for_fabric(fabric);
-    f.add_row({fabric, Table::num(m.remote.bandwidth_gbps, 0),
-               Table::num(m.remote.latency_ns, 0), Table::num(m.link_traffic_capacity_gbps, 0)});
+    f.add_row({fabric, Table::num(m.pool_tier().bandwidth_gbps, 0),
+               Table::num(m.pool_tier().latency_ns, 0),
+               Table::num(m.pool_link().traffic_capacity_gbps, 0)});
   }
   f.print(os);
 
@@ -425,7 +425,7 @@ std::vector<Metric> measure_ext_interleave(const SweepPoint& point) {
   const double agg_gbps =
       seconds > 0 ? static_cast<double>(c.dram_bytes_total()) / seconds / 1e9 : 0.0;
   const double remote = c.dram_bytes_total() > 0
-                            ? static_cast<double>(c.dram_bytes(memsim::Tier::kRemote)) /
+                            ? static_cast<double>(c.fabric_dram_bytes()) /
                                   static_cast<double>(c.dram_bytes_total())
                             : 0.0;
   return {{"time_ms", seconds * 1e3}, {"agg_dram_gbps", agg_gbps}, {"remote_share", remote}};
@@ -435,7 +435,7 @@ void summarize_ext_interleave(const SweepResult& result, std::ostream& os) {
   const auto machine = memsim::MachineConfig::skylake_testbed();
   os << "Model upper bound: balanced split at R_bw = "
      << Table::pct(machine.remote_bandwidth_ratio()) << " raises aggregate bandwidth above the "
-     << Table::num(machine.local.bandwidth_gbps, 0) << " GB/s local tier.\n\n";
+     << Table::num(machine.node_tier().bandwidth_gbps, 0) << " GB/s local tier.\n\n";
   Table t({"app", "policy", "time (ms)", "DRAM GB/s (aggregate)", "%remote access",
            "vs first-touch"});
   double base_ms = 0.0;
@@ -452,6 +452,107 @@ void summarize_ext_interleave(const SweepResult& result, std::ostream& os) {
         "and raises aggregate bandwidth toward B_local+B_pool — multi-tier memory\n"
         "can be FASTER than local-only for bandwidth-bound codes. 1:1 overshoots\n"
         "the pool's share and gives some of the gain back.\n";
+}
+
+// ---- ext-three-tier: capacity spill chain over DRAM + CXL + switched pool ---
+
+/// Capacity shaping for a spill-chain experiment at remote ratio r: the
+/// node tier holds (1-r) of the footprint. On an N-tier topology the first
+/// pool holds half the spill and the chain's tail takes the rest; two-tier
+/// fabrics absorb the whole spill on their single pool.
+RunConfig spill_chain_config(const SweepPoint& point) {
+  RunConfig cfg;
+  cfg.machine = machine_for_fabric(point.fabric);
+  const double r = point.ratio;
+  if (cfg.machine.num_tiers() >= 3) {
+    cfg.capacity_fractions = std::vector<double>{1.0 - r, r / 2.0};
+  } else {
+    cfg.remote_capacity_ratio = r;
+  }
+  cfg.background_loi = point.loi;
+  cfg.prefetch_enabled = point.prefetch;
+  return cfg;
+}
+
+std::vector<Metric> measure_ext_three_tier(const SweepPoint& point) {
+  const RunConfig cfg = spill_chain_config(point);
+  auto wl = point.make_workload();
+  const auto run = run_workload(*wl, cfg);
+  std::vector<Metric> metrics{{"time_ms", run.elapsed_s * 1e3},
+                              {"remote_access", run.remote_access_ratio()}};
+  const auto total = static_cast<double>(run.counters.dram_bytes_total());
+  for (memsim::TierId t = 0; t < cfg.machine.num_tiers(); ++t)
+    metrics.emplace_back(
+        "share_t" + std::to_string(t),
+        total > 0 ? static_cast<double>(run.counters.dram_bytes(t)) / total : 0.0);
+  return metrics;
+}
+
+void summarize_ext_three_tier(const SweepResult& result, std::ostream& os) {
+  os << "Topologies under test:\n";
+  Table f({"preset", "tiers"});
+  for (const char* fabric : {"cxl", "three-tier"}) {
+    const auto m = machine_for_fabric(fabric);
+    std::string tiers;
+    for (memsim::TierId t = 0; t < m.num_tiers(); ++t) {
+      if (t) tiers += " -> ";
+      tiers += m.tier(t).name + " (" + Table::num(m.tier(t).bandwidth_gbps, 0) + " GB/s, " +
+               Table::num(m.tier(t).latency_ns, 0) + " ns)";
+    }
+    f.add_row({fabric, tiers});
+  }
+  f.print(os);
+
+  os << "\n";
+  Table t({"app", "ratio", "topology", "time (ms)", "%off-node", "%t0", "%t1", "%t2"});
+  for (const auto& row : result.rows) {
+    t.add_row({workloads::app_name(row.point.app), Table::pct(row.point.ratio),
+               row.point.fabric, Table::num(metric_or(row, "time_ms"), 3),
+               Table::pct(metric_or(row, "remote_access")),
+               Table::pct(metric_or(row, "share_t0")), Table::pct(metric_or(row, "share_t1")),
+               metric(row, "share_t2") ? Table::pct(metric_or(row, "share_t2")) : "-"});
+  }
+  t.print(os);
+  os << "\nReading: on the three-tier chain the spill beyond the direct CXL\n"
+        "device lands on the switched pool and pays the switch traversal; the\n"
+        "extra hop never helps a latency-exposed app, while the second link\n"
+        "can add aggregate fabric bandwidth for streaming apps.\n";
+}
+
+// ---- ext-hybrid: split+pool hybrid (two asymmetric pools side by side) ------
+
+std::vector<Metric> measure_ext_hybrid(const SweepPoint& point) {
+  RunConfig cfg;
+  cfg.machine = machine_for_fabric(point.fabric);
+
+  auto wl_local = point.make_workload();
+  const auto local = run_workload(*wl_local, cfg);
+
+  const RunConfig pooled = spill_chain_config(point);
+  auto wl_pooled = point.make_workload();
+  const auto half = run_workload(*wl_pooled, pooled);
+
+  return {{"local_ms", local.elapsed_s * 1e3},
+          {"pooled_ms", half.elapsed_s * 1e3},
+          {"pooling_penalty", half.elapsed_s / local.elapsed_s},
+          {"remote_access", half.remote_access_ratio()}};
+}
+
+void summarize_ext_hybrid(const SweepResult& result, std::ostream& os) {
+  os << "Pooling penalty (runtime at the swept split / runtime local-only):\n\n";
+  Table t({"app", "topology", "local (ms)", "pooled (ms)", "penalty", "%off-node"});
+  for (const auto& row : result.rows)
+    t.add_row({workloads::app_name(row.point.app), row.point.fabric,
+               Table::num(metric_or(row, "local_ms"), 3),
+               Table::num(metric_or(row, "pooled_ms"), 3),
+               Table::num(metric_or(row, "pooling_penalty"), 3) + "x",
+               Table::pct(metric_or(row, "remote_access"))});
+  t.print(os);
+  os << "\nReading: the hybrid places half the spill on the CXL device and half\n"
+        "on peer-borrowed memory. Each pool queues on its own link, so the\n"
+        "second link adds aggregate fabric bandwidth (hybrid can even beat the\n"
+        "pure CXL pool for streaming apps) while the peer tier's long latency\n"
+        "keeps it far ahead of pure split borrowing for latency-exposed apps.\n";
 }
 
 std::vector<App> all_apps() {
@@ -573,6 +674,34 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
     s.spec.seed_per_task = false;
     s.measure = measure_ext_interleave;
     s.summarize = summarize_ext_interleave;
+    registry.add(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "ext-three-tier";
+    s.artifact = "Extension: three-tier chain";
+    s.caption = "DRAM + direct CXL + switched pool capacity spill chain";
+    s.spec.apps = {App::kHypre, App::kXSBench, App::kBFS};
+    s.spec.ratios = {0.50, 0.75};
+    s.spec.fabrics = {"cxl", "three-tier"};
+    // Topologies are compared per app and ratio: hold the workload input
+    // fixed across the topology axis.
+    s.spec.seed_per_task = false;
+    s.measure = measure_ext_three_tier;
+    s.summarize = summarize_ext_three_tier;
+    registry.add(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "ext-hybrid";
+    s.artifact = "Extension: split+pool hybrid";
+    s.caption = "two asymmetric pools (CXL device + peer-borrowed) side by side";
+    s.spec.apps = {App::kHypre, App::kBFS};
+    s.spec.ratios = {0.50};
+    s.spec.fabrics = {"cxl", "hybrid", "split"};
+    s.spec.seed_per_task = false;
+    s.measure = measure_ext_hybrid;
+    s.summarize = summarize_ext_hybrid;
     registry.add(std::move(s));
   }
 }

@@ -57,8 +57,17 @@ memsim::MachineConfig machine_for_fabric(const std::string& fabric) {
   if (fabric == "cxl") return memsim::MachineConfig::cxl_direct_attached();
   if (fabric == "cxl-switched") return memsim::MachineConfig::cxl_switched_pool();
   if (fabric == "split") return memsim::MachineConfig::split_borrowing();
-  throw std::invalid_argument("unknown fabric '" + fabric +
-                              "' (expected upi|cxl|cxl-switched|split)");
+  if (fabric == "three-tier") return memsim::MachineConfig::three_tier_cxl();
+  if (fabric == "hybrid") return memsim::MachineConfig::hybrid_split_pool();
+  throw std::invalid_argument(
+      "unknown topology preset '" + fabric +
+      "' (expected upi|cxl|cxl-switched|split|three-tier|hybrid)");
+}
+
+const std::vector<std::string>& topology_preset_names() {
+  static const std::vector<std::string> names = {"upi",   "cxl",        "cxl-switched",
+                                                 "split", "three-tier", "hybrid"};
+  return names;
 }
 
 RunConfig SweepPoint::run_config() const {
@@ -66,7 +75,7 @@ RunConfig SweepPoint::run_config() const {
   rc.machine = machine_for_fabric(fabric);
   rc.background_loi = loi;
   rc.prefetch_enabled = prefetch;
-  if (ratio != kLocalOnly) rc.remote_capacity_ratio = ratio;
+  if (ratio != kNodeOnly) rc.remote_capacity_ratio = ratio;
   return rc;
 }
 
@@ -135,7 +144,7 @@ void SweepResult::write_csv(std::ostream& os) const {
         std::to_string(row.point.index),
         workloads::app_name(row.point.app),
         std::to_string(row.point.scale),
-        row.point.ratio == kLocalOnly ? "local" : format_double(row.point.ratio),
+        row.point.ratio == kNodeOnly ? "local" : format_double(row.point.ratio),
         format_double(row.point.loi),
         row.point.fabric,
         row.point.prefetch ? "on" : "off",
@@ -163,7 +172,7 @@ void SweepResult::write_json(std::ostream& os) const {
     os << "    {\"index\": " << row.point.index << ", \"app\": \""
        << workloads::app_name(row.point.app) << "\", \"scale\": " << row.point.scale
        << ", \"ratio\": "
-       << (row.point.ratio == kLocalOnly ? std::string("null") : format_double(row.point.ratio))
+       << (row.point.ratio == kNodeOnly ? std::string("null") : format_double(row.point.ratio))
        << ", \"loi\": " << format_double(row.point.loi) << ", \"fabric\": \""
        << json_escape(row.point.fabric) << "\", \"prefetch\": "
        << (row.point.prefetch ? "true" : "false") << ", \"variant\": \""

@@ -25,13 +25,20 @@
 
 namespace memdis::core {
 
-/// Sentinel for the capacity-ratio axis: run with the full local tier
-/// (no forced spill to the pool).
-inline constexpr double kLocalOnly = -1.0;
+/// Sentinel for the capacity-ratio axis: run with the full node tier
+/// (no forced spill off the node).
+inline constexpr double kNodeOnly = -1.0;
 
-/// Maps a fabric name ("upi", "cxl", "cxl-switched", "split") to its
-/// machine preset. Throws std::invalid_argument for unknown names.
+/// Maps a topology preset name to its machine config. Two-tier fabrics
+/// ("upi", "cxl", "cxl-switched", "split") and N-tier topologies
+/// ("three-tier" = DRAM + direct CXL + switched pool, "hybrid" = DRAM +
+/// CXL pool + peer-borrowed memory) share one namespace so a sweep's
+/// fabric axis doubles as the topology axis. Throws std::invalid_argument
+/// for unknown names.
 [[nodiscard]] memsim::MachineConfig machine_for_fabric(const std::string& fabric);
+
+/// All registered topology preset names, in CLI listing order.
+[[nodiscard]] const std::vector<std::string>& topology_preset_names();
 
 /// One expanded grid point == one task. Everything a measure function may
 /// depend on is captured here, including the derived per-task seed.
@@ -39,26 +46,28 @@ struct SweepPoint {
   std::size_t index = 0;  ///< position in the grid expansion (row slot)
   workloads::App app = workloads::App::kHPL;
   int scale = 1;
-  double ratio = kLocalOnly;  ///< remote capacity ratio, or kLocalOnly
+  double ratio = kNodeOnly;   ///< remote capacity ratio, or kNodeOnly
   double loi = 0.0;           ///< background level of interference (%)
-  std::string fabric = "upi";
+  std::string fabric = "upi";  ///< topology preset (see machine_for_fabric)
   bool prefetch = true;
   std::string variant;        ///< scenario-specific knob (e.g. BFS variant)
   std::uint64_t seed = 0;     ///< per-task RNG seed (deterministic)
 
   /// RunConfig for this point: machine preset for `fabric`, the capacity
-  /// ratio (unless kLocalOnly), background LoI, and the prefetch switch.
+  /// ratio (unless kNodeOnly), background LoI, and the prefetch switch.
   [[nodiscard]] RunConfig run_config() const;
   /// Workload instance for this point, seeded with the per-task seed.
   [[nodiscard]] std::unique_ptr<workloads::Workload> make_workload() const;
 };
 
 /// Axes of the cartesian grid. Empty axes are illegal (expand() throws);
-/// the defaults give each non-app axis a single neutral value.
+/// the defaults give each non-app axis a single neutral value. The
+/// `fabrics` axis is the topology axis: every entry names a machine
+/// preset (two-tier or N-tier), so one grid can compare topologies.
 struct SweepSpec {
   std::vector<workloads::App> apps;
   std::vector<int> scales = {1};
-  std::vector<double> ratios = {kLocalOnly};
+  std::vector<double> ratios = {kNodeOnly};
   std::vector<double> lois = {0.0};
   std::vector<std::string> fabrics = {"upi"};
   std::vector<bool> prefetch = {true};

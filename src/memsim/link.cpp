@@ -6,14 +6,15 @@
 
 namespace memdis::memsim {
 
-LinkModel::LinkModel(const MachineConfig& cfg)
-    : capacity_gbps_(cfg.link_traffic_capacity_gbps),
-      overhead_(cfg.link_protocol_overhead),
-      base_latency_ns_(cfg.remote.latency_ns),
-      queue_weight_(cfg.link_queue_weight),
-      overload_slope_(cfg.link_overload_slope),
-      max_latency_multiplier_(cfg.link_max_latency_multiplier),
-      interference_share_(cfg.link_interference_share) {
+LinkModel::LinkModel(const MemoryTierSpec& spec)
+    : capacity_gbps_(spec.link ? spec.link->traffic_capacity_gbps : 0.0),
+      overhead_(spec.link ? spec.link->protocol_overhead : 1.0),
+      base_latency_ns_(spec.latency_ns),
+      queue_weight_(spec.link ? spec.link->queue_weight : 0.0),
+      overload_slope_(spec.link ? spec.link->overload_slope : 0.0),
+      max_latency_multiplier_(spec.link ? spec.link->max_latency_multiplier : 1.0),
+      interference_share_(spec.link ? spec.link->interference_share : 0.0) {
+  expects(spec.link.has_value(), "LinkModel requires a fabric tier (spec.link set)");
   expects(capacity_gbps_ > 0, "link capacity must be positive");
   expects(overhead_ >= 1.0, "protocol overhead cannot shrink traffic");
 }

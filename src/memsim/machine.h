@@ -1,13 +1,16 @@
-// MachineConfig: the emulated platform of Sec. 3.3.
+// MachineConfig: a compute node plus its memory topology.
 //
-// One socket acts as the compute node (local tier), the other socket's
-// memory acts as the pool (remote tier) reached over the UPI link. The
-// numbers below are the paper's measured values: 73 GB/s / 111 ns local,
-// 34 GB/s / 202 ns remote, with PCM-visible link traffic saturating at
-// 85 GB/s due to protocol overhead.
+// The emulated platform of Sec. 3.3 is the two-tier degenerate case: one
+// socket acts as the compute node (node tier), the other socket's memory
+// acts as the pool reached over the UPI link. The numbers are the paper's
+// measured values: 73 GB/s / 111 ns node DRAM, 34 GB/s / 202 ns pool, with
+// PCM-visible link traffic saturating at 85 GB/s due to protocol overhead.
+// Richer presets (three-tier CXL chains, split+pool hybrids) express the
+// rack-scale what-ifs of Fig. 2 as N-tier topologies.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "memsim/tier.h"
 
@@ -19,26 +22,39 @@ struct MachineConfig {
   int threads = 12;            ///< hardware threads used by workloads
   double mlp = 12.0;           ///< memory-level parallelism for demand misses
 
-  // Memory tiers.
-  MemoryTierSpec local{"local-ddr", 96ULL << 30, 73.0, 111.0};
-  MemoryTierSpec remote{"pool-ddr", 96ULL << 30, 34.0, 202.0};
-
-  // Pool link (UPI in the emulation).
-  double link_traffic_capacity_gbps = 85.0;  ///< saturation point seen by PCM
-  double link_protocol_overhead = 2.5;       ///< traffic bytes per data byte
-  /// Fraction of background link traffic that collides with the app's
-  /// demand stream. The UPI-style link is full duplex with separate
-  /// request/response channels, so injected traffic only partially steals
-  /// the app's direction; 0.35 calibrates the Fig. 10 sensitivity
-  /// magnitudes (most-sensitive app ≈ 15% loss at LoI=50 on 50/50 tiers).
-  double link_interference_share = 0.35;
-  double link_queue_weight = 0.12;           ///< M/M/1 queue-delay scaling
-  double link_overload_slope = 0.05;         ///< delay growth per unit of overload
-  double link_max_latency_multiplier = 6.0;  ///< cap on queueing blow-up
+  /// Memory tiers, node tier first. Defaults to the Skylake-X testbed's
+  /// local/pool pair; see the presets below for richer topologies. The
+  /// 0.35 interference share calibrates the Fig. 10 sensitivity magnitudes
+  /// (most-sensitive app ≈ 15% loss at LoI=50 on 50/50 tiers).
+  MemoryTopology topology{{
+      MemoryTierSpec{"local-ddr", 96ULL << 30, 73.0, 111.0, {}},
+      MemoryTierSpec{"pool-ddr", 96ULL << 30, 34.0, 202.0, FabricLinkSpec{}},
+  }};
 
   std::uint64_t page_bytes = 4096;
   std::uint64_t cacheline_bytes = 64;
 
+  // ---- tier access --------------------------------------------------------
+  [[nodiscard]] int num_tiers() const { return topology.num_tiers(); }
+  [[nodiscard]] const MemoryTierSpec& tier(TierId t) const { return topology.tier(t); }
+  [[nodiscard]] MemoryTierSpec& tier(TierId t) { return topology.tier(t); }
+
+  /// The node-local tier (tier 0).
+  [[nodiscard]] const MemoryTierSpec& node_tier() const { return topology.tier(kNodeTier); }
+  [[nodiscard]] MemoryTierSpec& node_tier() { return topology.tier(kNodeTier); }
+
+  /// The primary pool: the first fabric tier. Reference-point math (R_bw,
+  /// LBench calibration, interference coefficients) is defined against it.
+  [[nodiscard]] const MemoryTierSpec& pool_tier() const {
+    return topology.tier(topology.first_fabric());
+  }
+  [[nodiscard]] MemoryTierSpec& pool_tier() { return topology.tier(topology.first_fabric()); }
+
+  /// The primary pool's link parameters.
+  [[nodiscard]] const FabricLinkSpec& pool_link() const { return *pool_tier().link; }
+  [[nodiscard]] FabricLinkSpec& pool_link() { return *pool_tier().link; }
+
+  // ---- presets ------------------------------------------------------------
   /// The dual-socket Intel Xeon (Skylake-X) testbed from the paper.
   [[nodiscard]] static MachineConfig skylake_testbed();
 
@@ -60,28 +76,43 @@ struct MachineConfig {
   /// share of background traffic collides with the borrower.
   [[nodiscard]] static MachineConfig split_borrowing();
 
-  /// Returns a copy whose local-tier capacity is shrunk so that
-  /// `remote_capacity_ratio` (e.g. 0.75) of `footprint_bytes` must spill to
-  /// the pool under first-touch. This mirrors the paper's `setup_waste`
+  /// Three-tier what-if: node DRAM, a direct-attached CXL device, and a
+  /// switched rack pool behind it — the capacity chain Fig. 2's rack
+  /// architecture implies once the direct device fills up.
+  [[nodiscard]] static MachineConfig three_tier_cxl();
+
+  /// Hybrid what-if: node DRAM plus two *asymmetric* pools side by side — a
+  /// direct CXL device and peer-borrowed (split) memory, each with its own
+  /// link. Capacity overflowing the CXL device lands on the peer tier.
+  [[nodiscard]] static MachineConfig hybrid_split_pool();
+
+  // ---- capacity shaping ---------------------------------------------------
+  /// Returns a copy whose node-tier capacity is shrunk so that
+  /// `remote_capacity_ratio` (e.g. 0.75) of `footprint_bytes` must spill off
+  /// the node under first-touch. This mirrors the paper's `setup_waste`
   /// step, which occupies local memory to force a 25/50/75% capacity split.
   [[nodiscard]] MachineConfig with_remote_capacity_ratio(double remote_capacity_ratio,
                                                          std::uint64_t footprint_bytes) const;
 
-  /// Returns a copy with the local tier capacity set to `bytes`.
+  /// Returns a copy where tier i's capacity holds `fractions[i]` of
+  /// `footprint_bytes` (rounded up to whole pages); tiers beyond the vector
+  /// keep their configured capacity and absorb the rest of the spill chain.
+  /// The generalization of with_remote_capacity_ratio to N-tier chains.
+  [[nodiscard]] MachineConfig with_capacity_fractions(const std::vector<double>& fractions,
+                                                      std::uint64_t footprint_bytes) const;
+
+  /// Returns a copy with the node tier capacity set to `bytes`.
   [[nodiscard]] MachineConfig with_local_capacity(std::uint64_t bytes) const;
 
-  /// Ratio of remote capacity to total capacity (R_cap^remote of Sec. 5.1).
+  // ---- two-tier reference ratios (Sec. 5.1) -------------------------------
+  /// Ratio of off-node capacity to total capacity (R_cap^remote).
   [[nodiscard]] double remote_capacity_ratio() const;
 
-  /// Ratio of remote bandwidth to total bandwidth (R_bw^remote of Sec. 5.1).
+  /// Ratio of off-node bandwidth to total bandwidth (R_bw^remote).
   [[nodiscard]] double remote_bandwidth_ratio() const;
 
-  /// Peak link *data* bandwidth implied by traffic capacity and overhead.
+  /// Peak *data* bandwidth of the primary pool link.
   [[nodiscard]] double link_data_bandwidth_gbps() const;
-
-  [[nodiscard]] const MemoryTierSpec& tier(Tier t) const {
-    return t == Tier::kLocal ? local : remote;
-  }
 };
 
 }  // namespace memdis::memsim

@@ -9,12 +9,22 @@ namespace memdis::memsim {
 TieredMemory::TieredMemory(const MachineConfig& cfg) : page_bytes_(cfg.page_bytes) {
   expects(page_bytes_ > 0 && (page_bytes_ & (page_bytes_ - 1)) == 0,
           "page size must be a power of two");
-  capacity_[tier_index(Tier::kLocal)] = cfg.local.capacity_bytes;
-  capacity_[tier_index(Tier::kRemote)] = cfg.remote.capacity_bytes;
+  cfg.topology.validate();
+  const int n = cfg.num_tiers();
+  used_.assign(static_cast<std::size_t>(n), 0);
+  capacity_.resize(static_cast<std::size_t>(n));
+  for (TierId t = 0; t < n; ++t)
+    capacity_[static_cast<std::size_t>(t)] = cfg.tier(t).capacity_bytes;
 }
 
 VRange TieredMemory::alloc(std::uint64_t bytes, MemPolicy policy) {
   expects(bytes > 0, "alloc of zero bytes");
+  if (policy.kind == PlacementKind::kBind || policy.kind == PlacementKind::kPreferred)
+    expects(policy.target >= 0 && policy.target < num_tiers(),
+            "policy targets a tier outside the topology");
+  if (policy.kind == PlacementKind::kInterleave)
+    expects(static_cast<int>(policy.weights.size()) <= num_tiers(),
+            "more interleave weights than tiers");
   const std::uint64_t aligned = ((bytes + page_bytes_ - 1) / page_bytes_) * page_bytes_;
   VRange range{bump_, aligned};
   bump_ += aligned;
@@ -24,7 +34,7 @@ VRange TieredMemory::alloc(std::uint64_t bytes, MemPolicy policy) {
     page_region_.resize(last_page + 1, 0);
   }
   const auto region_idx = static_cast<std::uint32_t>(regions_.size());
-  regions_.push_back(Region{range, policy, 0, false});
+  regions_.push_back(Region{range, std::move(policy), 0, false});
   for (std::uint64_t p = page_of(range.base); p <= last_page; ++p) page_region_[p] = region_idx;
   return range;
 }
@@ -37,29 +47,29 @@ void TieredMemory::free(const VRange& range) {
   region->freed = true;
   for (std::uint64_t p = page_of(range.base); p <= page_of(range.end() - 1); ++p) {
     if (page_tier_[p] >= 0 && page_tier_[p] < kFreedBase) {
-      used_[static_cast<int>(page_tier_[p])] -= page_bytes_;
+      used_[static_cast<std::size_t>(page_tier_[p])] -= page_bytes_;
       page_tier_[p] = static_cast<std::int8_t>(kFreedBase + page_tier_[p]);
     }
   }
 }
 
-Tier TieredMemory::touch(std::uint64_t vaddr) {
+TierId TieredMemory::touch(std::uint64_t vaddr) {
   expects(vaddr >= kVaBase && vaddr < bump_, "touch of unallocated address");
   const std::uint64_t page = page_of(vaddr);
   if (page_tier_[page] >= 0 && page_tier_[page] < kFreedBase)
-    return static_cast<Tier>(page_tier_[page]);
+    return static_cast<TierId>(page_tier_[page]);
   expects(page_tier_[page] == kUntouched, "touch after free");
   Region& region = regions_[page_region_[page]];
   expects(!region.freed, "use after free");
   return place_page(region, page);
 }
 
-Tier TieredMemory::tier_of(std::uint64_t vaddr) const {
+TierId TieredMemory::tier_of(std::uint64_t vaddr) const {
   expects(vaddr >= kVaBase && vaddr < bump_, "tier_of unallocated address");
   const std::uint64_t page = page_of(vaddr);
   expects(page_tier_[page] != kUntouched, "tier_of untouched page");
   const std::int8_t enc = page_tier_[page];
-  return static_cast<Tier>(enc >= kFreedBase ? enc - kFreedBase : enc);
+  return static_cast<TierId>(enc >= kFreedBase ? enc - kFreedBase : enc);
 }
 
 bool TieredMemory::resident(std::uint64_t vaddr) const {
@@ -68,17 +78,20 @@ bool TieredMemory::resident(std::uint64_t vaddr) const {
   return enc >= 0 && enc < kFreedBase;
 }
 
-std::uint64_t TieredMemory::migrate(const VRange& range, Tier dst) {
+std::uint64_t TieredMemory::migrate(const VRange& range, TierId dst) {
   expects(range.bytes > 0, "migrate of empty range");
+  expects(dst >= 0 && dst < num_tiers(), "migrate to a tier outside the topology");
   std::uint64_t moved = 0;
   for (std::uint64_t p = page_of(range.base); p <= page_of(range.end() - 1); ++p) {
     if (page_tier_[p] < 0 || page_tier_[p] >= kFreedBase) continue;
-    const Tier src = static_cast<Tier>(page_tier_[p]);
+    const auto src = static_cast<TierId>(page_tier_[p]);
     if (src == dst) continue;
-    if (used_[tier_index(dst)] + page_bytes_ > capacity_[tier_index(dst)]) break;
-    used_[tier_index(src)] -= page_bytes_;
-    used_[tier_index(dst)] += page_bytes_;
-    page_tier_[p] = static_cast<std::int8_t>(tier_index(dst));
+    if (used_[static_cast<std::size_t>(dst)] + page_bytes_ >
+        capacity_[static_cast<std::size_t>(dst)])
+      break;
+    used_[static_cast<std::size_t>(src)] -= page_bytes_;
+    used_[static_cast<std::size_t>(dst)] += page_bytes_;
+    page_tier_[p] = static_cast<std::int8_t>(dst);
     ++moved;
   }
   return moved;
@@ -86,23 +99,27 @@ std::uint64_t TieredMemory::migrate(const VRange& range, Tier dst) {
 
 NumaSnapshot TieredMemory::snapshot() const {
   NumaSnapshot s;
-  s.resident_bytes[0] = used_[0];
-  s.resident_bytes[1] = used_[1];
+  s.resident_bytes = used_;
   return s;
 }
 
-std::uint64_t TieredMemory::used_bytes(Tier t) const { return used_[tier_index(t)]; }
-std::uint64_t TieredMemory::capacity_bytes(Tier t) const { return capacity_[tier_index(t)]; }
-std::uint64_t TieredMemory::free_bytes(Tier t) const {
-  return capacity_[tier_index(t)] - used_[tier_index(t)];
+std::uint64_t TieredMemory::used_bytes(TierId t) const {
+  expects(t >= 0 && t < num_tiers(), "tier id out of range");
+  return used_[static_cast<std::size_t>(t)];
+}
+std::uint64_t TieredMemory::capacity_bytes(TierId t) const {
+  expects(t >= 0 && t < num_tiers(), "tier id out of range");
+  return capacity_[static_cast<std::size_t>(t)];
+}
+std::uint64_t TieredMemory::free_bytes(TierId t) const {
+  return capacity_bytes(t) - used_bytes(t);
 }
 
 void TieredMemory::waste_local(std::uint64_t bytes) {
-  const int li = tier_index(Tier::kLocal);
   // Capacity is shrunk rather than tracked as a region: wasted memory never
   // becomes free again, exactly like the paper's background hog process.
-  const std::uint64_t take = std::min(bytes, capacity_[li] - used_[li]);
-  capacity_[li] -= take;
+  const std::uint64_t take = std::min(bytes, capacity_[kNodeTier] - used_[kNodeTier]);
+  capacity_[kNodeTier] -= take;
 }
 
 TieredMemory::Region* TieredMemory::region_of(std::uint64_t vaddr) {
@@ -110,44 +127,67 @@ TieredMemory::Region* TieredMemory::region_of(std::uint64_t vaddr) {
   return &regions_[page_region_[page_of(vaddr)]];
 }
 
-bool TieredMemory::tier_has_room(Tier t) const {
-  return used_[tier_index(t)] + page_bytes_ <= capacity_[tier_index(t)];
+bool TieredMemory::tier_has_room(TierId t) const {
+  return used_[static_cast<std::size_t>(t)] + page_bytes_ <=
+         capacity_[static_cast<std::size_t>(t)];
 }
 
-void TieredMemory::assign(std::uint64_t page, Tier t) {
-  page_tier_[page] = static_cast<std::int8_t>(tier_index(t));
-  used_[tier_index(t)] += page_bytes_;
+TierId TieredMemory::first_tier_with_room() const {
+  for (TierId t = 0; t < num_tiers(); ++t)
+    if (tier_has_room(t)) return t;
+  return -1;
+}
+
+TierId TieredMemory::fallback_tier(TierId excluded) const {
+  for (TierId t = 0; t < num_tiers(); ++t)
+    if (t != excluded && tier_has_room(t)) return t;
+  return -1;
+}
+
+void TieredMemory::assign(std::uint64_t page, TierId t) {
+  page_tier_[page] = static_cast<std::int8_t>(t);
+  used_[static_cast<std::size_t>(t)] += page_bytes_;
   ++touched_pages_;
 }
 
-Tier TieredMemory::place_page(Region& region, std::uint64_t page) {
+TierId TieredMemory::place_page(Region& region, std::uint64_t page) {
   const MemPolicy& pol = region.policy;
   switch (pol.kind) {
-    case PlacementKind::kFirstTouch:
-    case PlacementKind::kPreferredLocal: {
-      const Tier t = tier_has_room(Tier::kLocal) ? Tier::kLocal : Tier::kRemote;
-      if (!tier_has_room(t)) throw OutOfMemoryError("both tiers exhausted");
+    case PlacementKind::kFirstTouch: {
+      const TierId t = first_tier_with_room();
+      if (t < 0) throw OutOfMemoryError("all tiers exhausted");
       assign(page, t);
       return t;
     }
-    case PlacementKind::kBindLocal: {
-      if (!tier_has_room(Tier::kLocal))
-        throw OutOfMemoryError("bind-local allocation exceeds local capacity");
-      assign(page, Tier::kLocal);
-      return Tier::kLocal;
+    case PlacementKind::kPreferred: {
+      TierId t = tier_has_room(pol.target) ? pol.target : fallback_tier(pol.target);
+      if (t < 0) throw OutOfMemoryError("all tiers exhausted");
+      assign(page, t);
+      return t;
     }
-    case PlacementKind::kBindRemote: {
-      if (!tier_has_room(Tier::kRemote)) throw OutOfMemoryError("remote tier exhausted");
-      assign(page, Tier::kRemote);
-      return Tier::kRemote;
+    case PlacementKind::kBind: {
+      if (!tier_has_room(pol.target))
+        throw OutOfMemoryError("bound allocation exceeds tier capacity");
+      assign(page, pol.target);
+      return pol.target;
     }
     case PlacementKind::kInterleave: {
-      const std::uint64_t period = pol.local_weight + pol.remote_weight;
-      expects(period > 0, "interleave weights must not both be zero");
+      std::uint64_t period = 0;
+      for (const auto w : pol.weights) period += w;
+      expects(period > 0, "interleave weights must not all be zero");
       const std::uint64_t slot = region.interleave_cursor++ % period;
-      Tier want = slot < pol.local_weight ? Tier::kLocal : Tier::kRemote;
-      if (!tier_has_room(want)) want = want == Tier::kLocal ? Tier::kRemote : Tier::kLocal;
-      if (!tier_has_room(want)) throw OutOfMemoryError("both tiers exhausted");
+      // Walk the weight vector to find the tier owning this slot.
+      TierId want = 0;
+      std::uint64_t acc = 0;
+      for (std::size_t i = 0; i < pol.weights.size(); ++i) {
+        acc += pol.weights[i];
+        if (slot < acc) {
+          want = static_cast<TierId>(i);
+          break;
+        }
+      }
+      if (!tier_has_room(want)) want = fallback_tier(want);
+      if (want < 0) throw OutOfMemoryError("all tiers exhausted");
       assign(page, want);
       return want;
     }

@@ -3,9 +3,11 @@
 // Allocations reserve virtual ranges; physical tier assignment happens at
 // first *touch* (matching Linux), which is what makes allocation/initialization
 // order matter — the lever exploited by the BFS case study (Sec. 7.1).
+// The page table is topology-agnostic: every per-tier structure is sized by
+// the machine's MemoryTopology, and first-touch spill walks tiers in id
+// order (node tier first, then each fabric tier down the chain).
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -28,19 +30,28 @@ struct VRange {
 /// numa_maps-style snapshot of resident bytes per tier (Sec. 3.1, Level 1
 /// capacity tracking and Level 2 R_cap measurement).
 struct NumaSnapshot {
-  std::array<std::uint64_t, kNumTiers> resident_bytes{};
+  std::vector<std::uint64_t> resident_bytes;  ///< indexed by TierId
+
   [[nodiscard]] std::uint64_t total() const {
-    return resident_bytes[0] + resident_bytes[1];
+    std::uint64_t sum = 0;
+    for (const auto b : resident_bytes) sum += b;
+    return sum;
   }
-  /// Fraction of resident memory on the remote tier (remote capacity ratio).
+  /// Resident bytes on the node tier.
+  [[nodiscard]] std::uint64_t node_bytes() const {
+    return resident_bytes.empty() ? 0 : resident_bytes[kNodeTier];
+  }
+  /// Resident bytes off the node (all fabric tiers combined).
+  [[nodiscard]] std::uint64_t off_node_bytes() const { return total() - node_bytes(); }
+  /// Fraction of resident memory off the node tier (remote capacity ratio).
   [[nodiscard]] double remote_ratio() const {
     const auto t = total();
-    return t == 0 ? 0.0 : static_cast<double>(resident_bytes[tier_index(Tier::kRemote)]) /
-                              static_cast<double>(t);
+    return t == 0 ? 0.0
+                  : static_cast<double>(off_node_bytes()) / static_cast<double>(t);
   }
 };
 
-/// Thrown when a kBindLocal allocation cannot fit — the OOM abort the paper
+/// Thrown when a bound allocation cannot fit — the OOM abort the paper
 /// describes for jobs exceeding fixed node memory (Sec. 2).
 class OutOfMemoryError : public std::runtime_error {
  public:
@@ -61,29 +72,31 @@ class TieredMemory {
   void free(const VRange& range);
 
   /// Resolves the tier of `vaddr`, assigning a page on first touch according
-  /// to the range's policy. Throws OutOfMemoryError for kBindLocal overflow
+  /// to the range's policy. Throws OutOfMemoryError for bind overflow
   /// and contract_violation for untracked addresses.
-  Tier touch(std::uint64_t vaddr);
+  TierId touch(std::uint64_t vaddr);
 
-  /// Tier of an already-resident page; kLocal is never returned for
-  /// untouched pages — querying one is a contract violation.
-  [[nodiscard]] Tier tier_of(std::uint64_t vaddr) const;
+  /// Tier of an already-resident page; querying an untouched page is a
+  /// contract violation.
+  [[nodiscard]] TierId tier_of(std::uint64_t vaddr) const;
 
   /// True when the page holding `vaddr` has been touched.
   [[nodiscard]] bool resident(std::uint64_t vaddr) const;
 
   /// Moves a resident page range to `dst` if capacity allows (page migration
-  /// as done by move_pages/libnuma). Returns pages actually moved.
-  std::uint64_t migrate(const VRange& range, Tier dst);
+  /// as done by move_pages/libnuma). Works between any tier pair. Returns
+  /// pages actually moved.
+  std::uint64_t migrate(const VRange& range, TierId dst);
 
   [[nodiscard]] NumaSnapshot snapshot() const;
-  [[nodiscard]] std::uint64_t used_bytes(Tier t) const;
-  [[nodiscard]] std::uint64_t capacity_bytes(Tier t) const;
-  [[nodiscard]] std::uint64_t free_bytes(Tier t) const;
+  [[nodiscard]] std::uint64_t used_bytes(TierId t) const;
+  [[nodiscard]] std::uint64_t capacity_bytes(TierId t) const;
+  [[nodiscard]] std::uint64_t free_bytes(TierId t) const;
   [[nodiscard]] std::uint64_t page_bytes() const { return page_bytes_; }
+  [[nodiscard]] int num_tiers() const { return static_cast<int>(capacity_.size()); }
 
   /// Emulates the paper's `setup_waste`: permanently occupies `bytes` of
-  /// local capacity so subsequent first-touch allocations spill earlier.
+  /// node-tier capacity so subsequent first-touch allocations spill earlier.
   void waste_local(std::uint64_t bytes);
 
   /// Total number of touched pages since construction.
@@ -97,19 +110,25 @@ class TieredMemory {
     bool freed = false;
   };
 
-  // page_tier_ encoding: kUntouched, tier index (0/1) while resident, or
-  // kFreedBase + tier index after free (tombstone so late writebacks from
+  // page_tier_ encoding: kUntouched, tier id while resident, or
+  // kFreedBase + tier id after free (tombstone so late writebacks from
   // the cache hierarchy still know which tier the page lived on).
+  // kMaxTiers <= 8 keeps every state inside an int8_t.
   static constexpr std::int8_t kUntouched = -1;
-  static constexpr std::int8_t kFreedBase = 2;
+  static constexpr std::int8_t kFreedBase = kMaxTiers;
 
   [[nodiscard]] std::uint64_t page_of(std::uint64_t vaddr) const {
     return (vaddr - kVaBase) / page_bytes_;
   }
   Region* region_of(std::uint64_t vaddr);
-  Tier place_page(Region& region, std::uint64_t page);
-  [[nodiscard]] bool tier_has_room(Tier t) const;
-  void assign(std::uint64_t page, Tier t);
+  TierId place_page(Region& region, std::uint64_t page);
+  [[nodiscard]] bool tier_has_room(TierId t) const;
+  /// First tier in spill order (0..N-1) with room, or -1 when all full.
+  [[nodiscard]] TierId first_tier_with_room() const;
+  /// Fallback used by interleave/preferred: first tier with room other than
+  /// `excluded`, scanning in spill order; -1 when everything is full.
+  [[nodiscard]] TierId fallback_tier(TierId excluded) const;
+  void assign(std::uint64_t page, TierId t);
 
   static constexpr std::uint64_t kVaBase = 0x10000000ULL;
 
@@ -118,8 +137,8 @@ class TieredMemory {
   std::vector<std::int8_t> page_tier_;   // indexed by page number, -1 untouched
   std::vector<std::uint32_t> page_region_;  // region index per page
   std::vector<Region> regions_;
-  std::array<std::uint64_t, kNumTiers> used_{};
-  std::array<std::uint64_t, kNumTiers> capacity_{};
+  std::vector<std::uint64_t> used_;      // indexed by TierId
+  std::vector<std::uint64_t> capacity_;  // indexed by TierId
   std::uint64_t touched_pages_ = 0;
 };
 

@@ -1,42 +1,58 @@
-// Page placement policies.
+// Page placement policies over an N-tier topology.
 //
 // The emulation platform relies on Linux's default first-touch policy: pages
-// land on the local NUMA node until it is full, then spill to the remote
-// node (Sec. 3.3). The explicit policies model libnuma bindings and the
+// land on the node tier until it is full, then spill down the tier chain
+// (Sec. 3.3). The explicit policies model libnuma bindings and the
 // weighted N:M interleaving of the tiered-memory kernel patch cited in
-// Sec. 2.2 ("Low Porting Efforts").
+// Sec. 2.2 ("Low Porting Efforts"), generalized to weight vectors over
+// arbitrary tier counts.
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
+#include <vector>
 
 #include "memsim/tier.h"
 
 namespace memdis::memsim {
 
 enum class PlacementKind : std::uint8_t {
-  kFirstTouch,  ///< local until full, spill to remote (Linux default)
-  kBindLocal,   ///< numactl --membind=local; fails (OOM) when local is full
-  kBindRemote,  ///< force pages onto the pool tier
-  kInterleave,  ///< weighted N:M round-robin across tiers
-  kPreferredLocal,  ///< prefer local but fall back to remote (no OOM)
+  kFirstTouch,  ///< node tier until full, spill down the chain (Linux default)
+  kBind,        ///< numactl --membind=<tier>; fails (OOM) when the tier is full
+  kInterleave,  ///< weighted round-robin across tiers
+  kPreferred,   ///< prefer the target tier; fall back to the first other tier
+                ///< with room in spill order (no OOM)
 };
 
 /// Placement request attached to an allocation. Interleave weights follow
-/// the kernel patch semantics: `local_weight` pages local, then
-/// `remote_weight` pages remote, repeating.
+/// the kernel patch semantics, indexed by tier id: `weights[t]` pages on
+/// tier t, then the next tier, repeating; missing entries mean weight 0.
 struct MemPolicy {
   PlacementKind kind = PlacementKind::kFirstTouch;
-  std::uint32_t local_weight = 1;
-  std::uint32_t remote_weight = 1;
+  TierId target = kNodeTier;            ///< bind/preferred target tier
+  std::vector<std::uint32_t> weights;   ///< per-tier interleave weights
 
   [[nodiscard]] static MemPolicy first_touch() { return {}; }
-  [[nodiscard]] static MemPolicy bind_local() { return {PlacementKind::kBindLocal, 1, 1}; }
-  [[nodiscard]] static MemPolicy bind_remote() { return {PlacementKind::kBindRemote, 1, 1}; }
-  [[nodiscard]] static MemPolicy preferred_local() {
-    return {PlacementKind::kPreferredLocal, 1, 1};
+  /// Bind to an arbitrary tier (OOM when it is full).
+  [[nodiscard]] static MemPolicy bind(TierId t) {
+    return {PlacementKind::kBind, t, {}};
   }
-  [[nodiscard]] static MemPolicy interleave(std::uint32_t local_w, std::uint32_t remote_w) {
-    return {PlacementKind::kInterleave, local_w, remote_w};
+  /// numactl --membind=local analogue.
+  [[nodiscard]] static MemPolicy bind_node() { return bind(kNodeTier); }
+  /// Force pages onto the primary pool (tier 1 in every built-in preset).
+  [[nodiscard]] static MemPolicy bind_pool() { return bind(1); }
+  /// Prefer `t`; when it is full, fall back to the first other tier with
+  /// room in spill order instead of OOM-ing.
+  [[nodiscard]] static MemPolicy preferred(TierId t = kNodeTier) {
+    return {PlacementKind::kPreferred, t, {}};
+  }
+  /// Weighted interleave over an arbitrary tier weight vector.
+  [[nodiscard]] static MemPolicy interleave(std::vector<std::uint32_t> tier_weights) {
+    return {PlacementKind::kInterleave, kNodeTier, std::move(tier_weights)};
+  }
+  /// Two-tier convenience: `node_w` pages on tier 0, `pool_w` on tier 1.
+  [[nodiscard]] static MemPolicy interleave(std::uint32_t node_w, std::uint32_t pool_w) {
+    return interleave(std::vector<std::uint32_t>{node_w, pool_w});
   }
 };
 

@@ -1,34 +1,135 @@
-// Memory tier identifiers and per-tier hardware specifications.
+// Memory tiers, per-tier fabric links, and the N-tier MemoryTopology.
 //
-// The paper's rack-scale architecture (Fig. 2) gives each node a fixed
-// node-local tier plus a share of a pooled remote tier; the emulation
-// platform (Sec. 3.3) maps these onto the two sockets of a Skylake-X box.
+// The paper's rack-scale architecture (Fig. 2) and its CXL what-ifs are
+// really *topologies*: node DRAM, direct-attached CXL devices, switched
+// pools, peer-borrowed memory. A topology is an ordered list of tiers;
+// tier 0 is always the node-local tier (no fabric link), every other tier
+// is reached over its own link with its own bandwidth/latency/overhead/
+// interference parameters — so asymmetric multi-pool machines are
+// expressible, not just the emulated local/remote pair of Sec. 3.3.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
+
+#include "common/contract.h"
 
 namespace memdis::memsim {
 
-/// A node's memory system has two tiers in this work: node-local DRAM and
-/// the fabric-attached (pooled) remote tier reached over the link.
-enum class Tier : std::uint8_t { kLocal = 0, kRemote = 1 };
+/// Integer handle of a tier within a MemoryTopology. Tier 0 is the
+/// node-local tier by convention; first-touch spill walks ids in order.
+using TierId = int;
 
-inline constexpr int kNumTiers = 2;
+/// The node-local tier's id.
+inline constexpr TierId kNodeTier = 0;
 
-/// Index helper for per-tier arrays.
-[[nodiscard]] constexpr int tier_index(Tier t) { return static_cast<int>(t); }
+/// Upper bound on tiers per topology. Per-tier hardware counters are
+/// fixed-size arrays (they are copied on every epoch delta), so the bound
+/// is a compile-time constant; 8 covers every rack topology in the paper's
+/// design space (HBM + DDR + multiple CXL hops + peers) with room to spare.
+inline constexpr int kMaxTiers = 8;
 
-[[nodiscard]] constexpr const char* tier_name(Tier t) {
-  return t == Tier::kLocal ? "local" : "remote";
-}
+/// Parameters of the fabric link through which a non-local tier is reached
+/// (the LBench link model of Sec. 3.2, per tier).
+struct FabricLinkSpec {
+  double traffic_capacity_gbps = 85.0;  ///< saturation point seen by PCM
+  double protocol_overhead = 2.5;       ///< traffic bytes per data byte
+  /// Fraction of background link traffic that collides with the app's
+  /// demand stream (full-duplex links only partially steal the app's
+  /// direction; see MachineConfig for the calibration note).
+  double interference_share = 0.35;
+  double queue_weight = 0.12;           ///< M/M/1 queue-delay scaling
+  double overload_slope = 0.05;         ///< delay growth per unit of overload
+  double max_latency_multiplier = 6.0;  ///< cap on queueing blow-up
 
-/// Hardware description of one memory tier.
+  /// Peak link *data* bandwidth implied by capacity and overhead.
+  [[nodiscard]] double data_bandwidth_gbps() const {
+    return traffic_capacity_gbps / protocol_overhead;
+  }
+};
+
+/// Hardware description of one memory tier. Local tiers have no link;
+/// fabric tiers carry their own link parameters.
 struct MemoryTierSpec {
   std::string name;
   std::uint64_t capacity_bytes = 0;
   double bandwidth_gbps = 0.0;  ///< sustainable data bandwidth (STREAM-like)
   double latency_ns = 0.0;      ///< unloaded access latency
+  std::optional<FabricLinkSpec> link;  ///< nullopt for node-local tiers
+
+  [[nodiscard]] bool is_fabric() const { return link.has_value(); }
+};
+
+/// An ordered set of memory tiers. Order is semantic: first-touch fills
+/// tier 0 first and spills down the list, and interleave weight vectors are
+/// indexed by position.
+struct MemoryTopology {
+  std::vector<MemoryTierSpec> tiers;
+
+  [[nodiscard]] int num_tiers() const { return static_cast<int>(tiers.size()); }
+
+  [[nodiscard]] bool valid_tier(TierId t) const { return t >= 0 && t < num_tiers(); }
+
+  [[nodiscard]] const MemoryTierSpec& tier(TierId t) const {
+    expects(valid_tier(t), "tier id out of range");
+    return tiers[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] MemoryTierSpec& tier(TierId t) {
+    expects(valid_tier(t), "tier id out of range");
+    return tiers[static_cast<std::size_t>(t)];
+  }
+
+  [[nodiscard]] bool is_fabric(TierId t) const { return tier(t).is_fabric(); }
+
+  /// Id of the first fabric tier — the "pool" in two-tier language. Most
+  /// reference-point math (R_bw, IC calibration) is defined against it.
+  [[nodiscard]] TierId first_fabric() const {
+    for (TierId t = 0; t < num_tiers(); ++t)
+      if (tiers[static_cast<std::size_t>(t)].is_fabric()) return t;
+    throw contract_violation("topology has no fabric tier");
+  }
+
+  [[nodiscard]] bool has_fabric() const {
+    for (const auto& t : tiers)
+      if (t.is_fabric()) return true;
+    return false;
+  }
+
+  /// Total capacity over all tiers.
+  [[nodiscard]] std::uint64_t total_capacity_bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto& t : tiers) sum += t.capacity_bytes;
+    return sum;
+  }
+
+  /// Aggregate data bandwidth over all tiers (the multi-tier roofline
+  /// ceiling of Fig. 5's dashed line).
+  [[nodiscard]] double total_bandwidth_gbps() const {
+    double sum = 0.0;
+    for (const auto& t : tiers) sum += t.bandwidth_gbps;
+    return sum;
+  }
+
+  /// Structural invariants: at least one tier, at most kMaxTiers, tier 0
+  /// local (no link), every later tier fabric (off-node aggregation and
+  /// spill-order semantics assume it), names non-empty.
+  void validate() const {
+    expects(!tiers.empty(), "topology needs at least one tier");
+    expects(num_tiers() <= kMaxTiers, "topology exceeds kMaxTiers");
+    expects(!tiers.front().is_fabric(), "tier 0 must be the node-local tier");
+    for (std::size_t i = 0; i < tiers.size(); ++i) {
+      const auto& t = tiers[i];
+      expects(!t.name.empty(), "tier name must not be empty");
+      expects(t.bandwidth_gbps > 0.0, "tier bandwidth must be positive");
+      expects(i == 0 || t.is_fabric(), "tiers beyond the node tier must carry a link");
+      if (t.link) {
+        expects(t.link->traffic_capacity_gbps > 0.0, "link capacity must be positive");
+        expects(t.link->protocol_overhead >= 1.0, "protocol overhead cannot shrink traffic");
+      }
+    }
+  }
 };
 
 }  // namespace memdis::memsim

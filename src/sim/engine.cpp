@@ -8,12 +8,33 @@
 namespace memdis::sim {
 
 Engine::Engine(const EngineConfig& cfg)
-    : cfg_(cfg), memory_(cfg.machine), link_(cfg.machine), hierarchy_(cfg.hierarchy, memory_) {
-  link_.set_background_loi(cfg.background_loi);
+    : cfg_(cfg), memory_(cfg.machine), hierarchy_(cfg.hierarchy, memory_) {
+  const auto& topo = cfg_.machine.topology;
+  links_.reserve(static_cast<std::size_t>(topo.num_tiers()));
+  for (memsim::TierId t = 0; t < topo.num_tiers(); ++t) {
+    if (topo.is_fabric(t)) {
+      links_.emplace_back(memsim::LinkModel(topo.tier(t)));
+    } else {
+      links_.emplace_back(std::nullopt);
+    }
+  }
+  set_background_loi(cfg.background_loi);
+}
+
+const memsim::LinkModel& Engine::link() const {
+  return link(cfg_.machine.topology.first_fabric());
+}
+
+const memsim::LinkModel& Engine::link(memsim::TierId t) const {
+  expects(t >= 0 && t < static_cast<int>(links_.size()), "tier id out of range");
+  const auto& l = links_[static_cast<std::size_t>(t)];
+  expects(l.has_value(), "tier has no fabric link");
+  return *l;
 }
 
 void Engine::set_background_loi(double loi_percent) {
-  link_.set_background_loi(loi_percent);
+  for (auto& l : links_)
+    if (l) l->set_background_loi(loi_percent);
 }
 
 memsim::VRange Engine::alloc(std::uint64_t bytes, memsim::MemPolicy policy, std::string name) {
@@ -22,7 +43,7 @@ memsim::VRange Engine::alloc(std::uint64_t bytes, memsim::MemPolicy policy, std:
   if (policy.kind == memsim::PlacementKind::kFirstTouch && cfg_.default_policy_override) {
     policy = *cfg_.default_policy_override;
   }
-  const memsim::VRange range = memory_.alloc(bytes, policy);
+  const memsim::VRange range = memory_.alloc(bytes, std::move(policy));
   allocations_.push_back(AllocationInfo{std::move(name), range, false});
   return range;
 }
@@ -100,30 +121,42 @@ void Engine::close_epoch() {
   }
 
   const auto& m = cfg_.machine;
-  const int li = memsim::tier_index(memsim::Tier::kLocal);
-  const int ri = memsim::tier_index(memsim::Tier::kRemote);
-  const auto local_bytes = static_cast<double>(d.dram_bytes(memsim::Tier::kLocal));
-  const auto remote_bytes = static_cast<double>(d.dram_bytes(memsim::Tier::kRemote));
+  const int n = m.num_tiers();
 
-  // Throughput-bound terms.
+  // Throughput-bound terms: the epoch is as long as its most-loaded lane —
+  // compute, or any single tier's byte stream at that tier's effective
+  // bandwidth (fabric tiers are additionally clipped by their link).
   const double t_flop = static_cast<double>(flops_now) / (m.peak_gflops * 1e9);
-  const double t_local = local_bytes / gbps_to_bytes_per_sec(m.local.bandwidth_gbps);
-  const double bw_remote_eff =
-      std::min(link_.effective_data_bandwidth_gbps(0.0), m.remote.bandwidth_gbps);
-  const double t_remote = remote_bytes / gbps_to_bytes_per_sec(bw_remote_eff);
-  const double t_base = std::max({t_flop, t_local, t_remote});
+  double t_base = t_flop;
+  for (memsim::TierId t = 0; t < n; ++t) {
+    const auto bytes = static_cast<double>(d.dram_bytes(t));
+    const auto& spec = m.tier(t);
+    const double bw_eff =
+        spec.is_fabric()
+            ? std::min(link(t).effective_data_bandwidth_gbps(0.0), spec.bandwidth_gbps)
+            : spec.bandwidth_gbps;
+    t_base = std::max(t_base, bytes / gbps_to_bytes_per_sec(bw_eff));
+  }
 
-  // Latency-bound term: only *demand* misses stall the cores; the app's own
-  // offered rate feeds the link queueing model (two-pass fixed point).
-  const double est_rate_gbps =
-      t_base > 0 ? bytes_per_sec_to_gbps(remote_bytes / t_base) : 0.0;
-  const double lat_local_s = ns_to_s(m.local.latency_ns);
-  const double lat_remote_s = ns_to_s(link_.effective_latency_ns(est_rate_gbps));
+  // Latency-bound term: only *demand* misses stall the cores; each fabric
+  // tier's own offered rate feeds its link queueing model (two-pass fixed
+  // point per link).
   const double overlap = m.mlp * static_cast<double>(m.threads);
-  const double t_stall = cfg_.stall_weight *
-                         (static_cast<double>(d.demand_dram[li]) * lat_local_s +
-                          static_cast<double>(d.demand_dram[ri]) * lat_remote_s) /
-                         overlap;
+  double stall_sum = 0.0;
+  for (memsim::TierId t = 0; t < n; ++t) {
+    const auto& spec = m.tier(t);
+    double lat_s;
+    if (spec.is_fabric()) {
+      const auto bytes = static_cast<double>(d.dram_bytes(t));
+      const double est_rate_gbps =
+          t_base > 0 ? bytes_per_sec_to_gbps(bytes / t_base) : 0.0;
+      lat_s = ns_to_s(link(t).effective_latency_ns(est_rate_gbps));
+    } else {
+      lat_s = ns_to_s(spec.latency_ns);
+    }
+    stall_sum += static_cast<double>(d.demand_dram[static_cast<std::size_t>(t)]) * lat_s;
+  }
+  const double t_stall = cfg_.stall_weight * stall_sum / overlap;
 
   const double duration = t_base + t_stall;
 
@@ -132,18 +165,30 @@ void Engine::close_epoch() {
   rec.duration_s = duration;
   rec.phase = current_phase_;
   rec.flops = flops_now;
-  rec.local_bytes = static_cast<std::uint64_t>(local_bytes);
-  rec.remote_bytes = static_cast<std::uint64_t>(remote_bytes);
+  rec.tier_bytes.resize(static_cast<std::size_t>(n));
+  rec.tier_demand.resize(static_cast<std::size_t>(n));
+  for (memsim::TierId t = 0; t < n; ++t) {
+    rec.tier_bytes[static_cast<std::size_t>(t)] = d.dram_bytes(t);
+    rec.tier_demand[static_cast<std::size_t>(t)] =
+        d.demand_dram[static_cast<std::size_t>(t)];
+  }
   rec.l2_lines_in = d.l2_lines_in;
-  rec.demand_local = d.demand_dram[li];
-  rec.demand_remote = d.demand_dram[ri];
-  const double app_rate_gbps =
-      duration > 0 ? bytes_per_sec_to_gbps(remote_bytes / duration) : 0.0;
-  rec.link_traffic_gbps = link_.measured_traffic_gbps(app_rate_gbps);
-  rec.link_utilization = link_.offered_utilization(app_rate_gbps);
+  // Link measurements: PCM-style measured traffic summed over links; the
+  // utilization of the busiest link (what an operator would alarm on).
+  double traffic = 0.0;
+  double util = 0.0;
+  for (memsim::TierId t = 0; t < n; ++t) {
+    if (!m.tier(t).is_fabric()) continue;
+    const auto bytes = static_cast<double>(d.dram_bytes(t));
+    const double app_rate_gbps =
+        duration > 0 ? bytes_per_sec_to_gbps(bytes / duration) : 0.0;
+    traffic += link(t).measured_traffic_gbps(app_rate_gbps);
+    util = std::max(util, link(t).offered_utilization(app_rate_gbps));
+  }
+  rec.link_traffic_gbps = traffic;
+  rec.link_utilization = util;
   const memsim::NumaSnapshot snap = memory_.snapshot();
-  rec.resident_local_bytes = snap.resident_bytes[li];
-  rec.resident_remote_bytes = snap.resident_bytes[ri];
+  rec.resident_bytes = snap.resident_bytes;
   epochs_.push_back(std::move(rec));
 
   elapsed_s_ += duration;

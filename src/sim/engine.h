@@ -1,27 +1,29 @@
 // Engine: the execution-driven simulation core.
 //
 // Workloads run real numerics against sim::Array<T> buffers; every load and
-// store is routed through the cache hierarchy, the page table, and the pool
-// link. Time advances in *epochs* (a fixed quantum of demand accesses, also
-// closed at phase boundaries), each costed with the model:
+// store is routed through the cache hierarchy, the page table, and the
+// per-tier fabric links. Time advances in *epochs* (a fixed quantum of
+// demand accesses, also closed at phase boundaries), each costed with the
+// N-tier model:
 //
-//   t_epoch = max(flops/F_peak, bytes_L/BW_L, bytes_R/BW_R_eff)
-//           + (demand_L·lat_L + demand_R·lat_R_eff) / (MLP·threads)
+//   t_epoch = max(flops/F_peak, max_t bytes_t/BW_t_eff)
+//           + sum_t demand_t·lat_t_eff / (MLP·threads)
 //
-// BW_R_eff and lat_R_eff come from the LinkModel under the configured
-// background Level-of-Interference. Prefetched lines never appear in the
-// demand-latency term — that is what gives hardware prefetching its
-// performance gain (Sec. 4.2) and remote latency its sting when coverage is
-// low (XSBench, Sec. 5.1).
+// For the node tier BW/lat are the tier's raw parameters; for each fabric
+// tier they come from that tier's LinkModel under the configured background
+// Level-of-Interference. Prefetched lines never appear in the demand-latency
+// term — that is what gives hardware prefetching its performance gain
+// (Sec. 4.2) and off-node latency its sting when coverage is low (XSBench,
+// Sec. 5.1). With a two-tier topology this reduces exactly to the paper's
+// bytes_L/bytes_R formulation.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
-
-#include <optional>
 
 #include "cachesim/hierarchy.h"
 #include "memsim/link.h"
@@ -49,20 +51,40 @@ struct EngineConfig {
 
 /// One closed epoch: the unit of the profiler's per-interval timelines
 /// (Fig. 7's cacheline series, per-phase attribution, link traffic).
+/// Per-tier series are indexed by TierId and sized to the topology.
 struct EpochRecord {
   double start_s = 0.0;
   double duration_s = 0.0;
   std::string phase;
   std::uint64_t flops = 0;
-  std::uint64_t local_bytes = 0;
-  std::uint64_t remote_bytes = 0;
+  std::vector<std::uint64_t> tier_bytes;    ///< DRAM bytes served per tier
+  std::vector<std::uint64_t> tier_demand;   ///< demand misses per tier
   std::uint64_t l2_lines_in = 0;
-  std::uint64_t demand_local = 0;
-  std::uint64_t demand_remote = 0;
-  double link_traffic_gbps = 0.0;   ///< PCM-style measured traffic
-  double link_utilization = 0.0;    ///< offered, may exceed 1
-  std::uint64_t resident_local_bytes = 0;
-  std::uint64_t resident_remote_bytes = 0;
+  double link_traffic_gbps = 0.0;   ///< PCM-style measured traffic, all links
+  double link_utilization = 0.0;    ///< max offered utilization over links
+  std::vector<std::uint64_t> resident_bytes;  ///< numa snapshot per tier
+
+  /// Bytes served by the node tier this epoch.
+  [[nodiscard]] std::uint64_t node_bytes() const {
+    return tier_bytes.empty() ? 0 : tier_bytes[memsim::kNodeTier];
+  }
+  /// Bytes served off the node (all fabric tiers).
+  [[nodiscard]] std::uint64_t fabric_bytes() const {
+    std::uint64_t sum = 0;
+    for (std::size_t t = 1; t < tier_bytes.size(); ++t) sum += tier_bytes[t];
+    return sum;
+  }
+  [[nodiscard]] std::uint64_t resident_total_bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto b : resident_bytes) sum += b;
+    return sum;
+  }
+  [[nodiscard]] std::uint64_t resident_node_bytes() const {
+    return resident_bytes.empty() ? 0 : resident_bytes[memsim::kNodeTier];
+  }
+  [[nodiscard]] std::uint64_t resident_fabric_bytes() const {
+    return resident_total_bytes() - resident_node_bytes();
+  }
 };
 
 /// Aggregated per-phase results (between pf_start/pf_stop tags).
@@ -126,7 +148,11 @@ class Engine {
   [[nodiscard]] const std::vector<AllocationInfo>& allocations() const { return allocations_; }
   [[nodiscard]] memsim::TieredMemory& memory() { return memory_; }
   [[nodiscard]] const memsim::TieredMemory& memory() const { return memory_; }
-  [[nodiscard]] const memsim::LinkModel& link() const { return link_; }
+  /// The primary pool's link model (first fabric tier).
+  [[nodiscard]] const memsim::LinkModel& link() const;
+  /// Link model of an arbitrary fabric tier; contract violation for local
+  /// tiers (they have no link).
+  [[nodiscard]] const memsim::LinkModel& link(memsim::TierId t) const;
   [[nodiscard]] const EngineConfig& config() const { return cfg_; }
   [[nodiscard]] cachesim::CacheHierarchy& hierarchy() { return hierarchy_; }
 
@@ -135,6 +161,7 @@ class Engine {
   [[nodiscard]] std::uint64_t peak_rss_bytes() const { return peak_rss_; }
 
   void set_prefetch_enabled(bool on) { hierarchy_.set_prefetch_enabled(on); }
+  /// Applies the background LoI to every fabric link in the topology.
   void set_background_loi(double loi_percent);
 
   /// Installs a hook invoked after every closed epoch — the attachment
@@ -149,7 +176,8 @@ class Engine {
 
   EngineConfig cfg_;
   memsim::TieredMemory memory_;
-  memsim::LinkModel link_;
+  /// Per-tier link models, indexed by TierId; nullopt for local tiers.
+  std::vector<std::optional<memsim::LinkModel>> links_;
   cachesim::CacheHierarchy hierarchy_;
 
   // epoch state

@@ -17,7 +17,7 @@ double Lbench::kernel_element(double a, std::uint32_t nflop, double alpha) {
 WorkloadResult Lbench::run(sim::Engine& eng) {
   const std::size_t n = params_.elements;
   const double alpha = 0.25;
-  const auto policy = params_.on_pool ? memsim::MemPolicy::bind_remote()
+  const auto policy = params_.on_pool ? memsim::MemPolicy::bind_pool()
                                       : memsim::MemPolicy::first_touch();
   sim::Array<double> a(eng, n, policy, "LBench.A");
 

@@ -14,7 +14,7 @@ namespace memdis::cachesim {
 namespace {
 
 using memsim::MachineConfig;
-using memsim::Tier;
+using memsim::kNodeTier;
 using memsim::TieredMemory;
 
 // ---------- SetAssocCache ----------------------------------------------------
@@ -298,7 +298,7 @@ TEST(Hierarchy, DramBytesArePerLine) {
 
 TEST(Hierarchy, RemoteTierCounted) {
   MachineConfig cfg = MachineConfig::skylake_testbed();
-  cfg.local.capacity_bytes = 4096;  // one page local, rest spills
+  cfg.node_tier().capacity_bytes = 4096;  // one page local, rest spills
   TieredMemory mem(cfg);
   CacheHierarchy h(tiny_hierarchy(), mem);
   const auto r = mem.alloc(1 << 20);
@@ -358,7 +358,7 @@ TEST(Hierarchy, CleanDrainWritesNothing) {
 
 TEST(Hierarchy, WritebackTargetsCorrectTier) {
   MachineConfig cfg = MachineConfig::skylake_testbed();
-  cfg.local.capacity_bytes = 4096;  // one page, filled by the first touch
+  cfg.node_tier().capacity_bytes = 4096;  // one page, filled by the first touch
   TieredMemory mem(cfg);
   CacheHierarchy h(tiny_hierarchy(), mem);
   const auto r = mem.alloc(1 << 20);
@@ -388,23 +388,23 @@ TEST(Hierarchy, CountersDeltaSince) {
 
 TEST(Pebs, RecordsEveryEventAtPeriodOne) {
   PebsSampler pebs(1);
-  pebs.sample(0, Tier::kLocal);
-  pebs.sample(4096, Tier::kRemote);
-  pebs.sample(4100, Tier::kRemote);
+  pebs.sample(0, kNodeTier);
+  pebs.sample(4096, 1);
+  pebs.sample(4100, 1);
   EXPECT_EQ(pebs.total_samples(), 3u);
-  EXPECT_EQ(pebs.samples(Tier::kRemote), 2u);
+  EXPECT_EQ(pebs.samples(1), 2u);
   EXPECT_EQ(pebs.page_counts().at(1), 2u);
 }
 
 TEST(Pebs, PeriodSubsamples) {
   PebsSampler pebs(4);
-  for (int i = 0; i < 16; ++i) pebs.sample(static_cast<std::uint64_t>(i) * 64, Tier::kLocal);
+  for (int i = 0; i < 16; ++i) pebs.sample(static_cast<std::uint64_t>(i) * 64, kNodeTier);
   EXPECT_EQ(pebs.total_samples(), 4u);
 }
 
 TEST(Pebs, ResetClearsState) {
   PebsSampler pebs(1);
-  pebs.sample(0, Tier::kLocal);
+  pebs.sample(0, kNodeTier);
   pebs.reset();
   EXPECT_EQ(pebs.total_samples(), 0u);
   EXPECT_TRUE(pebs.page_counts().empty());

@@ -124,9 +124,9 @@ TEST(Planner, FromProfileProjectsScale) {
 TEST(SplitPreset, WorsePathThanPool) {
   const auto pool = memsim::MachineConfig::skylake_testbed();
   const auto split = memsim::MachineConfig::split_borrowing();
-  EXPECT_LT(split.remote.bandwidth_gbps, pool.remote.bandwidth_gbps);
-  EXPECT_GT(split.remote.latency_ns, pool.remote.latency_ns);
-  EXPECT_GT(split.link_interference_share, pool.link_interference_share);
+  EXPECT_LT(split.pool_tier().bandwidth_gbps, pool.pool_tier().bandwidth_gbps);
+  EXPECT_GT(split.pool_tier().latency_ns, pool.pool_tier().latency_ns);
+  EXPECT_GT(split.pool_link().interference_share, pool.pool_link().interference_share);
 }
 
 }  // namespace

@@ -16,26 +16,26 @@ namespace {
 TEST(CxlPresets, DirectAttachedHasMoreBandwidthLessOverhead) {
   const auto upi = memsim::MachineConfig::skylake_testbed();
   const auto cxl = memsim::MachineConfig::cxl_direct_attached();
-  EXPECT_GT(cxl.remote.bandwidth_gbps, upi.remote.bandwidth_gbps);
-  EXPECT_LT(cxl.remote.latency_ns, upi.remote.latency_ns);
-  EXPECT_LT(cxl.link_protocol_overhead, upi.link_protocol_overhead);
+  EXPECT_GT(cxl.pool_tier().bandwidth_gbps, upi.pool_tier().bandwidth_gbps);
+  EXPECT_LT(cxl.pool_tier().latency_ns, upi.pool_tier().latency_ns);
+  EXPECT_LT(cxl.pool_link().protocol_overhead, upi.pool_link().protocol_overhead);
   // Traffic capacity consistent with data bandwidth × overhead.
-  EXPECT_NEAR(cxl.link_data_bandwidth_gbps(), cxl.remote.bandwidth_gbps, 1e-9);
+  EXPECT_NEAR(cxl.link_data_bandwidth_gbps(), cxl.pool_tier().bandwidth_gbps, 1e-9);
 }
 
 TEST(CxlPresets, SwitchedPoolOnlyAddsLatency) {
   const auto direct = memsim::MachineConfig::cxl_direct_attached();
   const auto switched = memsim::MachineConfig::cxl_switched_pool();
-  EXPECT_GT(switched.remote.latency_ns, direct.remote.latency_ns);
-  EXPECT_DOUBLE_EQ(switched.remote.bandwidth_gbps, direct.remote.bandwidth_gbps);
-  EXPECT_DOUBLE_EQ(switched.link_traffic_capacity_gbps, direct.link_traffic_capacity_gbps);
+  EXPECT_GT(switched.pool_tier().latency_ns, direct.pool_tier().latency_ns);
+  EXPECT_DOUBLE_EQ(switched.pool_tier().bandwidth_gbps, direct.pool_tier().bandwidth_gbps);
+  EXPECT_DOUBLE_EQ(switched.pool_link().traffic_capacity_gbps, direct.pool_link().traffic_capacity_gbps);
 }
 
 TEST(CxlPresets, RemoteStreamingFasterOnDirectCxlThanUpi) {
   const auto run_on = [](const memsim::MachineConfig& base) {
     sim::EngineConfig cfg;
     cfg.machine = base;
-    cfg.machine.local.capacity_bytes = cfg.machine.page_bytes;  // force remote
+    cfg.machine.node_tier().capacity_bytes = cfg.machine.page_bytes;  // force remote
     sim::Engine eng(cfg);
     sim::Array<double> a(eng, 1 << 18);
     for (std::size_t i = 0; i < a.size(); ++i) a.st(i, 1.0);
@@ -67,9 +67,9 @@ TEST(PolicyOverride, ExplicitBindingsWinOverOverride) {
   cfg.default_policy_override = memsim::MemPolicy::interleave(1, 1);
   sim::Engine eng(cfg);
   const std::uint64_t page = eng.memory().page_bytes();
-  sim::Array<std::uint8_t> a(eng, 4 * page, memsim::MemPolicy::bind_remote());
+  sim::Array<std::uint8_t> a(eng, 4 * page, memsim::MemPolicy::bind_pool());
   for (std::size_t i = 0; i < a.size(); i += page) a.st(i, 1);
-  EXPECT_EQ(eng.memory().used_bytes(memsim::Tier::kLocal), 0u);
+  EXPECT_EQ(eng.memory().used_bytes(memsim::kNodeTier), 0u);
 }
 
 TEST(PolicyOverride, NoOverrideKeepsFirstTouch) {
@@ -78,7 +78,7 @@ TEST(PolicyOverride, NoOverrideKeepsFirstTouch) {
   const std::uint64_t page = eng.memory().page_bytes();
   sim::Array<std::uint8_t> a(eng, 4 * page);
   for (std::size_t i = 0; i < a.size(); i += page) a.st(i, 1);
-  EXPECT_EQ(eng.memory().used_bytes(memsim::Tier::kRemote), 0u);
+  EXPECT_EQ(eng.memory().used_bytes(1), 0u);
 }
 
 // ---------- epoch callback ------------------------------------------------------
@@ -110,7 +110,7 @@ TEST(Migration, PromotesHotRemotePages) {
   runtime.attach(eng);
 
   const std::uint64_t page = eng.memory().page_bytes();
-  sim::Array<std::uint8_t> hot(eng, 8 * page, memsim::MemPolicy::bind_remote(), "hot");
+  sim::Array<std::uint8_t> hot(eng, 8 * page, memsim::MemPolicy::bind_pool(), "hot");
   for (int pass = 0; pass < 50; ++pass)
     for (std::size_t i = 0; i < hot.size(); i += 64) hot.st(i, 1);
   eng.finish();
@@ -118,7 +118,7 @@ TEST(Migration, PromotesHotRemotePages) {
   EXPECT_GT(runtime.pages_promoted(), 0u);
   EXPECT_GT(runtime.scans(), 0u);
   // The hot pages should now live locally.
-  EXPECT_GT(eng.memory().used_bytes(memsim::Tier::kLocal), 0u);
+  EXPECT_GT(eng.memory().used_bytes(memsim::kNodeTier), 0u);
 }
 
 TEST(Migration, DemotesColdToMakeRoom) {
@@ -126,7 +126,7 @@ TEST(Migration, DemotesColdToMakeRoom) {
   // must displace it.
   sim::EngineConfig cfg;
   cfg.epoch_accesses = 5'000;
-  cfg.machine.local.capacity_bytes = 8 * cfg.machine.page_bytes;
+  cfg.machine.node_tier().capacity_bytes = 8 * cfg.machine.page_bytes;
   sim::Engine eng(cfg);
   core::MigrationConfig mcfg;
   mcfg.period_epochs = 1;
@@ -135,9 +135,9 @@ TEST(Migration, DemotesColdToMakeRoom) {
   runtime.attach(eng);
 
   const std::uint64_t page = eng.memory().page_bytes();
-  sim::Array<std::uint8_t> cold(eng, 8 * page, memsim::MemPolicy::bind_local(), "cold");
+  sim::Array<std::uint8_t> cold(eng, 8 * page, memsim::MemPolicy::bind_node(), "cold");
   for (std::size_t i = 0; i < cold.size(); i += page) cold.st(i, 1);  // touch once
-  sim::Array<std::uint8_t> hot(eng, 8 * page, memsim::MemPolicy::bind_remote(), "hot");
+  sim::Array<std::uint8_t> hot(eng, 8 * page, memsim::MemPolicy::bind_pool(), "hot");
   for (int pass = 0; pass < 80; ++pass)
     for (std::size_t i = 0; i < hot.size(); i += 64) hot.st(i, 1);
   eng.finish();
@@ -155,7 +155,7 @@ TEST(Migration, IdleWithoutHeat) {
   core::MigrationRuntime runtime({1, 64, 1000, true});  // very high heat bar
   runtime.attach(eng);
   sim::Array<std::uint8_t> a(eng, 16 * eng.memory().page_bytes(),
-                             memsim::MemPolicy::bind_remote());
+                             memsim::MemPolicy::bind_pool());
   for (std::size_t i = 0; i < a.size(); i += 64) a.st(i, 1);
   eng.finish();
   EXPECT_EQ(runtime.pages_promoted(), 0u);
@@ -178,7 +178,7 @@ TEST(Migration, ReducesBfsRemoteTraffic) {
     const auto res = bfs.run(eng);
     eng.finish();
     EXPECT_TRUE(res.verified);
-    return static_cast<double>(eng.counters().dram_bytes(memsim::Tier::kRemote)) /
+    return static_cast<double>(eng.counters().fabric_dram_bytes()) /
            static_cast<double>(eng.counters().dram_bytes_total());
   };
   const double without = run_bfs(false);

@@ -10,10 +10,13 @@
 namespace memdis::memsim {
 namespace {
 
+/// The pool tier's id in every two-tier preset.
+constexpr TierId kPool = 1;
+
 MachineConfig small_machine(std::uint64_t local_pages, std::uint64_t remote_pages) {
   MachineConfig cfg = MachineConfig::skylake_testbed();
-  cfg.local.capacity_bytes = local_pages * cfg.page_bytes;
-  cfg.remote.capacity_bytes = remote_pages * cfg.page_bytes;
+  cfg.node_tier().capacity_bytes = local_pages * cfg.page_bytes;
+  cfg.tier(kPool).capacity_bytes = remote_pages * cfg.page_bytes;
   return cfg;
 }
 
@@ -21,11 +24,11 @@ MachineConfig small_machine(std::uint64_t local_pages, std::uint64_t remote_page
 
 TEST(MachineConfig, TestbedMatchesPaperNumbers) {
   const auto m = MachineConfig::skylake_testbed();
-  EXPECT_DOUBLE_EQ(m.local.bandwidth_gbps, 73.0);
-  EXPECT_DOUBLE_EQ(m.local.latency_ns, 111.0);
-  EXPECT_DOUBLE_EQ(m.remote.bandwidth_gbps, 34.0);
-  EXPECT_DOUBLE_EQ(m.remote.latency_ns, 202.0);
-  EXPECT_DOUBLE_EQ(m.link_traffic_capacity_gbps, 85.0);
+  EXPECT_DOUBLE_EQ(m.node_tier().bandwidth_gbps, 73.0);
+  EXPECT_DOUBLE_EQ(m.node_tier().latency_ns, 111.0);
+  EXPECT_DOUBLE_EQ(m.pool_tier().bandwidth_gbps, 34.0);
+  EXPECT_DOUBLE_EQ(m.pool_tier().latency_ns, 202.0);
+  EXPECT_DOUBLE_EQ(m.pool_link().traffic_capacity_gbps, 85.0);
 }
 
 TEST(MachineConfig, LinkDataBandwidthConsistentWithOverhead) {
@@ -42,16 +45,16 @@ TEST(MachineConfig, WithRemoteCapacityRatioShrinksLocal) {
   const auto m = MachineConfig::skylake_testbed();
   const std::uint64_t footprint = 100 * m.page_bytes;
   const auto m75 = m.with_remote_capacity_ratio(0.75, footprint);
-  EXPECT_EQ(m75.local.capacity_bytes, 25 * m.page_bytes);
+  EXPECT_EQ(m75.node_tier().capacity_bytes, 25 * m.page_bytes);
   const auto m0 = m.with_remote_capacity_ratio(0.0, footprint);
-  EXPECT_EQ(m0.local.capacity_bytes, footprint);
+  EXPECT_EQ(m0.node_tier().capacity_bytes, footprint);
 }
 
 TEST(MachineConfig, WithRemoteCapacityRatioRoundsUpToPages) {
   const auto m = MachineConfig::skylake_testbed();
   const auto cfg = m.with_remote_capacity_ratio(0.5, 3 * m.page_bytes);
-  EXPECT_EQ(cfg.local.capacity_bytes % m.page_bytes, 0u);
-  EXPECT_GE(cfg.local.capacity_bytes, m.page_bytes);
+  EXPECT_EQ(cfg.node_tier().capacity_bytes % m.page_bytes, 0u);
+  EXPECT_GE(cfg.node_tier().capacity_bytes, m.page_bytes);
 }
 
 TEST(MachineConfig, InvalidRatioViolatesContract) {
@@ -65,24 +68,24 @@ TEST(MachineConfig, InvalidRatioViolatesContract) {
 TEST(FirstTouch, FillsLocalThenSpills) {
   TieredMemory mem(small_machine(2, 10));
   const auto r = mem.alloc(4 * 4096);
-  EXPECT_EQ(mem.touch(r.base), Tier::kLocal);
-  EXPECT_EQ(mem.touch(r.base + 4096), Tier::kLocal);
-  EXPECT_EQ(mem.touch(r.base + 2 * 4096), Tier::kRemote);  // local full
-  EXPECT_EQ(mem.touch(r.base + 3 * 4096), Tier::kRemote);
+  EXPECT_EQ(mem.touch(r.base), kNodeTier);
+  EXPECT_EQ(mem.touch(r.base + 4096), kNodeTier);
+  EXPECT_EQ(mem.touch(r.base + 2 * 4096), kPool);  // local full
+  EXPECT_EQ(mem.touch(r.base + 3 * 4096), kPool);
 }
 
 TEST(FirstTouch, RepeatedTouchIsStable) {
   TieredMemory mem(small_machine(1, 10));
   const auto r = mem.alloc(2 * 4096);
-  const Tier t0 = mem.touch(r.base);
+  const TierId t0 = mem.touch(r.base);
   for (int i = 0; i < 5; ++i) EXPECT_EQ(mem.touch(r.base + 17 * i), t0);
 }
 
 TEST(FirstTouch, PlacementIsPageGranular) {
   TieredMemory mem(small_machine(1, 10));
   const auto r = mem.alloc(2 * 4096);
-  EXPECT_EQ(mem.touch(r.base + 4095), Tier::kLocal);   // page 0
-  EXPECT_EQ(mem.touch(r.base + 4096), Tier::kRemote);  // page 1
+  EXPECT_EQ(mem.touch(r.base + 4095), kNodeTier);   // page 0
+  EXPECT_EQ(mem.touch(r.base + 4096), kPool);  // page 1
 }
 
 TEST(FirstTouch, BothTiersExhaustedThrowsOom) {
@@ -97,32 +100,32 @@ TEST(FirstTouch, BothTiersExhaustedThrowsOom) {
 
 TEST(BindPolicies, BindRemoteSkipsLocal) {
   TieredMemory mem(small_machine(10, 10));
-  const auto r = mem.alloc(4096, MemPolicy::bind_remote());
-  EXPECT_EQ(mem.touch(r.base), Tier::kRemote);
+  const auto r = mem.alloc(4096, MemPolicy::bind_pool());
+  EXPECT_EQ(mem.touch(r.base), kPool);
 }
 
 TEST(BindPolicies, BindLocalThrowsWhenFull) {
   TieredMemory mem(small_machine(1, 10));
-  const auto r1 = mem.alloc(4096, MemPolicy::bind_local());
-  EXPECT_EQ(mem.touch(r1.base), Tier::kLocal);
-  const auto r2 = mem.alloc(4096, MemPolicy::bind_local());
+  const auto r1 = mem.alloc(4096, MemPolicy::bind_node());
+  EXPECT_EQ(mem.touch(r1.base), kNodeTier);
+  const auto r2 = mem.alloc(4096, MemPolicy::bind_node());
   EXPECT_THROW(mem.touch(r2.base), OutOfMemoryError);
 }
 
 TEST(BindPolicies, PreferredLocalFallsBackInsteadOfOom) {
   TieredMemory mem(small_machine(1, 10));
-  const auto r = mem.alloc(2 * 4096, MemPolicy::preferred_local());
-  EXPECT_EQ(mem.touch(r.base), Tier::kLocal);
-  EXPECT_EQ(mem.touch(r.base + 4096), Tier::kRemote);
+  const auto r = mem.alloc(2 * 4096, MemPolicy::preferred());
+  EXPECT_EQ(mem.touch(r.base), kNodeTier);
+  EXPECT_EQ(mem.touch(r.base + 4096), kPool);
 }
 
 TEST(Interleave, AlternatesOneToOne) {
   TieredMemory mem(small_machine(100, 100));
   const auto r = mem.alloc(4 * 4096, MemPolicy::interleave(1, 1));
-  EXPECT_EQ(mem.touch(r.base), Tier::kLocal);
-  EXPECT_EQ(mem.touch(r.base + 4096), Tier::kRemote);
-  EXPECT_EQ(mem.touch(r.base + 2 * 4096), Tier::kLocal);
-  EXPECT_EQ(mem.touch(r.base + 3 * 4096), Tier::kRemote);
+  EXPECT_EQ(mem.touch(r.base), kNodeTier);
+  EXPECT_EQ(mem.touch(r.base + 4096), kPool);
+  EXPECT_EQ(mem.touch(r.base + 2 * 4096), kNodeTier);
+  EXPECT_EQ(mem.touch(r.base + 3 * 4096), kPool);
 }
 
 TEST(Interleave, WeightedNtoM) {
@@ -130,16 +133,16 @@ TEST(Interleave, WeightedNtoM) {
   const auto r = mem.alloc(10 * 4096, MemPolicy::interleave(3, 2));
   int local = 0;
   for (int p = 0; p < 10; ++p)
-    if (mem.touch(r.base + static_cast<std::uint64_t>(p) * 4096) == Tier::kLocal) ++local;
+    if (mem.touch(r.base + static_cast<std::uint64_t>(p) * 4096) == kNodeTier) ++local;
   EXPECT_EQ(local, 6);  // 3 of every 5 pages
 }
 
 TEST(Interleave, FallsBackWhenPreferredTierFull) {
   TieredMemory mem(small_machine(1, 10));
   const auto r = mem.alloc(4 * 4096, MemPolicy::interleave(1, 1));
-  EXPECT_EQ(mem.touch(r.base), Tier::kLocal);
-  EXPECT_EQ(mem.touch(r.base + 4096), Tier::kRemote);
-  EXPECT_EQ(mem.touch(r.base + 2 * 4096), Tier::kRemote);  // local exhausted
+  EXPECT_EQ(mem.touch(r.base), kNodeTier);
+  EXPECT_EQ(mem.touch(r.base + 4096), kPool);
+  EXPECT_EQ(mem.touch(r.base + 2 * 4096), kPool);  // local exhausted
 }
 
 // Property sweep: interleave weights always land within one page of the
@@ -156,7 +159,7 @@ TEST_P(InterleaveRatioTest, ProportionMatchesWeights) {
                                       static_cast<std::uint32_t>(rw)));
   int local = 0;
   for (int p = 0; p < pages; ++p)
-    if (mem.touch(r.base + static_cast<std::uint64_t>(p) * 4096) == Tier::kLocal) ++local;
+    if (mem.touch(r.base + static_cast<std::uint64_t>(p) * 4096) == kNodeTier) ++local;
   const double expected = static_cast<double>(lw) / (lw + rw) * pages;
   EXPECT_NEAR(local, expected, static_cast<double>(lw + rw));
 }
@@ -171,12 +174,12 @@ INSTANTIATE_TEST_SUITE_P(Weights, InterleaveRatioTest,
 TEST(Accounting, UsedBytesTrackTouches) {
   TieredMemory mem(small_machine(2, 10));
   const auto r = mem.alloc(3 * 4096);
-  EXPECT_EQ(mem.used_bytes(Tier::kLocal), 0u);
+  EXPECT_EQ(mem.used_bytes(kNodeTier), 0u);
   (void)mem.touch(r.base);
   (void)mem.touch(r.base + 4096);
   (void)mem.touch(r.base + 2 * 4096);
-  EXPECT_EQ(mem.used_bytes(Tier::kLocal), 2 * 4096u);
-  EXPECT_EQ(mem.used_bytes(Tier::kRemote), 4096u);
+  EXPECT_EQ(mem.used_bytes(kNodeTier), 2 * 4096u);
+  EXPECT_EQ(mem.used_bytes(kPool), 4096u);
   EXPECT_EQ(mem.touched_pages(), 3u);
 }
 
@@ -195,9 +198,9 @@ TEST(Free, ReturnsCapacityAndKeepsTombstone) {
   (void)mem.touch(r.base);
   (void)mem.touch(r.base + 4096);
   mem.free(r);
-  EXPECT_EQ(mem.used_bytes(Tier::kLocal), 0u);
+  EXPECT_EQ(mem.used_bytes(kNodeTier), 0u);
   // Late writebacks may still ask for the tier of a freed page.
-  EXPECT_EQ(mem.tier_of(r.base), Tier::kLocal);
+  EXPECT_EQ(mem.tier_of(r.base), kNodeTier);
   EXPECT_FALSE(mem.resident(r.base));
 }
 
@@ -207,7 +210,7 @@ TEST(Free, FreedLocalCapacityIsReusable) {
   (void)mem.touch(r1.base);
   mem.free(r1);
   const auto r2 = mem.alloc(4096);
-  EXPECT_EQ(mem.touch(r2.base), Tier::kLocal);  // freed page made room
+  EXPECT_EQ(mem.touch(r2.base), kNodeTier);  // freed page made room
 }
 
 TEST(Free, DoubleFreeViolatesContract) {
@@ -230,22 +233,22 @@ TEST(Migrate, MovesPagesWhenRoomAvailable) {
   (void)mem.touch(r.base);          // local
   (void)mem.touch(r.base + 4096);   // remote (local full)
   // Free nothing: local is full, migration to local moves 0 pages.
-  EXPECT_EQ(mem.migrate(VRange{r.base + 4096, 4096}, Tier::kLocal), 0u);
+  EXPECT_EQ(mem.migrate(VRange{r.base + 4096, 4096}, kNodeTier), 0u);
   // Migrate the local page to remote: succeeds.
-  EXPECT_EQ(mem.migrate(VRange{r.base, 4096}, Tier::kRemote), 1u);
-  EXPECT_EQ(mem.tier_of(r.base), Tier::kRemote);
+  EXPECT_EQ(mem.migrate(VRange{r.base, 4096}, kPool), 1u);
+  EXPECT_EQ(mem.tier_of(r.base), kPool);
   // Now local is empty; the other page can move in.
-  EXPECT_EQ(mem.migrate(VRange{r.base + 4096, 4096}, Tier::kLocal), 1u);
+  EXPECT_EQ(mem.migrate(VRange{r.base + 4096, 4096}, kNodeTier), 1u);
 }
 
 TEST(WasteLocal, ShrinksEffectiveLocalCapacity) {
   TieredMemory mem(small_machine(4, 10));
   mem.waste_local(2 * 4096);
-  EXPECT_EQ(mem.capacity_bytes(Tier::kLocal), 2 * 4096u);
+  EXPECT_EQ(mem.capacity_bytes(kNodeTier), 2 * 4096u);
   const auto r = mem.alloc(3 * 4096);
   (void)mem.touch(r.base);
   (void)mem.touch(r.base + 4096);
-  EXPECT_EQ(mem.touch(r.base + 2 * 4096), Tier::kRemote);
+  EXPECT_EQ(mem.touch(r.base + 2 * 4096), kPool);
 }
 
 TEST(Alloc, ZeroBytesViolatesContract) {
@@ -266,27 +269,159 @@ TEST(Alloc, RangesAreDisjointAndPageAligned) {
   EXPECT_GE(b.base, a.end());
 }
 
+// ---------- N-tier topologies --------------------------------------------------
+
+MachineConfig small_three_tier(std::uint64_t t0_pages, std::uint64_t t1_pages,
+                               std::uint64_t t2_pages) {
+  MachineConfig cfg = MachineConfig::three_tier_cxl();
+  cfg.tier(0).capacity_bytes = t0_pages * cfg.page_bytes;
+  cfg.tier(1).capacity_bytes = t1_pages * cfg.page_bytes;
+  cfg.tier(2).capacity_bytes = t2_pages * cfg.page_bytes;
+  return cfg;
+}
+
+TEST(Topology, ValidateRejectsFabricNodeTier) {
+  MemoryTopology topo{{MemoryTierSpec{"bad", 4096, 1.0, 1.0, FabricLinkSpec{}}}};
+  EXPECT_THROW(topo.validate(), contract_violation);
+}
+
+TEST(Topology, ValidateRejectsTooManyTiers) {
+  MemoryTopology topo;
+  for (int i = 0; i < kMaxTiers + 1; ++i) {
+    // std::string("t") (not a char* literal) sidesteps a gcc-12 -Wrestrict
+    // false positive (PR105651) in operator+(const char*, string&&).
+    std::string name = std::string("t") + std::to_string(i);
+    topo.tiers.push_back(MemoryTierSpec{std::move(name), 4096, 1.0, 1.0,
+                                        i ? std::optional<FabricLinkSpec>(FabricLinkSpec{})
+                                          : std::nullopt});
+  }
+  EXPECT_THROW(topo.validate(), contract_violation);
+}
+
+TEST(Topology, ValidateRejectsLinklessFabricPosition) {
+  // Every tier beyond the node tier must carry a link: off-node
+  // aggregation (fabric_dram_bytes, remote ratios) assumes it.
+  MemoryTopology topo{{MemoryTierSpec{"node", 4096, 1.0, 1.0, {}},
+                       MemoryTierSpec{"second-local", 4096, 1.0, 1.0, {}}}};
+  EXPECT_THROW(topo.validate(), contract_violation);
+}
+
+TEST(Topology, FirstFabricSkipsLocalTiers) {
+  const auto m = MachineConfig::three_tier_cxl();
+  EXPECT_EQ(m.topology.first_fabric(), 1);
+  EXPECT_FALSE(m.topology.is_fabric(0));
+  EXPECT_TRUE(m.topology.is_fabric(2));
+}
+
+TEST(NTierFirstTouch, SpillsDownTheChain) {
+  TieredMemory mem(small_three_tier(2, 1, 10));
+  const auto r = mem.alloc(5 * 4096);
+  EXPECT_EQ(mem.touch(r.base), 0);
+  EXPECT_EQ(mem.touch(r.base + 4096), 0);
+  EXPECT_EQ(mem.touch(r.base + 2 * 4096), 1);  // node full
+  EXPECT_EQ(mem.touch(r.base + 3 * 4096), 2);  // direct pool full
+  EXPECT_EQ(mem.touch(r.base + 4 * 4096), 2);
+}
+
+TEST(NTierFirstTouch, OomWhenEveryTierFull) {
+  TieredMemory mem(small_three_tier(1, 1, 1));
+  const auto r = mem.alloc(4 * 4096);
+  for (int p = 0; p < 3; ++p) (void)mem.touch(r.base + static_cast<std::uint64_t>(p) * 4096);
+  EXPECT_THROW(mem.touch(r.base + 3 * 4096), OutOfMemoryError);
+}
+
+TEST(NTierInterleave, ThreeWeightVector) {
+  TieredMemory mem(small_three_tier(100, 100, 100));
+  const auto r = mem.alloc(8 * 4096, MemPolicy::interleave({2, 1, 1}));
+  // Period 4: tiers 0,0,1,2 repeating.
+  const TierId want[8] = {0, 0, 1, 2, 0, 0, 1, 2};
+  for (int p = 0; p < 8; ++p)
+    EXPECT_EQ(mem.touch(r.base + static_cast<std::uint64_t>(p) * 4096), want[p]) << p;
+}
+
+TEST(NTierInterleave, ZeroWeightSkipsTier) {
+  TieredMemory mem(small_three_tier(100, 100, 100));
+  const auto r = mem.alloc(4 * 4096, MemPolicy::interleave({1, 0, 1}));
+  EXPECT_EQ(mem.touch(r.base), 0);
+  EXPECT_EQ(mem.touch(r.base + 4096), 2);  // tier 1 has weight 0
+  EXPECT_EQ(mem.touch(r.base + 2 * 4096), 0);
+  EXPECT_EQ(mem.touch(r.base + 3 * 4096), 2);
+}
+
+TEST(NTierBind, BindToThirdTier) {
+  TieredMemory mem(small_three_tier(10, 10, 10));
+  const auto r = mem.alloc(4096, MemPolicy::bind(2));
+  EXPECT_EQ(mem.touch(r.base), 2);
+  EXPECT_EQ(mem.used_bytes(2), 4096u);
+}
+
+TEST(NTierBind, TargetOutsideTopologyViolatesContract) {
+  TieredMemory mem(small_three_tier(10, 10, 10));
+  EXPECT_THROW((void)mem.alloc(4096, MemPolicy::bind(5)), contract_violation);
+}
+
+TEST(NTierMigrate, BetweenTwoFabricTiers) {
+  TieredMemory mem(small_three_tier(10, 10, 10));
+  const auto r = mem.alloc(2 * 4096, MemPolicy::bind(1));
+  (void)mem.touch(r.base);
+  (void)mem.touch(r.base + 4096);
+  EXPECT_EQ(mem.migrate(r, 2), 2u);  // direct pool -> switched pool
+  EXPECT_EQ(mem.tier_of(r.base), 2);
+  EXPECT_EQ(mem.used_bytes(1), 0u);
+  EXPECT_EQ(mem.used_bytes(2), 2 * 4096u);
+  // And back up one hop.
+  EXPECT_EQ(mem.migrate(r, 1), 2u);
+  EXPECT_EQ(mem.tier_of(r.base + 4096), 1);
+}
+
+TEST(NTierSnapshot, TracksEveryTier) {
+  TieredMemory mem(small_three_tier(1, 1, 10));
+  const auto r = mem.alloc(4 * 4096);
+  for (int p = 0; p < 4; ++p) (void)mem.touch(r.base + static_cast<std::uint64_t>(p) * 4096);
+  const auto snap = mem.snapshot();
+  ASSERT_EQ(snap.resident_bytes.size(), 3u);
+  EXPECT_EQ(snap.resident_bytes[0], 4096u);
+  EXPECT_EQ(snap.resident_bytes[1], 4096u);
+  EXPECT_EQ(snap.resident_bytes[2], 2 * 4096u);
+  EXPECT_EQ(snap.total(), 4 * 4096u);
+  EXPECT_NEAR(snap.remote_ratio(), 0.75, 1e-12);
+}
+
+TEST(CapacityFractions, ShapesTierCapacities) {
+  const auto m = MachineConfig::three_tier_cxl();
+  const std::uint64_t footprint = 100 * m.page_bytes;
+  const auto shaped = m.with_capacity_fractions({0.25, 0.375}, footprint);
+  EXPECT_EQ(shaped.tier(0).capacity_bytes, 25 * m.page_bytes);
+  EXPECT_EQ(shaped.tier(1).capacity_bytes, 38 * m.page_bytes);  // rounded up
+  EXPECT_EQ(shaped.tier(2).capacity_bytes, m.tier(2).capacity_bytes);  // untouched
+}
+
+TEST(CapacityFractions, MoreFractionsThanTiersViolatesContract) {
+  const auto m = MachineConfig::skylake_testbed();
+  EXPECT_THROW((void)m.with_capacity_fractions({0.1, 0.1, 0.1}, 4096), contract_violation);
+}
+
 // ---------- LinkModel ----------------------------------------------------------------
 
 TEST(Link, TrafficIncludesProtocolOverhead) {
-  LinkModel link(MachineConfig::skylake_testbed());
+  LinkModel link(MachineConfig::skylake_testbed().pool_tier());
   EXPECT_DOUBLE_EQ(link.traffic_of_data_gbps(10.0), 25.0);
 }
 
 TEST(Link, MeasuredTrafficSaturatesAtCapacity) {
-  LinkModel link(MachineConfig::skylake_testbed());
+  LinkModel link(MachineConfig::skylake_testbed().pool_tier());
   EXPECT_DOUBLE_EQ(link.measured_traffic_gbps(100.0), 85.0);
   EXPECT_NEAR(link.measured_traffic_gbps(10.0), 25.0, 1e-12);
 }
 
 TEST(Link, BackgroundLoiSetsTraffic) {
-  LinkModel link(MachineConfig::skylake_testbed());
+  LinkModel link(MachineConfig::skylake_testbed().pool_tier());
   link.set_background_loi(50.0);
   EXPECT_DOUBLE_EQ(link.background_traffic_gbps(), 42.5);
 }
 
 TEST(Link, LatencyMultiplierMonotoneInLoad) {
-  LinkModel link(MachineConfig::skylake_testbed());
+  LinkModel link(MachineConfig::skylake_testbed().pool_tier());
   double prev = 0.0;
   for (double loi = 0; loi <= 300; loi += 10) {
     link.set_background_loi(loi);
@@ -299,19 +434,19 @@ TEST(Link, LatencyMultiplierMonotoneInLoad) {
 
 TEST(Link, LatencyMultiplierCapped) {
   MachineConfig cfg = MachineConfig::skylake_testbed();
-  cfg.link_max_latency_multiplier = 3.0;
-  LinkModel link(cfg);
+  cfg.pool_link().max_latency_multiplier = 3.0;
+  LinkModel link(cfg.pool_tier());
   link.set_background_loi(2000.0);
   EXPECT_LE(link.latency_multiplier(30.0), 3.0);
 }
 
 TEST(Link, UnloadedLatencyIsBaseLatency) {
-  LinkModel link(MachineConfig::skylake_testbed());
+  LinkModel link(MachineConfig::skylake_testbed().pool_tier());
   EXPECT_DOUBLE_EQ(link.effective_latency_ns(0.0), 202.0);
 }
 
 TEST(Link, EffectiveBandwidthShrinksWithLoi) {
-  LinkModel link(MachineConfig::skylake_testbed());
+  LinkModel link(MachineConfig::skylake_testbed().pool_tier());
   const double bw0 = link.effective_data_bandwidth_gbps(0.0);
   link.set_background_loi(50.0);
   const double bw50 = link.effective_data_bandwidth_gbps(0.0);
@@ -320,20 +455,20 @@ TEST(Link, EffectiveBandwidthShrinksWithLoi) {
 }
 
 TEST(Link, EffectiveBandwidthNeverBelowMinShare) {
-  LinkModel link(MachineConfig::skylake_testbed());
+  LinkModel link(MachineConfig::skylake_testbed().pool_tier());
   link.set_background_loi(2000.0);
   EXPECT_GE(link.effective_data_bandwidth_gbps(0.0), 85.0 * 0.05 / 2.5 - 1e-12);
 }
 
 TEST(Link, OfferedUtilizationAddsAppAndBackground) {
-  LinkModel link(MachineConfig::skylake_testbed());
+  LinkModel link(MachineConfig::skylake_testbed().pool_tier());
   link.set_background_loi(50.0);
   // app 10 GB/s data → 25 traffic; background 42.5; total 67.5 / 85.
   EXPECT_NEAR(link.offered_utilization(10.0), 67.5 / 85.0, 1e-12);
 }
 
 TEST(Link, LoiOutOfRangeViolatesContract) {
-  LinkModel link(MachineConfig::skylake_testbed());
+  LinkModel link(MachineConfig::skylake_testbed().pool_tier());
   EXPECT_THROW(link.set_background_loi(-1.0), contract_violation);
   EXPECT_THROW(link.set_background_loi(5000.0), contract_violation);
 }
@@ -343,7 +478,7 @@ class LinkLoadTest : public ::testing::TestWithParam<double> {};
 
 TEST_P(LinkLoadTest, MoreBackgroundNeverHelps) {
   const double app_rate = GetParam();
-  LinkModel link(MachineConfig::skylake_testbed());
+  LinkModel link(MachineConfig::skylake_testbed().pool_tier());
   double prev_lat = 0.0;
   double prev_bw = 1e18;
   for (double loi = 0; loi <= 100; loi += 25) {

@@ -49,7 +49,7 @@ TEST(Conservation, HitsPlusMissesEqualAccesses) {
 
 TEST(Conservation, OffcoreCountsSplitByTier) {
   sim::EngineConfig cfg = quiet_engine();
-  cfg.machine.local.capacity_bytes = 64 * cfg.machine.page_bytes;
+  cfg.machine.node_tier().capacity_bytes = 64 * cfg.machine.page_bytes;
   sim::Engine eng(cfg);
   sim::Array<double> a(eng, 1 << 16);  // 512 KiB: spills past 64 local pages
   for (std::size_t i = 0; i < a.size(); ++i) a.st(i, 1.0);
@@ -297,7 +297,7 @@ TEST(TimePhysics, RemoteLatencyGapVisibleWithoutPrefetch) {
   const auto chase = [](bool remote) {
     sim::EngineConfig cfg;
     cfg.epoch_accesses = 500'000;
-    if (remote) cfg.machine.local.capacity_bytes = cfg.machine.page_bytes;
+    if (remote) cfg.machine.node_tier().capacity_bytes = cfg.machine.page_bytes;
     sim::Engine eng(cfg);
     eng.set_prefetch_enabled(false);
     sim::Array<double> a(eng, 1 << 17);

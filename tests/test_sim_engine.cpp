@@ -75,9 +75,9 @@ TEST(Array, DestructorFreesAllocation) {
   {
     Array<double> a(eng, page / sizeof(double));
     a.st(0, 1.0);
-    EXPECT_GT(eng.memory().used_bytes(memsim::Tier::kLocal), 0u);
+    EXPECT_GT(eng.memory().used_bytes(memsim::kNodeTier), 0u);
   }
-  EXPECT_EQ(eng.memory().used_bytes(memsim::Tier::kLocal), 0u);
+  EXPECT_EQ(eng.memory().used_bytes(memsim::kNodeTier), 0u);
 }
 
 TEST(Array, LeakKeepsPagesResident) {
@@ -87,7 +87,7 @@ TEST(Array, LeakKeepsPagesResident) {
     a.st(0, 1.0);
     a.leak();
   }
-  EXPECT_GT(eng.memory().used_bytes(memsim::Tier::kLocal), 0u);
+  EXPECT_GT(eng.memory().used_bytes(memsim::kNodeTier), 0u);
 }
 
 TEST(Array, MoveTransfersOwnership) {
@@ -223,7 +223,7 @@ double run_stream(double loi, bool prefetch, std::uint64_t remote_capacity_pages
   cfg.epoch_accesses = 50'000;
   cfg.background_loi = loi;
   if (remote_capacity_pages > 0) {
-    cfg.machine.local.capacity_bytes = remote_capacity_pages * cfg.machine.page_bytes;
+    cfg.machine.node_tier().capacity_bytes = remote_capacity_pages * cfg.machine.page_bytes;
   }
   Engine eng(cfg);
   eng.set_prefetch_enabled(prefetch);
@@ -281,7 +281,7 @@ INSTANTIATE_TEST_SUITE_P(Levels, LoiMonotoneTest, ::testing::Values(0.0, 10.0, 2
 
 TEST(Engine, EpochLinkTrafficReported) {
   EngineConfig cfg;
-  cfg.machine.local.capacity_bytes = cfg.machine.page_bytes;  // force remote
+  cfg.machine.node_tier().capacity_bytes = cfg.machine.page_bytes;  // force remote
   Engine eng(cfg);
   Array<double> a(eng, 1 << 18);
   for (std::size_t i = 0; i < a.size(); ++i) a.st(i, 1.0);

@@ -22,7 +22,7 @@ SweepSpec small_spec() {
   SweepSpec spec;
   spec.apps = {App::kHPL, App::kBFS};
   spec.scales = {1, 2};
-  spec.ratios = {kLocalOnly, 0.5};
+  spec.ratios = {kNodeOnly, 0.5};
   spec.lois = {0.0, 25.0};
   return spec;
 }
@@ -56,7 +56,7 @@ TEST(SweepSpec, ExpandOrderIsAppMajorVariantMinor) {
   // Last axis (loi) varies fastest, first axis (app) slowest.
   EXPECT_EQ(points[0].app, App::kHPL);
   EXPECT_EQ(points[0].scale, 1);
-  EXPECT_EQ(points[0].ratio, kLocalOnly);
+  EXPECT_EQ(points[0].ratio, kNodeOnly);
   EXPECT_EQ(points[0].loi, 0.0);
   EXPECT_EQ(points[1].loi, 25.0);
   EXPECT_EQ(points[2].ratio, 0.5);
@@ -111,9 +111,9 @@ TEST(SweepPoint, RunConfigAppliesAxes) {
   EXPECT_TRUE(rc.remote_capacity_ratio.has_value());
   EXPECT_DOUBLE_EQ(*rc.remote_capacity_ratio, 0.5);
   EXPECT_DOUBLE_EQ(rc.background_loi, 25.0);
-  EXPECT_DOUBLE_EQ(rc.machine.remote.bandwidth_gbps,
-                   memsim::MachineConfig::cxl_direct_attached().remote.bandwidth_gbps);
-  const auto local_rc = points[0].run_config();  // ratio=kLocalOnly
+  EXPECT_DOUBLE_EQ(rc.machine.pool_tier().bandwidth_gbps,
+                   memsim::MachineConfig::cxl_direct_attached().pool_tier().bandwidth_gbps);
+  const auto local_rc = points[0].run_config();  // ratio=kNodeOnly
   EXPECT_FALSE(local_rc.remote_capacity_ratio.has_value());
 }
 

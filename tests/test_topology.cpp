@@ -1,0 +1,189 @@
+// End-to-end tests for N-tier topologies: preset shapes, the topology axis
+// of the sweep engine, engine-level propagation (per-tier counters, epochs,
+// residency), and the monotonicity properties the new scenarios claim.
+#include <gtest/gtest.h>
+
+#include "common/contract.h"
+#include "core/experiment.h"
+#include "core/scenario_registry.h"
+#include "core/sweep.h"
+#include "workloads/workload.h"
+
+namespace memdis {
+namespace {
+
+using core::machine_for_fabric;
+using workloads::App;
+
+// ---------- presets ----------------------------------------------------------
+
+TEST(TopologyPresets, ThreeTierChainShape) {
+  const auto m = memsim::MachineConfig::three_tier_cxl();
+  ASSERT_EQ(m.num_tiers(), 3);
+  EXPECT_FALSE(m.tier(0).is_fabric());
+  EXPECT_TRUE(m.tier(1).is_fabric());
+  EXPECT_TRUE(m.tier(2).is_fabric());
+  EXPECT_EQ(m.tier(1).name, "cxl-direct");
+  EXPECT_EQ(m.tier(2).name, "cxl-switched");
+  // Same device bandwidth, switch traversal adds latency.
+  EXPECT_DOUBLE_EQ(m.tier(1).bandwidth_gbps, m.tier(2).bandwidth_gbps);
+  EXPECT_GT(m.tier(2).latency_ns, m.tier(1).latency_ns);
+  EXPECT_NO_THROW(m.topology.validate());
+}
+
+TEST(TopologyPresets, HybridHasAsymmetricPools) {
+  const auto m = memsim::MachineConfig::hybrid_split_pool();
+  ASSERT_EQ(m.num_tiers(), 3);
+  EXPECT_EQ(m.tier(1).name, "cxl-direct");
+  EXPECT_EQ(m.tier(2).name, "peer-borrowed");
+  // Each pool has its own link with its own parameters.
+  EXPECT_LT(m.tier(1).link->protocol_overhead, m.tier(2).link->protocol_overhead);
+  EXPECT_LT(m.tier(1).link->interference_share, m.tier(2).link->interference_share);
+}
+
+TEST(TopologyPresets, EveryRegisteredNameResolves) {
+  for (const auto& name : core::topology_preset_names()) {
+    const auto m = machine_for_fabric(name);
+    EXPECT_NO_THROW(m.topology.validate()) << name;
+    EXPECT_GE(m.num_tiers(), 2) << name;
+  }
+  EXPECT_THROW((void)machine_for_fabric("banana"), std::invalid_argument);
+}
+
+TEST(TopologyPresets, TwoTierPresetsStayTwoTier) {
+  for (const char* name : {"upi", "cxl", "cxl-switched", "split"})
+    EXPECT_EQ(machine_for_fabric(name).num_tiers(), 2) << name;
+}
+
+// ---------- engine propagation ----------------------------------------------
+
+TEST(EngineNTier, CountersEpochsAndResidencyCoverAllTiers) {
+  auto wl = workloads::make_workload(App::kBFS, 1, /*seed=*/7);
+  core::RunConfig cfg;
+  cfg.machine = memsim::MachineConfig::three_tier_cxl();
+  // Node holds 25% of the footprint, the direct device ~37.5%, the rest
+  // spills to the switched pool.
+  cfg.capacity_fractions = std::vector<double>{0.25, 0.375};
+  const auto run = core::run_workload(*wl, cfg);
+
+  EXPECT_TRUE(run.result.verified);
+  // All three tiers served traffic.
+  EXPECT_GT(run.counters.dram_bytes(0), 0u);
+  EXPECT_GT(run.counters.dram_bytes(1), 0u);
+  EXPECT_GT(run.counters.dram_bytes(2), 0u);
+  // Epoch records carry per-tier series sized to the topology.
+  ASSERT_FALSE(run.epochs.empty());
+  EXPECT_EQ(run.epochs.front().tier_bytes.size(), 3u);
+  EXPECT_EQ(run.epochs.front().resident_bytes.size(), 3u);
+  // Peak residency saw pages on the switched pool.
+  ASSERT_EQ(run.resident_bytes.size(), 3u);
+  EXPECT_GT(run.resident_bytes[2], 0u);
+  // Off-node ratios aggregate both fabric tiers.
+  EXPECT_GT(run.remote_access_ratio(), 0.0);
+  // The configured 75% split is approximate: the footprint estimate the
+  // capacity shaping uses differs from true peak RSS by transient arrays.
+  EXPECT_NEAR(run.remote_capacity_ratio(), 0.75, 0.1);
+}
+
+// ---------- sweep topology axis ----------------------------------------------
+
+TEST(SweepTopologyAxis, MixesTwoAndThreeTierPointsInOneGrid) {
+  core::SweepSpec spec;
+  spec.apps = {App::kBFS};
+  spec.fabrics = {"cxl", "three-tier", "hybrid"};
+  const auto points = spec.expand();
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].run_config().machine.num_tiers(), 2);
+  EXPECT_EQ(points[1].run_config().machine.num_tiers(), 3);
+  EXPECT_EQ(points[2].run_config().machine.num_tiers(), 3);
+}
+
+// ---------- scenario grids ----------------------------------------------------
+
+TEST(ScenarioGrid, ExtThreeTierShape) {
+  const auto* s = core::ScenarioRegistry::instance().find("ext-three-tier");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->spec.size(), 12u);  // 3 apps x 2 ratios x 2 topologies
+  EXPECT_EQ(s->spec.fabrics, (std::vector<std::string>{"cxl", "three-tier"}));
+  EXPECT_FALSE(s->spec.seed_per_task);
+  const auto points = s->spec.expand();
+  EXPECT_EQ(points.size(), 12u);
+  // Shared seed across the topology axis (inputs held fixed).
+  for (const auto& p : points) EXPECT_EQ(p.seed, s->spec.base_seed);
+}
+
+TEST(ScenarioGrid, ExtHybridShape) {
+  const auto* s = core::ScenarioRegistry::instance().find("ext-hybrid");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->spec.size(), 6u);  // 2 apps x 3 topologies
+  EXPECT_EQ(s->spec.fabrics, (std::vector<std::string>{"cxl", "hybrid", "split"}));
+}
+
+TEST(ScenarioGrid, ThreeTierMeasureUsesTheSwitchedTier) {
+  const auto* s = core::ScenarioRegistry::instance().find("ext-three-tier");
+  ASSERT_NE(s, nullptr);
+  core::SweepPoint point;
+  point.app = App::kBFS;
+  point.ratio = 0.75;
+  point.fabric = "three-tier";
+  point.seed = s->spec.base_seed;
+  const auto metrics = s->measure(point);
+  double share_t2 = 0.0, time_ms = 0.0;
+  for (const auto& [name, value] : metrics) {
+    if (name == "share_t2") share_t2 = value;
+    if (name == "time_ms") time_ms = value;
+  }
+  EXPECT_GT(time_ms, 0.0);
+  EXPECT_GT(share_t2, 0.0);  // the chain's tail actually serves traffic
+}
+
+// ---------- monotonicity ------------------------------------------------------
+
+// The property the three-tier scenario claims: with byte-for-byte identical
+// placement, turning the chain's tail from a direct hop into a switched hop
+// (same bandwidth, +latency) never improves runtime.
+TEST(Monotonicity, SwitchedHopNeverImprovesRuntime) {
+  const std::uint64_t seed = 99;
+  auto direct_machine = memsim::MachineConfig::three_tier_cxl();
+  direct_machine.tier(2).latency_ns = direct_machine.tier(1).latency_ns;
+
+  core::RunConfig direct_cfg;
+  direct_cfg.machine = direct_machine;
+  direct_cfg.capacity_fractions = std::vector<double>{0.25, 0.375};
+  auto wl_direct = workloads::make_workload(App::kBFS, 1, seed);
+  const auto direct = core::run_workload(*wl_direct, direct_cfg);
+
+  core::RunConfig switched_cfg = direct_cfg;
+  switched_cfg.machine = memsim::MachineConfig::three_tier_cxl();
+  auto wl_switched = workloads::make_workload(App::kBFS, 1, seed);
+  const auto switched = core::run_workload(*wl_switched, switched_cfg);
+
+  // Identical placement (deterministic first touch on identical capacities):
+  // the only difference is the tail hop's latency.
+  EXPECT_EQ(direct.counters.dram_bytes(2), switched.counters.dram_bytes(2));
+  EXPECT_GT(direct.counters.dram_bytes(2), 0u);
+  EXPECT_GE(switched.elapsed_s, direct.elapsed_s);
+}
+
+// Splitting the spill between the CXL device and the (slower) peer tier
+// always beats borrowing everything from the peer: the hybrid moves half
+// the traffic to a strictly faster path.
+TEST(Monotonicity, HybridNeverLosesToPureSplit) {
+  const std::uint64_t seed = 99;
+  core::RunConfig hybrid_cfg;
+  hybrid_cfg.machine = memsim::MachineConfig::hybrid_split_pool();
+  hybrid_cfg.capacity_fractions = std::vector<double>{0.5, 0.25};
+  auto wl_hybrid = workloads::make_workload(App::kBFS, 1, seed);
+  const auto hybrid = core::run_workload(*wl_hybrid, hybrid_cfg);
+
+  core::RunConfig split_cfg;
+  split_cfg.machine = memsim::MachineConfig::split_borrowing();
+  split_cfg.remote_capacity_ratio = 0.5;
+  auto wl_split = workloads::make_workload(App::kBFS, 1, seed);
+  const auto split = core::run_workload(*wl_split, split_cfg);
+
+  EXPECT_LE(hybrid.elapsed_s, split.elapsed_s);
+}
+
+}  // namespace
+}  // namespace memdis

@@ -13,6 +13,8 @@
 //   memdis report  [--scale 1]
 //   memdis scenarios
 //   memdis sweep   --scenario fig06 [--jobs N] [--out dir] [--csv file]
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
@@ -67,7 +69,8 @@ void usage(std::ostream& os) {
      << "  --app NAME        HPL|SuperLU|NekRS|Hypre|BFS|XSBench\n"
      << "  --scale N         input scale 1|2|4 (default 1)\n"
      << "  --ratio R         remote capacity ratio in [0,1) (default 0.5)\n"
-     << "  --fabric F        upi|cxl|cxl-switched|split (default upi)\n"
+     << "  --fabric F        topology preset: upi|cxl|cxl-switched|split|\n"
+     << "                    three-tier|hybrid (default upi)\n"
      << "  --scenario NAME   sweep scenario (see `memdis scenarios`)\n"
      << "  --jobs N          sweep worker threads; 0 = hardware concurrency (default 1)\n"
      << "  --out DIR         write <scenario>.csv and <scenario>.json artifacts to DIR\n"
@@ -76,6 +79,43 @@ void usage(std::ostream& os) {
      << "  --threads N       LBench threads (default 12)\n"
      << "  --elements N      LBench array elements (default 2^20)\n"
      << "  --csv PATH        also write machine-readable output\n";
+}
+
+/// Strict numeric parsing: the whole token must be a number in range.
+/// `atoi`-style silent truncation ("--ratio banana" -> 0.0) is rejected
+/// with a clear diagnostic; callers exit with status 2.
+std::optional<long long> parse_int(const std::string& flag, const std::string& text,
+                                   long long min, long long max) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE) {
+    std::cerr << "error: " << flag << " expects an integer, got '" << text << "'\n";
+    return std::nullopt;
+  }
+  if (v < min || v > max) {
+    std::cerr << "error: " << flag << " must be in [" << min << ", " << max << "], got "
+              << v << "\n";
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<double> parse_double(const std::string& flag, const std::string& text,
+                                   double min, double max) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() || errno == ERANGE) {
+    std::cerr << "error: " << flag << " expects a number, got '" << text << "'\n";
+    return std::nullopt;
+  }
+  if (!(v >= min && v <= max)) {
+    std::cerr << "error: " << flag << " must be in [" << min << ", " << max << "], got "
+              << text << "\n";
+    return std::nullopt;
+  }
+  return v;
 }
 
 std::optional<Args> parse(int argc, char** argv) {
@@ -96,28 +136,51 @@ std::optional<Args> parse(int argc, char** argv) {
     if (flag == "--app") {
       args.app = *value;
     } else if (flag == "--scale") {
-      args.scale = std::atoi(value->c_str());
+      const auto v = parse_int(flag, *value, 1, 1 << 20);
+      if (!v) return std::nullopt;
+      args.scale = static_cast<int>(*v);
     } else if (flag == "--ratio") {
-      args.ratio = std::atof(value->c_str());
+      const auto v = parse_double(flag, *value, 0.0, 1.0);
+      if (!v || *v >= 1.0) {
+        if (v) std::cerr << "error: --ratio must be in [0,1), got " << *value << "\n";
+        return std::nullopt;
+      }
+      args.ratio = *v;
     } else if (flag == "--fabric") {
       args.fabric = *value;
     } else if (flag == "--lois") {
       args.lois.clear();
       std::stringstream ss(*value);
       std::string tok;
-      while (std::getline(ss, tok, ',')) args.lois.push_back(std::atof(tok.c_str()));
+      while (std::getline(ss, tok, ',')) {
+        const auto v = parse_double("--lois", tok, 0.0, 2000.0);
+        if (!v) return std::nullopt;
+        args.lois.push_back(*v);
+      }
+      if (args.lois.empty()) {
+        std::cerr << "error: --lois expects a comma-separated list of numbers\n";
+        return std::nullopt;
+      }
     } else if (flag == "--nflop") {
-      args.nflop = static_cast<std::uint32_t>(std::atoi(value->c_str()));
+      const auto v = parse_int(flag, *value, 1, 1 << 20);
+      if (!v) return std::nullopt;
+      args.nflop = static_cast<std::uint32_t>(*v);
     } else if (flag == "--threads") {
-      args.threads = std::atoi(value->c_str());
+      const auto v = parse_int(flag, *value, 1, 4096);
+      if (!v) return std::nullopt;
+      args.threads = static_cast<int>(*v);
     } else if (flag == "--elements") {
-      args.elements = static_cast<std::size_t>(std::atoll(value->c_str()));
+      const auto v = parse_int(flag, *value, 1, 1LL << 40);
+      if (!v) return std::nullopt;
+      args.elements = static_cast<std::size_t>(*v);
     } else if (flag == "--csv") {
       args.csv_path = *value;
     } else if (flag == "--scenario") {
       args.scenario = *value;
     } else if (flag == "--jobs") {
-      args.jobs = static_cast<unsigned>(std::atoi(value->c_str()));
+      const auto v = parse_int(flag, *value, 0, 4096);
+      if (!v) return std::nullopt;
+      args.jobs = static_cast<unsigned>(*v);
     } else if (flag == "--out") {
       args.out_dir = *value;
     } else {
@@ -143,14 +206,19 @@ int cmd_machine(const Args& args) {
   Table t({"parameter", "value"});
   t.add_row({"peak compute", Table::num(m.peak_gflops, 0) + " Gflop/s (" +
                                  std::to_string(m.threads) + " threads)"});
-  t.add_row({"local tier", m.local.name + ": " + Table::num(m.local.bandwidth_gbps, 0) +
-                               " GB/s, " + Table::num(m.local.latency_ns, 0) + " ns, " +
-                               format_bytes(static_cast<double>(m.local.capacity_bytes))});
-  t.add_row({"pool tier", m.remote.name + ": " + Table::num(m.remote.bandwidth_gbps, 0) +
-                              " GB/s, " + Table::num(m.remote.latency_ns, 0) + " ns"});
-  t.add_row({"link traffic capacity", Table::num(m.link_traffic_capacity_gbps, 0) + " GB/s"});
-  t.add_row({"protocol overhead", Table::num(m.link_protocol_overhead, 2) + "x"});
-  t.add_row({"R_bw (remote)", Table::pct(m.remote_bandwidth_ratio())});
+  for (memsim::TierId ti = 0; ti < m.num_tiers(); ++ti) {
+    const auto& tier = m.tier(ti);
+    t.add_row({"tier " + std::to_string(ti) + (ti == memsim::kNodeTier ? " (node)" : ""),
+               tier.name + ": " + Table::num(tier.bandwidth_gbps, 0) + " GB/s, " +
+                   Table::num(tier.latency_ns, 0) + " ns, " +
+                   format_bytes(static_cast<double>(tier.capacity_bytes))});
+    if (tier.link) {
+      t.add_row({"  link", Table::num(tier.link->traffic_capacity_gbps, 0) +
+                               " GB/s traffic cap, " +
+                               Table::num(tier.link->protocol_overhead, 2) + "x overhead"});
+    }
+  }
+  t.add_row({"R_bw (off-node)", Table::pct(m.remote_bandwidth_ratio())});
   t.print(std::cout);
   return 0;
 }
