@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/table.h"
+#include "core/migration.h"
 
 namespace memdis::core {
 
@@ -69,6 +70,42 @@ AdvisorReport advise(const Level2Profile& profile) {
                      Table::pct(report.r_bw_remote) + "): " + dom.recommendation;
   }
   return report;
+}
+
+MigrationAdvice advise_migration(const MigrationRuntime& runtime,
+                                 const memsim::MachineConfig& machine) {
+  MigrationAdvice advice;
+  advice.segment_pages.assign(static_cast<std::size_t>(machine.num_tiers()), 0);
+  for (const auto& move : runtime.plan_log()) {
+    ++advice.moves;
+    if (move.staged) ++advice.staged_moves;
+    if (move.demotion) ++advice.demotions;
+    advice.transfer_cost_s += move.cost_s;
+    for (const memsim::TierId seg : machine.topology.path(move.src, move.dst))
+      ++advice.segment_pages[static_cast<std::size_t>(seg)];
+  }
+  std::uint64_t busiest = 0;
+  for (memsim::TierId t = 0; t < machine.num_tiers(); ++t) {
+    const auto pages = advice.segment_pages[static_cast<std::size_t>(t)];
+    if (pages > busiest) {
+      busiest = pages;
+      advice.busiest_segment = t;
+    }
+  }
+  if (advice.moves == 0) {
+    advice.summary =
+        "No pages moved: either nothing crossed the heat threshold or no move had "
+        "positive net value under the cost model.";
+  } else {
+    advice.summary =
+        "Executed " + std::to_string(advice.moves) + " moves (" +
+        std::to_string(advice.staged_moves) + " staged, " +
+        std::to_string(advice.demotions) + " demotions), priced transfer cost " +
+        Table::num(advice.transfer_cost_s * 1e3, 3) + " ms; busiest segment is the '" +
+        machine.tier(advice.busiest_segment).name +
+        "' link — raise its per-scan budget first if migration lags the access pattern.";
+  }
+  return advice;
 }
 
 }  // namespace memdis::core

@@ -44,4 +44,25 @@ struct AdvisorReport {
 /// Analyzes a Level-2 profile against its machine references.
 [[nodiscard]] AdvisorReport advise(const Level2Profile& profile);
 
+/// Digest of a migration runtime's executed plan (the `memdis plan` dump):
+/// how the per-scan link budgets were spent and whether staging carried a
+/// meaningful share of the traffic.
+struct MigrationAdvice {
+  std::uint64_t moves = 0;           ///< executed moves incl. demotions
+  std::uint64_t staged_moves = 0;    ///< first hops of multi-hop plans
+  std::uint64_t demotions = 0;
+  double transfer_cost_s = 0.0;      ///< priced cost of all moves
+  /// Pages that crossed each fabric segment, indexed by TierId (local
+  /// tiers stay zero) — the busiest segment is the budget to raise first.
+  std::vector<std::uint64_t> segment_pages;
+  memsim::TierId busiest_segment = -1;  ///< -1 when nothing moved
+  std::string summary;
+};
+
+class MigrationRuntime;  // core/migration.h
+
+/// Summarizes an executed migration plan against its machine's topology.
+[[nodiscard]] MigrationAdvice advise_migration(const MigrationRuntime& runtime,
+                                               const memsim::MachineConfig& machine);
+
 }  // namespace memdis::core

@@ -36,6 +36,19 @@ double RunOutput::mean_offered_link_utilization(const memsim::MachineConfig& m) 
   return remote_gbps * m.pool_link().protocol_overhead / m.pool_link().traffic_capacity_gbps;
 }
 
+std::vector<double> spill_capacity_fractions(const memsim::MachineConfig& machine,
+                                             double ratio) {
+  if (machine.num_tiers() < 3) return {};
+  return {1.0 - ratio, ratio / 2.0};
+}
+
+memsim::MachineConfig machine_with_spill(const memsim::MachineConfig& machine, double ratio,
+                                         std::uint64_t footprint_bytes) {
+  const auto fractions = spill_capacity_fractions(machine, ratio);
+  if (fractions.empty()) return machine.with_remote_capacity_ratio(ratio, footprint_bytes);
+  return machine.with_capacity_fractions(fractions, footprint_bytes);
+}
+
 RunOutput run_workload(workloads::Workload& workload, const RunConfig& cfg) {
   sim::EngineConfig ecfg;
   ecfg.machine = cfg.machine;
@@ -48,6 +61,7 @@ RunOutput run_workload(workloads::Workload& workload, const RunConfig& cfg) {
   }
   ecfg.hierarchy = cfg.hierarchy;
   ecfg.background_loi = cfg.background_loi;
+  ecfg.background_loi_per_tier = cfg.background_loi_per_tier;
 
   sim::Engine eng(ecfg);
   eng.set_prefetch_enabled(cfg.prefetch_enabled);

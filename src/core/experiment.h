@@ -20,6 +20,10 @@ struct RunConfig {
   memsim::MachineConfig machine = memsim::MachineConfig::skylake_testbed();
   cachesim::HierarchyConfig hierarchy{};
   double background_loi = 0.0;   ///< injected interference (% of link peak)
+  /// Per-link background LoI, indexed by TierId (local-tier entries are
+  /// ignored; tiers beyond the vector keep the scalar `background_loi`).
+  /// The lever for asymmetric studies: load one pool while another idles.
+  std::vector<double> background_loi_per_tier;
   bool prefetch_enabled = true;  ///< MSR 0x1a4 analogue
   /// When set, shrinks the node tier so this fraction of the workload's
   /// footprint spills off-node (the paper's setup_waste step, Fig. 4 III).
@@ -62,6 +66,22 @@ struct RunOutput {
   /// exceed 1 when oversubscribed); input to interference coefficients.
   [[nodiscard]] double mean_offered_link_utilization(const memsim::MachineConfig& m) const;
 };
+
+/// Capacity fractions of the spill-chain experiments for off-node ratio
+/// `ratio`: the node tier keeps 1-ratio of the footprint and, on an N-tier
+/// chain, the first pool takes half the spill (the tail absorbs the rest).
+/// Empty for two-tier machines — shape those with remote_capacity_ratio.
+/// The single source of the split rule shared by the scenarios and
+/// `memdis plan`.
+[[nodiscard]] std::vector<double> spill_capacity_fractions(const memsim::MachineConfig& machine,
+                                                           double ratio);
+
+/// Returns `machine` shaped so `ratio` of `footprint_bytes` spills off the
+/// node under first touch, applying spill_capacity_fractions on N-tier
+/// chains and the plain node-tier shrink on two-tier machines.
+[[nodiscard]] memsim::MachineConfig machine_with_spill(const memsim::MachineConfig& machine,
+                                                       double ratio,
+                                                       std::uint64_t footprint_bytes);
 
 /// Runs `workload` under `cfg` and captures the full profile.
 [[nodiscard]] RunOutput run_workload(workloads::Workload& workload, const RunConfig& cfg);

@@ -55,8 +55,15 @@ double LbenchCalibration::loi_for_nflop(std::uint32_t nflop) const {
 
 double interference_coefficient_at(const memsim::MachineConfig& m,
                                    double offered_utilization) {
+  return interference_coefficient_at(m, m.topology.first_fabric(), offered_utilization);
+}
+
+double interference_coefficient_at(const memsim::MachineConfig& m, memsim::TierId t,
+                                   double offered_utilization) {
   expects(offered_utilization >= 0.0, "offered utilization cannot be negative");
-  memsim::LinkModel link(m.pool_tier());
+  expects(m.topology.valid_tier(t) && m.topology.is_fabric(t),
+          "interference coefficient needs a fabric tier");
+  memsim::LinkModel link(m.tier(t));
   link.set_background_loi(std::min(offered_utilization * 100.0, 2000.0));
   // The 1-thread 1-flop probe is latency-bound on the pool link: its runtime
   // scales with the effective access latency, so IC equals the queue-delay

@@ -69,6 +69,14 @@ class LbenchCalibration {
 [[nodiscard]] double interference_coefficient_at(const memsim::MachineConfig& m,
                                                  double offered_utilization);
 
+/// Per-link variant: the IC a probe bound to tier `t` sees when that tier's
+/// link carries the given offered background utilization. Lets asymmetric
+/// studies quantify each pool independently (contract violation for local
+/// tiers — they have no link to interfere on).
+[[nodiscard]] double interference_coefficient_at(const memsim::MachineConfig& m,
+                                                 memsim::TierId t,
+                                                 double offered_utilization);
+
 /// Per-phase and aggregate IC induced by an application run (Fig. 11 right:
 /// the spread over phases is reported as min/max).
 struct InducedInterference {

@@ -6,14 +6,21 @@
 namespace memdis::core {
 
 namespace {
-/// Demotion target: the first fabric tier with room (tier 1 in every
-/// built-in preset). When every fabric tier is full the last tier is
-/// returned and migrate() simply moves nothing.
-memsim::TierId demote_target(const memsim::TieredMemory& mem) {
-  for (memsim::TierId t = 1; t < mem.num_tiers(); ++t)
-    if (mem.free_bytes(t) >= mem.page_bytes()) return t;
-  return mem.num_tiers() - 1;
-}
+
+/// A hot off-node page with its priced candidate moves (value-descending).
+struct Candidate {
+  std::uint64_t page = 0;
+  std::uint64_t heat = 0;
+  memsim::TierId tier = 0;
+  std::vector<MovePlan> plans;
+};
+
+/// A node-resident page, demotion-victim ordering (coldest first).
+struct Resident {
+  std::uint64_t page = 0;
+  std::uint64_t heat = 0;
+};
+
 }  // namespace
 
 void MigrationRuntime::attach(sim::Engine& eng) {
@@ -27,58 +34,210 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
   auto& mem = eng.memory();
   const std::uint64_t page_bytes = mem.page_bytes();
   const auto& hist = eng.page_access_histogram();
+  const auto& machine = eng.config().machine;
+  const int n = machine.num_tiers();
 
-  // Recent heat = histogram delta since the last scan.
-  struct PageHeat {
-    std::uint64_t page;
-    std::uint64_t heat;
-  };
-  std::vector<PageHeat> hot_remote;
-  std::vector<PageHeat> cold_local;
+  // Price moves against the links' *current* interference levels, so the
+  // planner reacts to asymmetric load the same way an operator would. The
+  // machine is fixed for the run, so the model is rebuilt only when the
+  // observed LoI vector changes.
+  std::vector<double> loi(static_cast<std::size_t>(n), 0.0);
+  for (memsim::TierId t = 0; t < n; ++t)
+    if (machine.topology.is_fabric(t)) loi[static_cast<std::size_t>(t)] = eng.background_loi(t);
+  if (!model_ || loi != model_loi_) {
+    model_.emplace(machine, loi);
+    model_loi_ = loi;
+  }
+  const MigrationCostModel& model = *model_;
+
+  const std::uint64_t sample_period =
+      std::max<std::uint64_t>(1, eng.config().page_sample_period);
+  // Heat is collected per scan window, so the amortization horizon is
+  // expressed in scan windows too.
+  const std::uint64_t horizon_scans = std::max<std::uint64_t>(
+      1, cfg_.horizon_epochs / std::max<std::uint64_t>(1, cfg_.period_epochs));
+
+  // Recent heat = histogram delta since the last scan. Every resident page
+  // is a potential demotion victim on its tier; off-node pages above the
+  // heat threshold are promotion candidates.
+  std::vector<Candidate> hot;
+  std::vector<std::vector<Resident>> residents(static_cast<std::size_t>(n));
   for (const auto& [page, count] : hist) {
     const auto it = last_hist_.find(page);
     const std::uint64_t heat = count - (it == last_hist_.end() ? 0 : it->second);
     const std::uint64_t addr = page * page_bytes;
     if (!mem.resident(addr)) continue;
-    if (mem.tier_of(addr) != memsim::kNodeTier) {
-      if (heat >= cfg_.min_heat) hot_remote.push_back({page, heat});
-    } else {
-      cold_local.push_back({page, heat});
-    }
+    const memsim::TierId tier = mem.tier_of(addr);
+    if (tier != memsim::kNodeTier && heat >= cfg_.min_heat)
+      hot.push_back({page, heat, tier, {}});
+    residents[static_cast<std::size_t>(tier)].push_back({page, heat});
   }
   last_hist_ = hist;
-  if (hot_remote.empty()) return;
+  if (hot.empty()) return;
 
-  std::sort(hot_remote.begin(), hot_remote.end(),
-            [](const PageHeat& a, const PageHeat& b) { return a.heat > b.heat; });
-  std::sort(cold_local.begin(), cold_local.end(),
-            [](const PageHeat& a, const PageHeat& b) { return a.heat < b.heat; });
+  // Candidate destinations per page: every tier the cost model rates
+  // strictly faster to access, with positive net value. Without staging
+  // only the node tier qualifies (the pre-cost-model policy).
+  for (auto& cand : hot) {
+    for (memsim::TierId dst = 0; dst < n; ++dst) {
+      if (dst == cand.tier) continue;
+      if (!cfg_.allow_staging && dst != memsim::kNodeTier) continue;
+      if (model.access_latency_s(dst) >= model.access_latency_s(cand.tier)) continue;
+      MovePlan plan = model.plan(cand.tier, dst, cand.heat, horizon_scans, sample_period);
+      if (plan.value_s > 0) cand.plans.push_back(std::move(plan));
+    }
+    std::sort(cand.plans.begin(), cand.plans.end(),
+              [](const MovePlan& a, const MovePlan& b) { return a.value_s > b.value_s; });
+  }
+  hot.erase(std::remove_if(hot.begin(), hot.end(),
+                           [](const Candidate& c) { return c.plans.empty(); }),
+            hot.end());
+  if (hot.empty()) return;
 
-  std::size_t demote_cursor = 0;
+  // Most valuable moves first; page number breaks ties deterministically.
+  std::sort(hot.begin(), hot.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.plans.front().value_s != b.plans.front().value_s)
+      return a.plans.front().value_s > b.plans.front().value_s;
+    return a.page < b.page;
+  });
+  for (auto& tier_residents : residents) {
+    std::sort(tier_residents.begin(), tier_residents.end(),
+              [](const Resident& a, const Resident& b) {
+                return a.heat != b.heat ? a.heat < b.heat : a.page < b.page;
+              });
+  }
+
+  // Per-scan budgets: a global page budget plus one page budget per fabric
+  // segment (migration traffic competes for each crossed link). Each
+  // segment's budget is scaled by its link's effective bandwidth under the
+  // current LoI — a loaded link affords proportionally fewer pages, which
+  // is what diverts long-haul moves onto staged hops.
   std::uint64_t budget = cfg_.max_pages_per_scan;
-  for (const auto& cand : hot_remote) {
-    if (budget == 0) break;
-    const memsim::VRange range{cand.page * page_bytes, page_bytes};
-    if (mem.free_bytes(memsim::kNodeTier) < page_bytes) {
-      if (!cfg_.enable_demotion) break;
-      // Demote the coldest local page that is still colder than the
-      // candidate (never swap a hotter page out for a colder one).
-      bool made_room = false;
-      while (demote_cursor < cold_local.size()) {
-        const auto& victim = cold_local[demote_cursor++];
-        if (victim.heat >= cand.heat) break;
-        const memsim::VRange vrange{victim.page * page_bytes, page_bytes};
-        if (mem.migrate(vrange, demote_target(mem)) == 1) {
-          ++demoted_;
-          made_room = true;
-          break;
+  const std::uint64_t per_link =
+      cfg_.link_budget_pages > 0 ? cfg_.link_budget_pages : cfg_.max_pages_per_scan;
+  std::vector<std::uint64_t> seg_budget(static_cast<std::size_t>(n), per_link);
+  for (memsim::TierId t = 0; t < n; ++t) {
+    if (!machine.topology.is_fabric(t)) continue;
+    const double share =
+        model.effective_link_bandwidth_gbps(t) / model.raw_link_bandwidth_gbps(t);
+    seg_budget[static_cast<std::size_t>(t)] = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(per_link) * share));
+  }
+
+  const auto segments_affordable = [&](const std::vector<memsim::TierId>& segs) {
+    for (const memsim::TierId s : segs)
+      if (seg_budget[static_cast<std::size_t>(s)] == 0) return false;
+    return true;
+  };
+  // Affordability of `segs` while also reserving budget for `reserved` (a
+  // demotion must not spend the segments its paired promotion still needs).
+  const auto affordable_with_reserved = [&](const std::vector<memsim::TierId>& segs,
+                                            const std::vector<memsim::TierId>& reserved) {
+    for (const memsim::TierId s : segs) {
+      std::uint64_t need = 1;
+      for (const memsim::TierId r : reserved)
+        if (r == s) ++need;
+      if (seg_budget[static_cast<std::size_t>(s)] < need) return false;
+    }
+    return true;
+  };
+  const auto consume_segments = [&](const std::vector<memsim::TierId>& segs) {
+    for (const memsim::TierId s : segs) {
+      auto& left = seg_budget[static_cast<std::size_t>(s)];
+      expects(left > 0, "segment budget overspent");
+      --left;
+    }
+  };
+  const auto charge = [&](const MovePlan& plan) {
+    transfer_cost_s_ += plan.cost_s;
+    if (cfg_.charge_transfer_cost) eng.charge_migration_seconds(plan.cost_s);
+  };
+
+  // Demotes the coldest page of `tier` colder than `ceiling` to the
+  // cheapest other tier by the cost model (under asymmetric LoI this is
+  // what keeps victims off the loaded link). Works for any destination a
+  // promotion targets: making room on an *intermediate* tier swaps a cold
+  // page down-chain, which is what lets a staged hop proceed when the tier
+  // is full. Returns true when room was made.
+  std::vector<std::size_t> victim_cursor(static_cast<std::size_t>(n), 0);
+  const auto make_room_on = [&](memsim::TierId tier, std::uint64_t ceiling,
+                                const std::vector<memsim::TierId>& reserved) {
+    auto& list = residents[static_cast<std::size_t>(tier)];
+    auto& cursor = victim_cursor[static_cast<std::size_t>(tier)];
+    while (cursor < list.size()) {
+      const Resident victim = list[cursor++];
+      if (victim.heat >= ceiling) {
+        // Never swap hotter for colder — but candidates are ranked by move
+        // value, not heat, so a later candidate may carry a higher ceiling:
+        // leave this victim for it.
+        --cursor;
+        return false;
+      }
+      const std::uint64_t vaddr = victim.page * page_bytes;
+      if (!mem.resident(vaddr) || mem.tier_of(vaddr) != tier) continue;
+      // Cheapest destination = the least-negative move value among tiers
+      // with room and segment budget (keeping the paired promotion's
+      // segments reserved).
+      const MovePlan* best = nullptr;
+      MovePlan scratch;
+      for (memsim::TierId d = 0; d < n; ++d) {
+        if (d == tier || mem.free_bytes(d) < page_bytes) continue;
+        // A victim never moves to a faster tier — that slot belongs to the
+        // hot candidate this eviction is making room for.
+        if (model.access_latency_s(d) < model.access_latency_s(tier)) continue;
+        MovePlan plan = model.plan(tier, d, victim.heat, horizon_scans, sample_period);
+        if (!affordable_with_reserved(plan.segments, reserved)) continue;
+        if (best == nullptr || plan.value_s > best->value_s) {
+          scratch = std::move(plan);
+          best = &scratch;
         }
       }
-      if (!made_room) break;
+      if (best == nullptr) {
+        // No destination affordable under *this* candidate's reserved
+        // segments; a later candidate with a different path may still be
+        // able to demote this victim.
+        --cursor;
+        return false;
+      }
+      const memsim::VRange vrange{vaddr, page_bytes};
+      if (mem.migrate(vrange, best->dst) != 1) continue;
+      consume_segments(best->segments);
+      charge(*best);
+      ++demoted_;
+      plan_log_.push_back({scans_, victim.page, tier, best->dst, victim.heat, best->cost_s,
+                           best->value_s, /*demotion=*/true, /*staged=*/false});
+      return true;
     }
-    if (mem.migrate(range, memsim::kNodeTier) == 1) {
+    return false;
+  };
+
+  for (const auto& cand : hot) {
+    if (budget == 0) break;
+    const std::uint64_t addr = cand.page * page_bytes;
+    if (!mem.resident(addr) || mem.tier_of(addr) != cand.tier) continue;
+    // Best plan whose segments still have budget; when the direct path's
+    // segment budget is exhausted this falls through to the staged hop
+    // (and vice versa — a full intermediate tier falls back to direct).
+    for (const MovePlan& plan : cand.plans) {
+      if (!segments_affordable(plan.segments)) continue;
+      if (mem.free_bytes(plan.dst) < page_bytes) {
+        if (!cfg_.enable_demotion) continue;
+        if (!make_room_on(plan.dst, cand.heat, plan.segments)) continue;
+        if (!segments_affordable(plan.segments)) continue;
+      }
+      const memsim::VRange range{addr, page_bytes};
+      if (mem.migrate(range, plan.dst) != 1) continue;
+      consume_segments(plan.segments);
+      charge(plan);
       ++promoted_;
       --budget;
+      if (plan.staged())
+        ++staged_;
+      else
+        ++direct_;
+      plan_log_.push_back({scans_, cand.page, cand.tier, plan.dst, cand.heat, plan.cost_s,
+                           plan.value_s, /*demotion=*/false, plan.staged()});
+      break;
     }
   }
 }

@@ -1,21 +1,38 @@
 // MigrationRuntime: a transparent hot-page placement daemon.
 //
 // The "dynamic solution" of Sec. 5.2: detect hot pages at runtime and
-// migrate them into the fast tier (in the spirit of Thermostat [1] and
-// TPP [30]). The paper's critique — runtimes "take time to collect enough
-// information", are "slow in adapting to changes in access patterns", and
-// cause run-to-run performance variation — is exactly what the ablation
-// bench measures with this implementation.
+// migrate them into faster tiers (in the spirit of Thermostat [1] and
+// TPP [30]). Where the original runtime blindly promoted to tier 0 and
+// demoted one hop, every move is now priced by the MigrationCostModel
+// from the topology's per-link bandwidth/latency under the current
+// per-link Level-of-Interference, amortized over the page's observed
+// PEBS-sampled hotness:
+//
+//  * a page is moved to the destination with the highest positive net
+//    value (horizon * stall-savings - transfer cost), which on an N-tier
+//    chain can be an *intermediate* tier — staging switched -> direct ->
+//    node across scans when the cost model prices the long-haul hop out;
+//  * each fabric segment has a per-scan page budget; when a segment on the
+//    direct path is exhausted the planner falls back to the best feasible
+//    shorter hop (and vice versa: staging can be disabled to force direct
+//    moves only);
+//  * demotion victims go to the cheapest fabric tier by the same pricing,
+//    so under asymmetric LoI cold pages avoid the loaded link;
+//  * transfer time is charged to the engine's epoch timeline
+//    (Engine::charge_migration_seconds), so aggressive cadences pay for
+//    their traffic.
 //
 // Mechanism: attach to the engine's epoch callback; every `period_epochs`
-// epochs, diff the page-access histogram, rank pages by recent heat, then
-// demote the coldest local pages and promote the hottest remote pages
-// (bounded by `max_pages_per_scan`, modelling migration bandwidth limits).
+// epochs, diff the page-access histogram, rank candidate moves by net
+// value, then execute them within the per-scan budgets.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
+#include <vector>
 
+#include "core/migration_cost.h"
 #include "sim/engine.h"
 
 namespace memdis::core {
@@ -25,6 +42,31 @@ struct MigrationConfig {
   std::uint64_t max_pages_per_scan = 64; ///< promotion budget per scan
   std::uint64_t min_heat = 8;            ///< samples before a page is "hot"
   bool enable_demotion = true;           ///< make room by demoting cold pages
+  /// Permit moves that end on an intermediate fabric tier (multi-hop
+  /// staging across scans). When false the planner only considers direct
+  /// moves to the node tier — the pre-cost-model behavior.
+  bool allow_staging = true;
+  /// Expected residency (epochs) over which a move's stall savings are
+  /// amortized against its transfer cost.
+  std::uint64_t horizon_epochs = 16;
+  /// Per-scan page budget of each fabric segment; 0 derives it from
+  /// max_pages_per_scan. Models migration traffic stealing link bandwidth.
+  std::uint64_t link_budget_pages = 0;
+  /// Charge migration transfer time to the engine's epoch timeline.
+  bool charge_transfer_cost = true;
+};
+
+/// One executed move, for the machine-readable plan dump (`memdis plan`).
+struct ExecutedMove {
+  std::uint64_t scan = 0;   ///< scan index that issued the move
+  std::uint64_t page = 0;   ///< page number
+  memsim::TierId src = 0;
+  memsim::TierId dst = 0;
+  std::uint64_t heat = 0;   ///< sampled accesses in the scan window
+  double cost_s = 0.0;      ///< priced transfer cost
+  double value_s = 0.0;     ///< net value (horizon-amortized)
+  bool demotion = false;    ///< victim eviction rather than a hot-page move
+  bool staged = false;      ///< ended on an intermediate tier (multi-hop)
 };
 
 class MigrationRuntime {
@@ -37,6 +79,17 @@ class MigrationRuntime {
   [[nodiscard]] std::uint64_t pages_promoted() const { return promoted_; }
   [[nodiscard]] std::uint64_t pages_demoted() const { return demoted_; }
   [[nodiscard]] std::uint64_t scans() const { return scans_; }
+  /// Moves that ended on an intermediate fabric tier (first hop of a
+  /// staged multi-hop plan).
+  [[nodiscard]] std::uint64_t staged_moves() const { return staged_; }
+  /// Moves that ended on the node tier.
+  [[nodiscard]] std::uint64_t direct_moves() const { return direct_; }
+  /// Total priced transfer cost of all executed moves (seconds).
+  [[nodiscard]] double transfer_cost_s() const { return transfer_cost_s_; }
+  /// Every executed move, in execution order (the plan log).
+  [[nodiscard]] const std::vector<ExecutedMove>& plan_log() const { return plan_log_; }
+
+  [[nodiscard]] const MigrationConfig& config() const { return cfg_; }
 
  private:
   void on_epoch(sim::Engine& eng);
@@ -46,8 +99,16 @@ class MigrationRuntime {
   std::uint64_t scans_ = 0;
   std::uint64_t promoted_ = 0;
   std::uint64_t demoted_ = 0;
+  std::uint64_t staged_ = 0;
+  std::uint64_t direct_ = 0;
+  double transfer_cost_s_ = 0.0;
+  std::vector<ExecutedMove> plan_log_;
   // Histogram snapshot from the previous scan, for heat deltas.
   std::unordered_map<std::uint64_t, std::uint64_t> last_hist_;
+  // Cost model cached between scans; rebuilt only when the observed
+  // per-link LoI vector changes (the machine is fixed for the run).
+  std::optional<MigrationCostModel> model_;
+  std::vector<double> model_loi_;
 };
 
 }  // namespace memdis::core

@@ -48,7 +48,10 @@ MachineConfig MachineConfig::split_borrowing() {
 
 MachineConfig MachineConfig::three_tier_cxl() {
   MachineConfig cfg = cxl_direct_attached();
-  MemoryTierSpec switched{"cxl-switched", 96ULL << 30, 45.0, 320.0, cxl_link()};
+  // The switched pool hangs off the direct device's switch port (upstream =
+  // tier 1), so tier-2<->tier-1 page migrations cross only the switch
+  // segment while accesses still pay the full node<->pool path (320 ns).
+  MemoryTierSpec switched{"cxl-switched", 96ULL << 30, 45.0, 320.0, cxl_link(), 1};
   cfg.topology.tiers.push_back(std::move(switched));
   cfg.topology.validate();
   return cfg;

@@ -15,6 +15,7 @@ TieredMemory::TieredMemory(const MachineConfig& cfg) : page_bytes_(cfg.page_byte
   capacity_.resize(static_cast<std::size_t>(n));
   for (TierId t = 0; t < n; ++t)
     capacity_[static_cast<std::size_t>(t)] = cfg.tier(t).capacity_bytes;
+  migrated_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0);
 }
 
 VRange TieredMemory::alloc(std::uint64_t bytes, MemPolicy policy) {
@@ -92,9 +93,19 @@ std::uint64_t TieredMemory::migrate(const VRange& range, TierId dst) {
     used_[static_cast<std::size_t>(src)] -= page_bytes_;
     used_[static_cast<std::size_t>(dst)] += page_bytes_;
     page_tier_[p] = static_cast<std::int8_t>(dst);
+    migrated_[static_cast<std::size_t>(src) * static_cast<std::size_t>(num_tiers()) +
+              static_cast<std::size_t>(dst)] += page_bytes_;
+    migrated_total_ += page_bytes_;
     ++moved;
   }
   return moved;
+}
+
+std::uint64_t TieredMemory::migrated_bytes(TierId src, TierId dst) const {
+  expects(src >= 0 && src < num_tiers() && dst >= 0 && dst < num_tiers(),
+          "tier id out of range");
+  return migrated_[static_cast<std::size_t>(src) * static_cast<std::size_t>(num_tiers()) +
+                   static_cast<std::size_t>(dst)];
 }
 
 NumaSnapshot TieredMemory::snapshot() const {

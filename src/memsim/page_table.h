@@ -102,6 +102,13 @@ class TieredMemory {
   /// Total number of touched pages since construction.
   [[nodiscard]] std::uint64_t touched_pages() const { return touched_pages_; }
 
+  /// Bytes migrated from `src` to `dst` since construction (move_pages-style
+  /// accounting; feeds the migration planner's budget/plan reporting).
+  [[nodiscard]] std::uint64_t migrated_bytes(TierId src, TierId dst) const;
+
+  /// Bytes migrated over all tier pairs since construction.
+  [[nodiscard]] std::uint64_t migrated_bytes_total() const { return migrated_total_; }
+
  private:
   struct Region {
     VRange range;
@@ -140,6 +147,8 @@ class TieredMemory {
   std::vector<std::uint64_t> used_;      // indexed by TierId
   std::vector<std::uint64_t> capacity_;  // indexed by TierId
   std::uint64_t touched_pages_ = 0;
+  std::vector<std::uint64_t> migrated_;  // src * num_tiers + dst, bytes
+  std::uint64_t migrated_total_ = 0;
 };
 
 }  // namespace memdis::memsim

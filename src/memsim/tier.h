@@ -58,6 +58,14 @@ struct MemoryTierSpec {
   double bandwidth_gbps = 0.0;  ///< sustainable data bandwidth (STREAM-like)
   double latency_ns = 0.0;      ///< unloaded access latency
   std::optional<FabricLinkSpec> link;  ///< nullopt for node-local tiers
+  /// Fabric attachment point: the tier whose domain this tier's link hangs
+  /// off. kNodeTier (default) means directly attached to the node — a star.
+  /// A chain topology (e.g. a switched pool *behind* a direct CXL device)
+  /// sets upstream to the intermediate tier, so page migrations between the
+  /// two fabric tiers cross only the switch segment, not the node link.
+  /// Ignored for the node tier. Access-path parameters (latency_ns,
+  /// bandwidth_gbps, link) always describe the full node<->tier path.
+  TierId upstream = kNodeTier;
 
   [[nodiscard]] bool is_fabric() const { return link.has_value(); }
 };
@@ -112,9 +120,42 @@ struct MemoryTopology {
     return sum;
   }
 
+  /// Tier ids on the walk from `t` up to the node tier, starting with `t`
+  /// itself and ending with kNodeTier (following `upstream` pointers).
+  [[nodiscard]] std::vector<TierId> ancestors(TierId t) const {
+    expects(valid_tier(t), "tier id out of range");
+    std::vector<TierId> chain{t};
+    while (chain.back() != kNodeTier)
+      chain.push_back(tier(chain.back()).upstream);
+    return chain;
+  }
+
+  /// Fabric segments a page migration from `src` to `dst` crosses: the ids
+  /// of the tiers whose links are traversed, nearest-to-src first. Computed
+  /// on the upstream tree — walk both tiers to their lowest common ancestor
+  /// and drop the shared tail. A star topology yields {src-side link,
+  /// dst-side link}; a chain (switched pool behind a direct device) yields
+  /// only the segments between the two tiers, which is what makes staging
+  /// through the intermediate tier cheaper than a direct long-haul move.
+  [[nodiscard]] std::vector<TierId> path(TierId src, TierId dst) const {
+    std::vector<TierId> up = ancestors(src);
+    std::vector<TierId> down = ancestors(dst);
+    // Remove the common suffix (shared ancestors including the meet point).
+    while (up.size() > 1 && down.size() > 1 && up[up.size() - 2] == down[down.size() - 2]) {
+      up.pop_back();
+      down.pop_back();
+    }
+    std::vector<TierId> segments;
+    for (std::size_t i = 0; i + 1 < up.size(); ++i) segments.push_back(up[i]);
+    for (std::size_t i = down.size() - 1; i >= 1; --i) segments.push_back(down[i - 1]);
+    return segments;
+  }
+
   /// Structural invariants: at least one tier, at most kMaxTiers, tier 0
   /// local (no link), every later tier fabric (off-node aggregation and
-  /// spill-order semantics assume it), names non-empty.
+  /// spill-order semantics assume it), names non-empty, upstream pointers
+  /// strictly earlier in the tier order (so the attachment graph is a tree
+  /// rooted at the node tier).
   void validate() const {
     expects(!tiers.empty(), "topology needs at least one tier");
     expects(num_tiers() <= kMaxTiers, "topology exceeds kMaxTiers");
@@ -124,6 +165,8 @@ struct MemoryTopology {
       expects(!t.name.empty(), "tier name must not be empty");
       expects(t.bandwidth_gbps > 0.0, "tier bandwidth must be positive");
       expects(i == 0 || t.is_fabric(), "tiers beyond the node tier must carry a link");
+      expects(i == 0 || (t.upstream >= 0 && t.upstream < static_cast<TierId>(i)),
+              "tier upstream must point at an earlier tier");
       if (t.link) {
         expects(t.link->traffic_capacity_gbps > 0.0, "link capacity must be positive");
         expects(t.link->protocol_overhead >= 1.0, "protocol overhead cannot shrink traffic");

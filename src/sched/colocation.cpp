@@ -28,6 +28,37 @@ double simulate_run(const JobProfile& job, double max_loi, double reroll_interva
   return wall;
 }
 
+double simulate_run_per_link(const JobProfile& job,
+                             const std::vector<double>& max_loi_per_link,
+                             double reroll_interval_s, std::uint64_t seed) {
+  expects(job.base_runtime_s > 0, "job needs a positive idle runtime");
+  expects(!job.link_sensitivity.empty(), "job needs per-link sensitivity curves");
+  expects(reroll_interval_s > 0, "interval must be positive");
+  Xoshiro256 rng(seed);
+  double work_left = job.base_runtime_s;  // in idle-system seconds
+  double wall = 0.0;
+  while (work_left > 0) {
+    double speed = 1.0;
+    for (std::size_t t = 0; t < job.link_sensitivity.size(); ++t) {
+      const double max_loi = t < max_loi_per_link.size() ? max_loi_per_link[t] : 0.0;
+      // Draw every link each interval (even insensitive ones) so the RNG
+      // stream is independent of which curves a profile happens to carry.
+      const double loi = rng.uniform(0.0, max_loi);
+      if (job.link_sensitivity[t].empty()) continue;
+      speed *= core::interpolate_sensitivity(job.link_sensitivity[t], loi);
+    }
+    const double interval_work = reroll_interval_s * speed;
+    if (interval_work >= work_left) {
+      wall += work_left / speed;
+      work_left = 0;
+    } else {
+      wall += reroll_interval_s;
+      work_left -= interval_work;
+    }
+  }
+  return wall;
+}
+
 CoLocationOutcome run_colocation(const JobProfile& job, double max_loi,
                                  const CoLocationConfig& cfg) {
   expects(cfg.runs > 0, "need at least one run");

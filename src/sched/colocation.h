@@ -25,6 +25,11 @@ struct JobProfile {
   double base_runtime_s = 0.0;  ///< runtime at LoI = 0
   std::vector<core::SensitivityPoint> sensitivity;
   double induced_ic = 1.0;  ///< interference coefficient (Fig. 11 right)
+  /// Per-link sensitivity curves, indexed by TierId, for N-tier racks where
+  /// each pool link carries its own contention level. Empty inner curves
+  /// mean the job is insensitive to that link (local tiers stay empty).
+  /// When the whole vector is empty the job only has the aggregate curve.
+  std::vector<std::vector<core::SensitivityPoint>> link_sensitivity;
 };
 
 struct CoLocationConfig {
@@ -39,6 +44,15 @@ struct CoLocationConfig {
 /// returns the wall time. Progress advances at rel_perf(LoI) of idle speed.
 [[nodiscard]] double simulate_run(const JobProfile& job, double max_loi,
                                   double reroll_interval_s, std::uint64_t seed);
+
+/// N-tier variant: each fabric link's LoI re-rolls *independently* from
+/// U(0, max_loi_per_link[t]) every interval, and the job's speed is the
+/// product of its per-link relative performances (links queue
+/// independently, so their slowdowns compound). Requires a non-empty
+/// link_sensitivity profile; entries past the vector are treated as 0.
+[[nodiscard]] double simulate_run_per_link(const JobProfile& job,
+                                           const std::vector<double>& max_loi_per_link,
+                                           double reroll_interval_s, std::uint64_t seed);
 
 /// Outcome of the 100-run experiment for one job and one scheduler.
 struct CoLocationOutcome {

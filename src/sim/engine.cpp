@@ -19,6 +19,9 @@ Engine::Engine(const EngineConfig& cfg)
     }
   }
   set_background_loi(cfg.background_loi);
+  for (std::size_t t = 0; t < cfg_.background_loi_per_tier.size() && t < links_.size(); ++t) {
+    if (links_[t]) links_[t]->set_background_loi(cfg_.background_loi_per_tier[t]);
+  }
 }
 
 const memsim::LinkModel& Engine::link() const {
@@ -35,6 +38,20 @@ const memsim::LinkModel& Engine::link(memsim::TierId t) const {
 void Engine::set_background_loi(double loi_percent) {
   for (auto& l : links_)
     if (l) l->set_background_loi(loi_percent);
+}
+
+void Engine::set_background_loi(memsim::TierId t, double loi_percent) {
+  expects(t >= 0 && t < static_cast<int>(links_.size()), "tier id out of range");
+  auto& l = links_[static_cast<std::size_t>(t)];
+  expects(l.has_value(), "tier has no fabric link");
+  l->set_background_loi(loi_percent);
+}
+
+double Engine::background_loi(memsim::TierId t) const { return link(t).background_loi(); }
+
+void Engine::charge_migration_seconds(double seconds) {
+  expects(seconds >= 0.0, "migration time cannot be negative");
+  pending_migration_s_ += seconds;
 }
 
 memsim::VRange Engine::alloc(std::uint64_t bytes, memsim::MemPolicy policy, std::string name) {
@@ -115,7 +132,7 @@ void Engine::close_epoch() {
   const cachesim::HwCounters now = hierarchy_.counters();
   const cachesim::HwCounters d = now.delta_since(epoch_base_);
   const std::uint64_t flops_now = pending_flops_;
-  if (d.accesses() == 0 && flops_now == 0) {
+  if (d.accesses() == 0 && flops_now == 0 && pending_migration_s_ == 0.0) {
     epoch_demand_accesses_ = 0;
     return;  // nothing happened since the last close
   }
@@ -158,13 +175,21 @@ void Engine::close_epoch() {
   }
   const double t_stall = cfg_.stall_weight * stall_sum / overlap;
 
-  const double duration = t_base + t_stall;
+  // Migration transfer time charged by the planner since the last close
+  // serializes with the epoch's demand traffic (move_pages stalls the
+  // touching thread). Zero when no migration runtime is attached, keeping
+  // two-tier golden artifacts bit-identical.
+  const double t_migrate = pending_migration_s_;
+  pending_migration_s_ = 0.0;
+  migration_s_total_ += t_migrate;
+  const double duration = t_base + t_stall + t_migrate;
 
   EpochRecord rec;
   rec.start_s = elapsed_s_;
   rec.duration_s = duration;
   rec.phase = current_phase_;
   rec.flops = flops_now;
+  rec.migration_s = t_migrate;
   rec.tier_bytes.resize(static_cast<std::size_t>(n));
   rec.tier_demand.resize(static_cast<std::size_t>(n));
   for (memsim::TierId t = 0; t < n; ++t) {

@@ -37,6 +37,11 @@ struct EngineConfig {
   cachesim::HierarchyConfig hierarchy{};
   std::uint64_t epoch_accesses = 2'000'000;  ///< demand accesses per epoch
   double background_loi = 0.0;               ///< % of peak link traffic (Sec. 6)
+  /// Per-link background LoI, indexed by TierId (entries for local tiers are
+  /// ignored). When non-empty, listed tiers override `background_loi`, so
+  /// asymmetric studies can load one pool while another idles. Tiers beyond
+  /// the vector keep the scalar level.
+  std::vector<double> background_loi_per_tier;
   double stall_weight = 1.0;                 ///< scaling of the latency term
   /// Period of the per-page sampler feeding the bandwidth–capacity scaling
   /// curves (Fig. 6). Samples fire on L1 misses — the event class PEBS
@@ -62,6 +67,7 @@ struct EpochRecord {
   std::uint64_t l2_lines_in = 0;
   double link_traffic_gbps = 0.0;   ///< PCM-style measured traffic, all links
   double link_utilization = 0.0;    ///< max offered utilization over links
+  double migration_s = 0.0;         ///< page-migration transfer time charged
   std::vector<std::uint64_t> resident_bytes;  ///< numa snapshot per tier
 
   /// Bytes served by the node tier this epoch.
@@ -163,6 +169,20 @@ class Engine {
   void set_prefetch_enabled(bool on) { hierarchy_.set_prefetch_enabled(on); }
   /// Applies the background LoI to every fabric link in the topology.
   void set_background_loi(double loi_percent);
+  /// Sets the background LoI of one fabric tier's link; contract violation
+  /// for local tiers. The lever behind asymmetric interference studies.
+  void set_background_loi(memsim::TierId t, double loi_percent);
+  /// Current background LoI on tier `t`'s link; contract violation for
+  /// local tiers.
+  [[nodiscard]] double background_loi(memsim::TierId t) const;
+
+  /// Charges page-migration transfer time to the running timeline. The cost
+  /// is added to the *next* closed epoch's duration (migrations are issued
+  /// from the epoch callback, after the current epoch has been costed) —
+  /// the "per-epoch budget accounting" the migration planner spends against.
+  void charge_migration_seconds(double seconds);
+  /// Total migration transfer time charged so far.
+  [[nodiscard]] double migration_seconds() const { return migration_s_total_; }
 
   /// Installs a hook invoked after every closed epoch — the attachment
   /// point for runtime services such as the hot-page migration daemon
@@ -199,6 +219,8 @@ class Engine {
   double elapsed_s_ = 0.0;
   std::uint64_t total_flops_ = 0;
   std::uint64_t peak_rss_ = 0;
+  double pending_migration_s_ = 0.0;  ///< charged into the next closed epoch
+  double migration_s_total_ = 0.0;
   bool finished_ = false;
 
   std::vector<EpochRecord> epochs_;

@@ -1,0 +1,30 @@
+# Golden byte-compare gate, run under ctest (label: golden).
+#
+# Runs `memdis sweep --scenario <SCENARIO>` on the parallel engine and
+# byte-compares both artifacts against the committed goldens. Required
+# variables: MEMDIS_CLI, SCENARIO, GOLDEN_DIR, OUT_DIR.
+foreach(var MEMDIS_CLI SCENARIO GOLDEN_DIR OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "golden_compare.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${MEMDIS_CLI} sweep --scenario ${SCENARIO} --jobs 2 --out ${OUT_DIR}
+  RESULT_VARIABLE sweep_rc
+  OUTPUT_QUIET)
+if(NOT sweep_rc EQUAL 0)
+  message(FATAL_ERROR "sweep --scenario ${SCENARIO} failed with status ${sweep_rc}")
+endif()
+
+foreach(ext csv json)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${GOLDEN_DIR}/${SCENARIO}.${ext} ${OUT_DIR}/${SCENARIO}.${ext}
+    RESULT_VARIABLE cmp_rc)
+  if(NOT cmp_rc EQUAL 0)
+    message(FATAL_ERROR
+            "${SCENARIO}.${ext} drifted from the golden artifact; if the change "
+            "is intended, regenerate tests/golden/ and commit the new files")
+  endif()
+endforeach()

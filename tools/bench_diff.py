@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON against its committed baseline and fail on regression.
+
+Usage:
+    bench_diff.py BASELINE.json CURRENT.json [--max-regress 0.25]
+                  [--key NAME[:lower|higher]] ... [--exact KEY] ...
+
+Rules:
+  * --key NAME          numeric key gated at --max-regress; direction says
+                        which way is worse (default: lower-is-better, i.e.
+                        times — "higher" flips it for speedups/rates).
+  * --exact KEY         key must match the baseline exactly (bools, counts).
+  * With no --key/--exact flags, every shared numeric key is gated
+    lower-is-better and every shared bool/string key exactly.
+
+Exit status: 0 when everything is within bounds, 1 on any regression,
+2 on usage/IO errors. Output is one line per gated key.
+"""
+import argparse
+import json
+import sys
+
+
+def parse_keys(specs):
+    keys = []
+    for spec in specs:
+        name, _, direction = spec.partition(":")
+        if direction not in ("", "lower", "higher"):
+            raise SystemExit(f"error: bad direction in --key {spec!r}")
+        keys.append((name, direction or "lower"))
+    return keys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-regress", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    parser.add_argument("--key", action="append", default=[],
+                        help="numeric key to gate, NAME[:lower|higher]")
+    parser.add_argument("--exact", action="append", default=[],
+                        help="key that must match the baseline exactly")
+    args = parser.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            base = json.load(f)
+        with open(args.current) as f:
+            cur = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    keys = parse_keys(args.key)
+    exact = list(args.exact)
+    if not keys and not exact:
+        for name, value in base.items():
+            if isinstance(value, bool) or isinstance(value, str):
+                exact.append(name)
+            elif isinstance(value, (int, float)):
+                keys.append((name, "lower"))
+
+    failed = False
+    for name, direction in keys:
+        if name not in base or name not in cur:
+            print(f"SKIP  {name}: missing in {'baseline' if name not in base else 'current'}")
+            continue
+        b, c = float(base[name]), float(cur[name])
+        if b == 0.0:
+            ratio = 0.0 if c == 0.0 else float("inf")
+        elif direction == "lower":
+            ratio = c / b - 1.0  # positive = slower = regression
+        else:
+            ratio = b / c - 1.0 if c != 0.0 else float("inf")
+        status = "FAIL" if ratio > args.max_regress else "ok"
+        print(f"{status:5s} {name}: baseline {b:g}, current {c:g} "
+              f"({ratio:+.1%} vs. {args.max_regress:.0%} allowed, {direction}-is-better)")
+        failed = failed or status == "FAIL"
+    for name in exact:
+        if name not in base or name not in cur:
+            print(f"SKIP  {name}: missing in {'baseline' if name not in base else 'current'}")
+            continue
+        ok = base[name] == cur[name]
+        print(f"{'ok' if ok else 'FAIL':5s} {name}: baseline {base[name]!r}, "
+              f"current {cur[name]!r} (exact)")
+        failed = failed or not ok
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

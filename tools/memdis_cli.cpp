@@ -13,6 +13,8 @@
 //   memdis report  [--scale 1]
 //   memdis scenarios
 //   memdis sweep   --scenario fig06 [--jobs N] [--out dir] [--csv file]
+//   memdis plan    --app Hypre --fabric three-tier [--ratio 0.75]
+//                  [--loi 0,200] [--staging on|off] [--csv file]
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +30,7 @@
 #include "common/units.h"
 #include "core/advisor.h"
 #include "core/interference.h"
+#include "core/migration.h"
 #include "core/profiler.h"
 #include "core/scenario_registry.h"
 #include "core/sweep.h"
@@ -45,6 +48,8 @@ struct Args {
   double ratio = 0.5;
   std::string fabric = "upi";
   std::vector<double> lois = {0, 10, 20, 30, 40, 50};
+  std::vector<double> loi_per_tier;  ///< --loi: static per-link LoI by tier id
+  bool staging = true;               ///< --staging: plan may use intermediate tiers
   std::uint32_t nflop = 1;
   int threads = 12;
   std::size_t elements = 1 << 20;
@@ -65,6 +70,7 @@ void usage(std::ostream& os) {
      << "  report    verification/traffic sweep over all applications\n"
      << "  scenarios list the registered sweep scenarios\n"
      << "  sweep     run a registered scenario on the parallel sweep engine\n"
+     << "  plan      run the cost-model migration planner and dump its plan\n"
      << "options:\n"
      << "  --app NAME        HPL|SuperLU|NekRS|Hypre|BFS|XSBench\n"
      << "  --scale N         input scale 1|2|4 (default 1)\n"
@@ -75,6 +81,11 @@ void usage(std::ostream& os) {
      << "  --jobs N          sweep worker threads; 0 = hardware concurrency (default 1)\n"
      << "  --out DIR         write <scenario>.csv and <scenario>.json artifacts to DIR\n"
      << "  --lois CSV        LoI sweep levels (default 0,10,20,30,40,50)\n"
+     << "  --loi CSV         static per-link background LoI, one value per fabric\n"
+     << "                    tier in tier order (level1/level2/plan); a single\n"
+     << "                    value loads only the first fabric link\n"
+     << "  --staging on|off  allow the planner to stage via intermediate tiers\n"
+     << "                    (plan only; default on)\n"
      << "  --nflop N         LBench flops/element (default 1)\n"
      << "  --threads N       LBench threads (default 12)\n"
      << "  --elements N      LBench array elements (default 2^20)\n"
@@ -161,6 +172,30 @@ std::optional<Args> parse(int argc, char** argv) {
         std::cerr << "error: --lois expects a comma-separated list of numbers\n";
         return std::nullopt;
       }
+    } else if (flag == "--loi") {
+      // Values are given per fabric tier in tier order; tier 0 is the node
+      // tier and carries no link, so the stored vector leads with a zero.
+      args.loi_per_tier.assign(1, 0.0);
+      std::stringstream ss(*value);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        const auto v = parse_double("--loi", tok, 0.0, 2000.0);
+        if (!v) return std::nullopt;
+        args.loi_per_tier.push_back(*v);
+      }
+      if (args.loi_per_tier.size() < 2) {
+        std::cerr << "error: --loi expects a comma-separated list of numbers\n";
+        return std::nullopt;
+      }
+    } else if (flag == "--staging") {
+      if (*value == "on") {
+        args.staging = true;
+      } else if (*value == "off") {
+        args.staging = false;
+      } else {
+        std::cerr << "error: --staging expects on or off, got '" << *value << "'\n";
+        return std::nullopt;
+      }
     } else if (flag == "--nflop") {
       const auto v = parse_int(flag, *value, 1, 1 << 20);
       if (!v) return std::nullopt;
@@ -201,6 +236,21 @@ memsim::MachineConfig machine_of(const std::string& fabric) {
   return core::machine_for_fabric(fabric);
 }
 
+/// --loi promises one value per fabric tier of the selected machine; a
+/// miscounted list would otherwise silently load the wrong link (the
+/// strict-validation contract of the other numeric flags).
+bool loi_matches_topology(const Args& args, const memsim::MachineConfig& m) {
+  if (args.loi_per_tier.empty()) return true;
+  int fabric_tiers = 0;
+  for (memsim::TierId t = 0; t < m.num_tiers(); ++t)
+    if (m.topology.is_fabric(t)) ++fabric_tiers;
+  const int given = static_cast<int>(args.loi_per_tier.size()) - 1;  // leading node zero
+  if (given == fabric_tiers) return true;
+  std::cerr << "error: --loi expects " << fabric_tiers << " value(s) for --fabric "
+            << args.fabric << " (one per fabric tier), got " << given << "\n";
+  return false;
+}
+
 int cmd_machine(const Args& args) {
   const auto m = machine_of(args.fabric);
   Table t({"parameter", "value"});
@@ -215,7 +265,10 @@ int cmd_machine(const Args& args) {
     if (tier.link) {
       t.add_row({"  link", Table::num(tier.link->traffic_capacity_gbps, 0) +
                                " GB/s traffic cap, " +
-                               Table::num(tier.link->protocol_overhead, 2) + "x overhead"});
+                               Table::num(tier.link->protocol_overhead, 2) + "x overhead" +
+                               (tier.upstream != memsim::kNodeTier
+                                    ? ", behind " + m.tier(tier.upstream).name
+                                    : "")});
     }
   }
   t.add_row({"R_bw (off-node)", Table::pct(m.remote_bandwidth_ratio())});
@@ -226,6 +279,8 @@ int cmd_machine(const Args& args) {
 int cmd_level1(const Args& args, workloads::App app) {
   core::RunConfig rc;
   rc.machine = machine_of(args.fabric);
+  if (!loi_matches_topology(args, rc.machine)) return 2;
+  rc.background_loi_per_tier = args.loi_per_tier;
   core::MultiLevelProfiler profiler(rc);
   auto wl = workloads::make_workload(app, args.scale);
   const auto l1 = profiler.level1(*wl);
@@ -262,6 +317,8 @@ int cmd_level1(const Args& args, workloads::App app) {
 int cmd_level2(const Args& args, workloads::App app) {
   core::RunConfig rc;
   rc.machine = machine_of(args.fabric);
+  if (!loi_matches_topology(args, rc.machine)) return 2;
+  rc.background_loi_per_tier = args.loi_per_tier;
   core::MultiLevelProfiler profiler(rc);
   auto wl = workloads::make_workload(app, args.scale);
   const auto l2 = profiler.level2(*wl, args.ratio);
@@ -362,6 +419,58 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
+int cmd_plan(const Args& args, workloads::App app) {
+  auto wl = workloads::make_workload(app, args.scale);
+  sim::EngineConfig cfg;
+  // Shape capacities so args.ratio of the footprint spills off the node;
+  // N-tier chains split the spill between the first pool and the tail
+  // (the same rule the spill-chain scenarios use).
+  cfg.machine =
+      core::machine_with_spill(machine_of(args.fabric), args.ratio, wl->footprint_bytes());
+  if (!loi_matches_topology(args, cfg.machine)) return 2;
+  cfg.background_loi_per_tier = args.loi_per_tier;
+  cfg.epoch_accesses = 250'000;  // frequent scan opportunities
+  sim::Engine eng(cfg);
+
+  core::MigrationConfig mcfg;
+  mcfg.period_epochs = 1;
+  mcfg.allow_staging = args.staging;
+  core::MigrationRuntime runtime(mcfg);
+  runtime.attach(eng);
+
+  (void)wl->run(eng);
+  eng.finish();
+
+  Table t({"metric", "value"});
+  t.add_row({"simulated time", Table::num(eng.elapsed_seconds() * 1e3, 3) + " ms"});
+  t.add_row({"scans", std::to_string(runtime.scans())});
+  t.add_row({"pages promoted", std::to_string(runtime.pages_promoted())});
+  t.add_row({"pages demoted", std::to_string(runtime.pages_demoted())});
+  t.add_row({"staged moves", std::to_string(runtime.staged_moves())});
+  t.add_row({"direct moves", std::to_string(runtime.direct_moves())});
+  t.add_row({"charged transfer cost",
+             Table::num(runtime.transfer_cost_s() * 1e3, 3) + " ms"});
+  t.print(std::cout);
+
+  const auto advice = core::advise_migration(runtime, cfg.machine);
+  std::cout << "\nadvisor: " << advice.summary << "\n";
+
+  if (args.csv_path) {
+    CsvWriter csv(*args.csv_path,
+                  {"scan", "page", "src", "dst", "heat", "cost_ns", "value_ns", "kind"});
+    for (const auto& move : runtime.plan_log()) {
+      csv.add_row({std::to_string(move.scan), std::to_string(move.page),
+                   std::to_string(move.src), std::to_string(move.dst),
+                   std::to_string(move.heat), Table::num(move.cost_s * 1e9, 1),
+                   Table::num(move.value_s * 1e9, 1),
+                   move.demotion ? "demotion" : (move.staged ? "staged" : "direct")});
+    }
+    std::cout << "plan log (" << runtime.plan_log().size() << " moves) written to "
+              << *args.csv_path << "\n";
+  }
+  return 0;
+}
+
 int cmd_report(const Args& args) {
   Table t({"app", "verified", "sim time (ms)", "AI", "DRAM GB/s", "skew"});
   core::RunConfig rc;
@@ -394,7 +503,8 @@ int main(int argc, char** argv) {
     if (args->command == "report") return cmd_report(*args);
     if (args->command == "scenarios") return cmd_scenarios(*args);
     if (args->command == "sweep") return cmd_sweep(*args);
-    if (args->command == "level1" || args->command == "level2" || args->command == "level3") {
+    if (args->command == "level1" || args->command == "level2" || args->command == "level3" ||
+        args->command == "plan") {
       if (!args->app) {
         std::cerr << "error: " << args->command << " requires --app\n";
         return 2;
@@ -406,6 +516,7 @@ int main(int argc, char** argv) {
       }
       if (args->command == "level1") return cmd_level1(*args, *app);
       if (args->command == "level2") return cmd_level2(*args, *app);
+      if (args->command == "plan") return cmd_plan(*args, *app);
       return cmd_level3(*args, *app);
     }
     usage(std::cerr);
