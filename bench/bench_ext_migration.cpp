@@ -7,9 +7,14 @@
 // pooled under (a) baseline, (b) baseline + MigrationRuntime at several
 // scan cadences, and (c) the static optimized variant.
 //
-// Usage: bench_ext_migration [--json PATH]   (machine-readable baseline for
-// the CI bench regression gate; the values are *simulated* time, so they
-// are deterministic and comparable across machines)
+// Usage: bench_ext_migration [--json PATH] [--wave SPEC]
+// (machine-readable baseline for the CI bench regression gate; the values
+// are *simulated* time, so they are deterministic and comparable across
+// machines. --wave applies a square-wave LoI schedule to one link —
+// SPEC = link:period:duty:hi[:lo], the CLI grammar — so the nightly lane
+// can gate the planner's behavior under transient congestion, committed as
+// BENCH_transient.json.)
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -18,6 +23,7 @@
 #include "bench_util.h"
 #include "common/table.h"
 #include "core/migration.h"
+#include "memsim/loi_schedule.h"
 #include "workloads/bfs.h"
 
 namespace {
@@ -28,6 +34,9 @@ struct Outcome {
   std::uint64_t promoted = 0;
   std::uint64_t demoted = 0;
 };
+
+/// Schedule applied to every run; empty without --wave.
+memdis::memsim::LoiSchedule g_schedule;
 
 Outcome run_bfs(memdis::workloads::BfsVariant variant,
                 const memdis::core::MigrationConfig* migration) {
@@ -40,6 +49,7 @@ Outcome run_bfs(memdis::workloads::BfsVariant variant,
   cfg.machine = cfg.machine.with_remote_capacity_ratio(0.75, bfs.footprint_bytes());
   // Small epochs so the migration daemon gets frequent scan opportunities.
   cfg.epoch_accesses = 250'000;
+  cfg.loi_schedule = g_schedule;
   sim::Engine eng(cfg);
 
   core::MigrationRuntime runtime(migration ? *migration : core::MigrationConfig{});
@@ -68,15 +78,42 @@ Outcome run_bfs(memdis::workloads::BfsVariant variant,
 int main(int argc, char** argv) {
   using namespace memdis;
   std::string json_path;
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::string(argv[i]) == "--json") json_path = argv[++i];
+  std::string wave_spec;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      json_path = argv[++i];
+    } else if (std::string(argv[i]) == "--wave") {
+      wave_spec = argv[++i];
+    }
+  }
+  if (!wave_spec.empty()) {
+    std::string error;
+    const auto wave = memsim::parse_loi_wave(wave_spec, error);
+    if (!wave) {
+      std::cerr << "error: --wave: " << error << "\n";
+      return 2;
+    }
+    // Validate against the bench machine now: a silently ignored tier
+    // would commit a baseline claiming congestion it never applied.
+    const auto machine = memsim::MachineConfig::skylake_testbed();
+    if (!machine.topology.valid_tier(wave->tier) ||
+        !machine.topology.is_fabric(wave->tier)) {
+      std::cerr << "error: --wave: tier " << wave->tier
+                << " is not a fabric tier of the bench machine\n";
+      return 2;
+    }
+    g_schedule.set(wave->tier, wave->wave);
+  }
 
   bench::banner("Extension: hot-page migration runtime",
-                "dynamic page placement vs. the static allocation fix (BFS, 75% pooled)");
+                wave_spec.empty()
+                    ? "dynamic page placement vs. the static allocation fix (BFS, 75% pooled)"
+                    : "same study under a square-wave LoI schedule (" + wave_spec + ")");
 
   Table t({"configuration", "BFS time (ms)", "%remote (p2)", "promoted", "demoted"});
   std::ostringstream json;
   json << "{\n  \"bench\": \"ext_migration\"";
+  if (!wave_spec.empty()) json << ",\n  \"wave\": \"" << wave_spec << "\"";
 
   const auto baseline = run_bfs(workloads::BfsVariant::kBaseline, nullptr);
   t.add_row({"baseline (no runtime)", Table::num(baseline.p2_ms, 3),

@@ -24,6 +24,10 @@ struct RunConfig {
   /// ignored; tiers beyond the vector keep the scalar `background_loi`).
   /// The lever for asymmetric studies: load one pool while another idles.
   std::vector<double> background_loi_per_tier;
+  /// Time-varying per-link LoI: scheduled links follow their waveform
+  /// epoch by epoch (square bursts, ramps, replayed traces); unscheduled
+  /// links keep the static levels above. Empty = the static model.
+  memsim::LoiSchedule loi_schedule;
   bool prefetch_enabled = true;  ///< MSR 0x1a4 analogue
   /// When set, shrinks the node tier so this fraction of the workload's
   /// footprint spills off-node (the paper's setup_waste step, Fig. 4 III).

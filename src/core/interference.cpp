@@ -71,6 +71,11 @@ double interference_coefficient_at(const memsim::MachineConfig& m, memsim::TierI
   return link.latency_multiplier(0.0);
 }
 
+double interference_coefficient_at(const memsim::MachineConfig& m, memsim::TierId t,
+                                   const memsim::LoiWaveform& wave, std::uint64_t epoch) {
+  return interference_coefficient_at(m, t, wave.value_at(epoch) / 100.0);
+}
+
 InducedInterference induced_interference(const RunOutput& run,
                                          const memsim::MachineConfig& m) {
   InducedInterference out;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "memsim/loi_schedule.h"
 #include "memsim/machine.h"
 #include "workloads/workload.h"
 
@@ -76,6 +77,15 @@ class LbenchCalibration {
 [[nodiscard]] double interference_coefficient_at(const memsim::MachineConfig& m,
                                                  memsim::TierId t,
                                                  double offered_utilization);
+
+/// Time-varying variant: the IC a probe bound to tier `t` sees at epoch
+/// `epoch` of a background-LoI waveform (the waveform's percentage is the
+/// offered background utilization). Quantifies bursty fabrics epoch by
+/// epoch instead of by one static level.
+[[nodiscard]] double interference_coefficient_at(const memsim::MachineConfig& m,
+                                                 memsim::TierId t,
+                                                 const memsim::LoiWaveform& wave,
+                                                 std::uint64_t epoch);
 
 /// Per-phase and aggregate IC induced by an application run (Fig. 11 right:
 /// the spread over phases is reported as min/max).

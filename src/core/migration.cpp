@@ -37,18 +37,52 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
   const auto& machine = eng.config().machine;
   const int n = machine.num_tiers();
 
-  // Price moves against the links' *current* interference levels, so the
-  // planner reacts to asymmetric load the same way an operator would. The
-  // machine is fixed for the run, so the model is rebuilt only when the
-  // observed LoI vector changes.
-  std::vector<double> loi(static_cast<std::size_t>(n), 0.0);
+  // Live per-link LoI: the links' actual state this scan — under a
+  // time-varying schedule the engine has already stepped the waveforms to
+  // the upcoming epoch, so this is the state the next epoch runs under.
+  std::vector<double> live_loi(static_cast<std::size_t>(n), 0.0);
   for (memsim::TierId t = 0; t < n; ++t)
-    if (machine.topology.is_fabric(t)) loi[static_cast<std::size_t>(t)] = eng.background_loi(t);
-  if (!model_ || loi != model_loi_) {
-    model_.emplace(machine, loi);
-    model_loi_ = loi;
+    if (machine.topology.is_fabric(t))
+      live_loi[static_cast<std::size_t>(t)] = eng.background_loi(t);
+  scan_loi_log_.push_back(live_loi);
+
+  // The planner prices moves (and scales segment budgets) against its
+  // *belief*: the live links, or — when assumed_loi is set — a fixed
+  // static vector, modeling a planner provisioned with time-averaged QoS
+  // information under a bursty fabric. The machine is fixed for the run,
+  // so models are rebuilt only when their LoI vector changes.
+  std::vector<double> plan_loi = cfg_.assumed_loi.empty() ? live_loi : cfg_.assumed_loi;
+  plan_loi.resize(static_cast<std::size_t>(n), 0.0);
+  for (memsim::TierId t = 0; t < n; ++t)
+    if (!machine.topology.is_fabric(t)) plan_loi[static_cast<std::size_t>(t)] = 0.0;
+  if (!model_ || plan_loi != model_loi_) {
+    model_.emplace(machine, plan_loi);
+    model_loi_ = plan_loi;
   }
   const MigrationCostModel& model = *model_;
+  // Executed moves are charged at the links' *true* state, whatever the
+  // planner believed — a mispriced static plan pays the congestion it
+  // ignored. With live pricing the belief is the truth.
+  if (!cfg_.assumed_loi.empty() && (!truth_model_ || live_loi != truth_loi_)) {
+    truth_model_.emplace(machine, live_loi);
+    truth_loi_ = live_loi;
+  }
+  const MigrationCostModel& truth = cfg_.assumed_loi.empty() ? model : *truth_model_;
+
+  // Under a time-varying schedule a live-priced planner integrates tier
+  // latencies over the residency horizon: a tier that is cheap this epoch
+  // but bursts within the horizon is priced at what the page will actually
+  // pay. Belief-limited (assumed_loi) planners see only their static
+  // vector.
+  const auto& schedule = eng.config().loi_schedule;
+  const bool scheduled = cfg_.assumed_loi.empty() && !schedule.empty();
+  const std::uint64_t now_epoch = eng.epoch_index();
+  std::vector<double> tier_lat(static_cast<std::size_t>(n));
+  for (memsim::TierId t = 0; t < n; ++t)
+    tier_lat[static_cast<std::size_t>(t)] =
+        scheduled
+            ? model.scheduled_access_latency_s(t, schedule, now_epoch, cfg_.horizon_epochs)
+            : model.access_latency_s(t);
 
   const std::uint64_t sample_period =
       std::max<std::uint64_t>(1, eng.config().page_sample_period);
@@ -56,6 +90,16 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
   // expressed in scan windows too.
   const std::uint64_t horizon_scans = std::max<std::uint64_t>(
       1, cfg_.horizon_epochs / std::max<std::uint64_t>(1, cfg_.period_epochs));
+  // tier_lat already holds each tier's (horizon-averaged) latency, so
+  // scheduled plans reuse it instead of re-integrating the waveform per
+  // candidate pair.
+  const auto make_plan = [&](memsim::TierId src, memsim::TierId dst, std::uint64_t heat) {
+    return scheduled
+               ? model.plan_with_latencies(src, dst, heat, horizon_scans, sample_period,
+                                           tier_lat[static_cast<std::size_t>(src)],
+                                           tier_lat[static_cast<std::size_t>(dst)])
+               : model.plan(src, dst, heat, horizon_scans, sample_period);
+  };
 
   // Recent heat = histogram delta since the last scan. Every resident page
   // is a potential demotion victim on its tier; off-node pages above the
@@ -82,8 +126,10 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
     for (memsim::TierId dst = 0; dst < n; ++dst) {
       if (dst == cand.tier) continue;
       if (!cfg_.allow_staging && dst != memsim::kNodeTier) continue;
-      if (model.access_latency_s(dst) >= model.access_latency_s(cand.tier)) continue;
-      MovePlan plan = model.plan(cand.tier, dst, cand.heat, horizon_scans, sample_period);
+      if (tier_lat[static_cast<std::size_t>(dst)] >=
+          tier_lat[static_cast<std::size_t>(cand.tier)])
+        continue;
+      MovePlan plan = make_plan(cand.tier, dst, cand.heat);
       if (plan.value_s > 0) cand.plans.push_back(std::move(plan));
     }
     std::sort(cand.plans.begin(), cand.plans.end(),
@@ -118,8 +164,15 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
   std::vector<std::uint64_t> seg_budget(static_cast<std::size_t>(n), per_link);
   for (memsim::TierId t = 0; t < n; ++t) {
     if (!machine.topology.is_fabric(t)) continue;
-    const double share =
-        model.effective_link_bandwidth_gbps(t) / model.raw_link_bandwidth_gbps(t);
+    // Under a schedule, budget against the horizon-averaged (sustained)
+    // bandwidth: an instantaneous burst makes individual moves expensive
+    // (pricing and deferral handle that) but does not shrink what the
+    // link can carry over the scan horizon.
+    const double bw =
+        scheduled ? model.scheduled_link_bandwidth_gbps(t, schedule, now_epoch,
+                                                        cfg_.horizon_epochs)
+                  : model.effective_link_bandwidth_gbps(t);
+    const double share = bw / model.raw_link_bandwidth_gbps(t);
     seg_budget[static_cast<std::size_t>(t)] = std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(static_cast<double>(per_link) * share));
   }
@@ -149,8 +202,55 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
     }
   };
   const auto charge = [&](const MovePlan& plan) {
-    transfer_cost_s_ += plan.cost_s;
-    if (cfg_.charge_transfer_cost) eng.charge_migration_seconds(plan.cost_s);
+    const double true_cost =
+        &truth == &model ? plan.cost_s : truth.move_cost_s(plan.src, plan.dst);
+    transfer_cost_s_ += true_cost;
+    if (cfg_.charge_transfer_cost) eng.charge_migration_seconds(true_cost);
+    return true_cost;
+  };
+
+  // Congestion-burst arbitrage: under a time-varying schedule, evaluate a
+  // plan's path cost at each epoch of the lookahead window and defer when
+  // a later epoch beats acting now — net of the benefit epochs lost while
+  // waiting. A belief-limited (assumed_loi) planner cannot defer: it does
+  // not know the schedule.
+  const bool can_defer = cfg_.defer_on_schedule && scheduled;
+  std::vector<std::pair<std::vector<double>, MigrationCostModel>> future_models;
+  const auto future_cost = [&](const std::vector<double>& loi_vec, memsim::TierId src,
+                               memsim::TierId dst) {
+    for (const auto& [key, cached] : future_models)
+      if (key == loi_vec) return cached.move_cost_s(src, dst);
+    future_models.emplace_back(loi_vec, MigrationCostModel(machine, loi_vec));
+    return future_models.back().second.move_cost_s(src, dst);
+  };
+  const auto defer_pays = [&](const MovePlan& plan) {
+    if (!can_defer) return false;
+    const std::uint64_t period = std::max<std::uint64_t>(1, cfg_.period_epochs);
+    double best = plan.value_s;
+    bool defer = false;
+    std::vector<double> loi_vec = live_loi;
+    // Only epochs where a scan will actually fire are reachable execution
+    // times — pricing in-between epochs would defer toward moments the
+    // planner can never act at (and, when the wave aligns with the scan
+    // cadence, starve the move forever chasing them).
+    for (std::uint64_t scans_ahead = 1; scans_ahead * period <= cfg_.horizon_epochs;
+         ++scans_ahead) {
+      // Waiting forfeits the benefit of the scan windows skipped.
+      if (scans_ahead >= horizon_scans) break;
+      const std::uint64_t d = scans_ahead * period;
+      for (memsim::TierId t = 0; t < n; ++t) {
+        const auto* wave = schedule.waveform(t);
+        if (wave) loi_vec[static_cast<std::size_t>(t)] = wave->value_at(now_epoch + d);
+      }
+      const double value_d =
+          static_cast<double>(horizon_scans - scans_ahead) * plan.benefit_s_per_epoch -
+          future_cost(loi_vec, plan.src, plan.dst);
+      if (value_d > best) {
+        best = value_d;
+        defer = true;
+      }
+    }
+    return defer;
   };
 
   // Demotes the coldest page of `tier` colder than `ceiling` to the
@@ -184,8 +284,9 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
         if (d == tier || mem.free_bytes(d) < page_bytes) continue;
         // A victim never moves to a faster tier — that slot belongs to the
         // hot candidate this eviction is making room for.
-        if (model.access_latency_s(d) < model.access_latency_s(tier)) continue;
-        MovePlan plan = model.plan(tier, d, victim.heat, horizon_scans, sample_period);
+        if (tier_lat[static_cast<std::size_t>(d)] < tier_lat[static_cast<std::size_t>(tier)])
+          continue;
+        MovePlan plan = make_plan(tier, d, victim.heat);
         if (!affordable_with_reserved(plan.segments, reserved)) continue;
         if (best == nullptr || plan.value_s > best->value_s) {
           scratch = std::move(plan);
@@ -202,9 +303,9 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
       const memsim::VRange vrange{vaddr, page_bytes};
       if (mem.migrate(vrange, best->dst) != 1) continue;
       consume_segments(best->segments);
-      charge(*best);
+      const double charged = charge(*best);
       ++demoted_;
-      plan_log_.push_back({scans_, victim.page, tier, best->dst, victim.heat, best->cost_s,
+      plan_log_.push_back({scans_, victim.page, tier, best->dst, victim.heat, charged,
                            best->value_s, /*demotion=*/true, /*staged=*/false});
       return true;
     }
@@ -220,6 +321,13 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
     // (and vice versa — a full intermediate tier falls back to direct).
     for (const MovePlan& plan : cand.plans) {
       if (!segments_affordable(plan.segments)) continue;
+      // A deferred plan stays put this scan; the next-ranked plan may
+      // still act now (e.g. a staged hop across an idle segment while the
+      // long-haul path waits out a burst).
+      if (defer_pays(plan)) {
+        ++deferred_;
+        continue;
+      }
       if (mem.free_bytes(plan.dst) < page_bytes) {
         if (!cfg_.enable_demotion) continue;
         if (!make_room_on(plan.dst, cand.heat, plan.segments)) continue;
@@ -228,14 +336,14 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
       const memsim::VRange range{addr, page_bytes};
       if (mem.migrate(range, plan.dst) != 1) continue;
       consume_segments(plan.segments);
-      charge(plan);
+      const double charged = charge(plan);
       ++promoted_;
       --budget;
       if (plan.staged())
         ++staged_;
       else
         ++direct_;
-      plan_log_.push_back({scans_, cand.page, cand.tier, plan.dst, cand.heat, plan.cost_s,
+      plan_log_.push_back({scans_, cand.page, cand.tier, plan.dst, cand.heat, charged,
                            plan.value_s, /*demotion=*/false, plan.staged()});
       break;
     }

@@ -54,6 +54,19 @@ struct MigrationConfig {
   std::uint64_t link_budget_pages = 0;
   /// Charge migration transfer time to the engine's epoch timeline.
   bool charge_transfer_cost = true;
+  /// When non-empty, the planner prices moves and scales segment budgets
+  /// against this *fixed* per-link LoI vector (indexed by TierId) instead
+  /// of the links' live levels — a planner provisioned with static QoS
+  /// information, e.g. the time average of a bursty schedule. Executed
+  /// moves are still charged at the links' true current state, so a
+  /// mispriced plan pays the real congestion it ignored.
+  std::vector<double> assumed_loi;
+  /// Under a time-varying LoI schedule, defer a move whenever evaluating
+  /// the schedule over the next horizon_epochs finds an epoch where the
+  /// move's path is enough cheaper to beat acting now (net of the benefit
+  /// epochs lost waiting) — the planner arbitraging a congestion burst.
+  /// No-op without a schedule or with a static assumed_loi belief.
+  bool defer_on_schedule = true;
 };
 
 /// One executed move, for the machine-readable plan dump (`memdis plan`).
@@ -63,8 +76,8 @@ struct ExecutedMove {
   memsim::TierId src = 0;
   memsim::TierId dst = 0;
   std::uint64_t heat = 0;   ///< sampled accesses in the scan window
-  double cost_s = 0.0;      ///< priced transfer cost
-  double value_s = 0.0;     ///< net value (horizon-amortized)
+  double cost_s = 0.0;      ///< transfer cost charged, at the true link state
+  double value_s = 0.0;     ///< net value the planner believed (horizon-amortized)
   bool demotion = false;    ///< victim eviction rather than a hot-page move
   bool staged = false;      ///< ended on an intermediate tier (multi-hop)
 };
@@ -84,10 +97,19 @@ class MigrationRuntime {
   [[nodiscard]] std::uint64_t staged_moves() const { return staged_; }
   /// Moves that ended on the node tier.
   [[nodiscard]] std::uint64_t direct_moves() const { return direct_; }
-  /// Total priced transfer cost of all executed moves (seconds).
+  /// Plans skipped this run because the LoI schedule priced a later epoch
+  /// cheaper (congestion-burst arbitrage; the page stays put this scan).
+  [[nodiscard]] std::uint64_t deferred_moves() const { return deferred_; }
+  /// Total priced transfer cost of all executed moves (seconds), at the
+  /// links' true state at execution time.
   [[nodiscard]] double transfer_cost_s() const { return transfer_cost_s_; }
   /// Every executed move, in execution order (the plan log).
   [[nodiscard]] const std::vector<ExecutedMove>& plan_log() const { return plan_log_; }
+  /// Live per-link LoI observed at each scan (indexed by scan, then
+  /// TierId) — the per-scan effective interference `memdis plan` reports.
+  [[nodiscard]] const std::vector<std::vector<double>>& scan_loi_log() const {
+    return scan_loi_log_;
+  }
 
   [[nodiscard]] const MigrationConfig& config() const { return cfg_; }
 
@@ -101,14 +123,20 @@ class MigrationRuntime {
   std::uint64_t demoted_ = 0;
   std::uint64_t staged_ = 0;
   std::uint64_t direct_ = 0;
+  std::uint64_t deferred_ = 0;
   double transfer_cost_s_ = 0.0;
   std::vector<ExecutedMove> plan_log_;
+  std::vector<std::vector<double>> scan_loi_log_;
   // Histogram snapshot from the previous scan, for heat deltas.
   std::unordered_map<std::uint64_t, std::uint64_t> last_hist_;
-  // Cost model cached between scans; rebuilt only when the observed
-  // per-link LoI vector changes (the machine is fixed for the run).
+  // Planning cost model cached between scans; rebuilt only when its LoI
+  // vector (live links, or the static assumed_loi belief) changes.
   std::optional<MigrationCostModel> model_;
   std::vector<double> model_loi_;
+  // Truth model for charging executed moves when the planner believes a
+  // different (assumed) LoI than the links actually carry.
+  std::optional<MigrationCostModel> truth_model_;
+  std::vector<double> truth_loi_;
 };
 
 }  // namespace memdis::core

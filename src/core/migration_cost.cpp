@@ -84,4 +84,70 @@ MovePlan MigrationCostModel::plan(memsim::TierId src, memsim::TierId dst, std::u
   return p;
 }
 
+double MigrationCostModel::scheduled_access_latency_s(memsim::TierId t,
+                                                      const memsim::LoiSchedule& schedule,
+                                                      std::uint64_t from_epoch,
+                                                      std::uint64_t window_epochs) const {
+  expects(machine_.topology.valid_tier(t), "tier id out of range");
+  const memsim::LoiWaveform* wave = schedule.waveform(t);
+  if (!wave || window_epochs == 0) return access_latency_s(t);
+  memsim::LinkModel link(machine_.tier(t));
+  double sum = 0.0;
+  for (std::uint64_t d = 0; d < window_epochs; ++d) {
+    link.set_background_loi(wave->value_at(from_epoch + d));
+    sum += ns_to_s(link.effective_latency_ns(0.0));
+  }
+  return sum / static_cast<double>(window_epochs);
+}
+
+double MigrationCostModel::scheduled_link_bandwidth_gbps(memsim::TierId t,
+                                                         const memsim::LoiSchedule& schedule,
+                                                         std::uint64_t from_epoch,
+                                                         std::uint64_t window_epochs) const {
+  const memsim::LoiWaveform* wave = schedule.waveform(t);
+  if (!wave || window_epochs == 0) return effective_link_bandwidth_gbps(t);
+  expects(machine_.topology.valid_tier(t) && machine_.tier(t).is_fabric(),
+          "tier has no fabric link");
+  memsim::LinkModel link(machine_.tier(t));
+  double sum = 0.0;
+  for (std::uint64_t d = 0; d < window_epochs; ++d) {
+    link.set_background_loi(wave->value_at(from_epoch + d));
+    sum += link.effective_data_bandwidth_gbps(0.0);
+  }
+  return sum / static_cast<double>(window_epochs);
+}
+
+MovePlan MigrationCostModel::plan_under_schedule(memsim::TierId src, memsim::TierId dst,
+                                                 std::uint64_t heat,
+                                                 std::uint64_t horizon_epochs,
+                                                 std::uint64_t sample_period,
+                                                 const memsim::LoiSchedule& schedule,
+                                                 std::uint64_t from_epoch,
+                                                 std::uint64_t window_epochs) const {
+  return plan_with_latencies(
+      src, dst, heat, horizon_epochs, sample_period,
+      scheduled_access_latency_s(src, schedule, from_epoch, window_epochs),
+      scheduled_access_latency_s(dst, schedule, from_epoch, window_epochs));
+}
+
+MovePlan MigrationCostModel::plan_with_latencies(memsim::TierId src, memsim::TierId dst,
+                                                 std::uint64_t heat,
+                                                 std::uint64_t horizon_epochs,
+                                                 std::uint64_t sample_period,
+                                                 double src_latency_s,
+                                                 double dst_latency_s) const {
+  MovePlan p;
+  p.src = src;
+  p.dst = dst;
+  p.heat = heat;
+  p.segments = segments(src, dst);
+  p.cost_s = move_cost_s(src, dst);
+  const double overlap = machine_.mlp * static_cast<double>(machine_.threads);
+  const double accesses =
+      static_cast<double>(heat) * static_cast<double>(sample_period == 0 ? 1 : sample_period);
+  p.benefit_s_per_epoch = accesses * (src_latency_s - dst_latency_s) / overlap;
+  p.value_s = static_cast<double>(horizon_epochs) * p.benefit_s_per_epoch - p.cost_s;
+  return p;
+}
+
 }  // namespace memdis::core

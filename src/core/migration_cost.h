@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "memsim/link.h"
+#include "memsim/loi_schedule.h"
 #include "memsim/machine.h"
 
 namespace memdis::core {
@@ -76,6 +77,47 @@ class MigrationCostModel {
   [[nodiscard]] MovePlan plan(memsim::TierId src, memsim::TierId dst, std::uint64_t heat,
                               std::uint64_t horizon_epochs,
                               std::uint64_t sample_period = 1) const;
+
+  /// Access latency of tier `t` averaged over the next `window_epochs`
+  /// epochs of a time-varying LoI schedule (starting at `from_epoch`).
+  /// Unscheduled tiers reduce to access_latency_s. This is what keeps a
+  /// planner from parking pages on a tier that is cheap *now* but bursts
+  /// within the residency horizon.
+  [[nodiscard]] double scheduled_access_latency_s(memsim::TierId t,
+                                                  const memsim::LoiSchedule& schedule,
+                                                  std::uint64_t from_epoch,
+                                                  std::uint64_t window_epochs) const;
+
+  /// Effective data bandwidth of tier `t`'s link averaged over the next
+  /// `window_epochs` epochs of the schedule — the *sustained* capacity a
+  /// planner should budget against under bursty congestion (instantaneous
+  /// spikes are handled by per-move pricing and deferral, not by
+  /// collapsing the whole scan's budget).
+  [[nodiscard]] double scheduled_link_bandwidth_gbps(memsim::TierId t,
+                                                     const memsim::LoiSchedule& schedule,
+                                                     std::uint64_t from_epoch,
+                                                     std::uint64_t window_epochs) const;
+
+  /// Plan variant for runs under a LoI schedule: transfer cost is priced
+  /// at this model's (live) link state — the move happens now — while the
+  /// per-epoch benefit integrates the schedule over `window_epochs`, so
+  /// the value reflects what the destination will cost across upcoming
+  /// bursts, not just at this instant.
+  [[nodiscard]] MovePlan plan_under_schedule(memsim::TierId src, memsim::TierId dst,
+                                             std::uint64_t heat, std::uint64_t horizon_epochs,
+                                             std::uint64_t sample_period,
+                                             const memsim::LoiSchedule& schedule,
+                                             std::uint64_t from_epoch,
+                                             std::uint64_t window_epochs) const;
+
+  /// Same plan shape with caller-supplied access latencies (seconds) for
+  /// src and dst — the per-scan planner computes every tier's
+  /// horizon-averaged latency once and reuses it across all candidate
+  /// plans instead of re-integrating the schedule per pair.
+  [[nodiscard]] MovePlan plan_with_latencies(memsim::TierId src, memsim::TierId dst,
+                                             std::uint64_t heat, std::uint64_t horizon_epochs,
+                                             std::uint64_t sample_period, double src_latency_s,
+                                             double dst_latency_s) const;
 
   /// Fabric segments crossed by a src->dst move (topology upstream tree).
   [[nodiscard]] std::vector<memsim::TierId> segments(memsim::TierId src,

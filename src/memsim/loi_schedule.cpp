@@ -1,0 +1,323 @@
+#include "memsim/loi_schedule.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/contract.h"
+
+namespace memdis::memsim {
+
+namespace {
+
+/// LoI values share the LinkModel's sanity bound on offered load.
+constexpr double kMaxLoi = 2000.0;
+
+bool valid_loi(double v) { return v >= 0.0 && v <= kMaxLoi && !std::isnan(v); }
+
+/// Strict numeric token: the whole token must parse, no NaN/inf.
+std::optional<double> parse_number(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || errno == ERANGE) return std::nullopt;
+  if (std::isnan(v) || std::isinf(v)) return std::nullopt;
+  return v;
+}
+
+std::optional<std::uint64_t> parse_count(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size() || errno == ERANGE || v < 0) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+/// Splits on `delim` keeping empty fields, so "10,20," yields a trailing
+/// empty token callers can reject (std::getline drops it).
+std::vector<std::string> split(const std::string& text, char delim) {
+  std::vector<std::string> out;
+  std::string token;
+  for (const char c : text) {
+    if (c == delim) {
+      out.push_back(token);
+      token.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  out.push_back(token);
+  return out;
+}
+
+}  // namespace
+
+LoiWaveform LoiWaveform::constant(double loi) {
+  expects(valid_loi(loi), "LoI out of range");
+  LoiWaveform w;
+  w.kind_ = Kind::kConstant;
+  w.hi_ = w.lo_ = loi;
+  return w;
+}
+
+LoiWaveform LoiWaveform::square(std::uint64_t period_epochs, double duty, double hi, double lo) {
+  expects(period_epochs >= 1, "square wave needs a positive period");
+  expects(duty >= 0.0 && duty <= 1.0, "duty cycle must be in [0,1]");
+  expects(valid_loi(hi) && valid_loi(lo), "LoI out of range");
+  LoiWaveform w;
+  w.kind_ = Kind::kSquare;
+  w.period_ = period_epochs;
+  w.duty_ = duty;
+  w.hi_ = hi;
+  w.lo_ = lo;
+  return w;
+}
+
+LoiWaveform LoiWaveform::ramp(std::uint64_t period_epochs, double from, double to) {
+  expects(period_epochs >= 1, "ramp needs a positive period");
+  expects(valid_loi(from) && valid_loi(to), "LoI out of range");
+  LoiWaveform w;
+  w.kind_ = Kind::kRamp;
+  w.period_ = period_epochs;
+  w.lo_ = from;
+  w.hi_ = to;
+  return w;
+}
+
+LoiWaveform LoiWaveform::trace(std::vector<double> samples) {
+  for (const double v : samples) expects(valid_loi(v), "trace LoI out of range");
+  LoiWaveform w;
+  w.kind_ = Kind::kTrace;
+  w.samples_ = std::move(samples);
+  return w;
+}
+
+double LoiWaveform::value_at(std::uint64_t epoch) const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return hi_;
+    case Kind::kSquare: {
+      const std::uint64_t phase = epoch % period_;
+      // Integer burst length (rounded, so duty 0.29 of 100 is 29 epochs
+      // despite FP representation) — no float drift across periods.
+      const auto burst =
+          static_cast<std::uint64_t>(std::llround(duty_ * static_cast<double>(period_)));
+      return phase < burst ? hi_ : lo_;
+    }
+    case Kind::kRamp: {
+      if (epoch >= period_) return hi_;
+      const double f = static_cast<double>(epoch) / static_cast<double>(period_);
+      return lo_ + (hi_ - lo_) * f;
+    }
+    case Kind::kTrace:
+      if (samples_.empty()) return 0.0;
+      return samples_[std::min<std::uint64_t>(epoch, samples_.size() - 1)];
+  }
+  return 0.0;
+}
+
+double LoiWaveform::mean() const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return hi_;
+    case Kind::kSquare: {
+      const auto burst =
+          static_cast<std::uint64_t>(std::llround(duty_ * static_cast<double>(period_)));
+      const double share = static_cast<double>(burst) / static_cast<double>(period_);
+      return share * hi_ + (1.0 - share) * lo_;
+    }
+    case Kind::kRamp:
+      return (lo_ + hi_) / 2.0;
+    case Kind::kTrace: {
+      if (samples_.empty()) return 0.0;
+      double sum = 0.0;
+      for (const double v : samples_) sum += v;
+      return sum / static_cast<double>(samples_.size());
+    }
+  }
+  return 0.0;
+}
+
+bool LoiWaveform::is_constant() const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return true;
+    case Kind::kSquare: {
+      const auto burst =
+          static_cast<std::uint64_t>(std::llround(duty_ * static_cast<double>(period_)));
+      return hi_ == lo_ || burst == 0 || burst == period_;
+    }
+    case Kind::kRamp:
+      return hi_ == lo_;
+    case Kind::kTrace: {
+      for (const double v : samples_)
+        if (v != samples_.front()) return false;
+      return true;
+    }
+  }
+  return true;
+}
+
+void LoiSchedule::set(TierId t, LoiWaveform wave) {
+  expects(t >= 1, "the node tier has no link to schedule");
+  if (static_cast<std::size_t>(t) >= per_tier.size())
+    per_tier.resize(static_cast<std::size_t>(t) + 1);
+  per_tier[static_cast<std::size_t>(t)] = std::move(wave);
+}
+
+std::optional<std::vector<double>> parse_loi_list(const std::string& text, std::string& error) {
+  const auto tokens = split(text, ',');
+  std::vector<double> values;
+  for (const auto& token : tokens) {
+    const auto v = parse_number(token);
+    if (!v) {
+      error = token.empty() ? "empty entry (trailing or doubled comma)"
+                            : "'" + token + "' is not a number";
+      return std::nullopt;
+    }
+    if (!valid_loi(*v)) {
+      error = "LoI '" + token + "' out of range [0, 2000]";
+      return std::nullopt;
+    }
+    values.push_back(*v);
+  }
+  if (values.empty()) {
+    error = "expected a comma-separated list of numbers";
+    return std::nullopt;
+  }
+  return values;
+}
+
+std::optional<LoiWaveSpec> parse_loi_wave(const std::string& spec, std::string& error) {
+  const auto fields = split(spec, ':');
+  if (fields.size() != 4 && fields.size() != 5) {
+    error = "expected link:period:duty:hi[:lo], got '" + spec + "'";
+    return std::nullopt;
+  }
+  const auto link = parse_count(fields[0]);
+  if (!link || *link < 1 || *link >= static_cast<std::uint64_t>(kMaxTiers)) {
+    error = "link must be a fabric tier id in [1, " + std::to_string(kMaxTiers - 1) +
+            "], got '" + fields[0] + "'";
+    return std::nullopt;
+  }
+  const auto period = parse_count(fields[1]);
+  if (!period || *period < 1) {
+    error = "period must be a positive epoch count, got '" + fields[1] + "'";
+    return std::nullopt;
+  }
+  const auto duty = parse_number(fields[2]);
+  if (!duty || *duty < 0.0 || *duty > 1.0) {
+    error = "duty must be in [0, 1], got '" + fields[2] + "'";
+    return std::nullopt;
+  }
+  const auto hi = parse_number(fields[3]);
+  if (!hi || !valid_loi(*hi)) {
+    error = "hi LoI must be in [0, 2000], got '" + fields[3] + "'";
+    return std::nullopt;
+  }
+  double lo = 0.0;
+  if (fields.size() == 5) {
+    const auto v = parse_number(fields[4]);
+    if (!v || !valid_loi(*v)) {
+      error = "lo LoI must be in [0, 2000], got '" + fields[4] + "'";
+      return std::nullopt;
+    }
+    lo = *v;
+  }
+  LoiWaveSpec out;
+  out.tier = static_cast<TierId>(*link);
+  out.wave = LoiWaveform::square(*period, *duty, *hi, lo);
+  return out;
+}
+
+std::optional<LoiSchedule> parse_loi_trace_csv(std::istream& in,
+                                               const std::vector<TierId>& fabric_tiers,
+                                               std::string& error) {
+  if (fabric_tiers.empty()) {
+    error = "topology has no fabric tier to schedule";
+    return std::nullopt;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    error = "empty trace (missing header line)";
+    return std::nullopt;
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const auto header = split(line, ',');
+  if (header.size() != fabric_tiers.size() + 1) {
+    error = "header has " + std::to_string(header.size() - 1) + " value column(s), topology has " +
+            std::to_string(fabric_tiers.size()) + " fabric tier(s)";
+    return std::nullopt;
+  }
+
+  std::vector<std::vector<double>> samples(fabric_tiers.size());
+  std::uint64_t next_epoch = 0;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto fields = split(line, ',');
+    if (fields.size() != fabric_tiers.size() + 1) {
+      error = "line " + std::to_string(line_no) + ": expected " +
+              std::to_string(fabric_tiers.size() + 1) + " fields, got " +
+              std::to_string(fields.size());
+      return std::nullopt;
+    }
+    const auto epoch = parse_count(fields[0]);
+    if (!epoch) {
+      error = "line " + std::to_string(line_no) + ": bad epoch '" + fields[0] + "'";
+      return std::nullopt;
+    }
+    // Gaps are hold-filled sample by sample, so an absurd epoch index
+    // would allocate gigabytes; bound it instead of trusting the file.
+    constexpr std::uint64_t kMaxTraceEpochs = 1'000'000;
+    if (*epoch >= kMaxTraceEpochs) {
+      error = "line " + std::to_string(line_no) + ": epoch " + fields[0] + " exceeds the " +
+              std::to_string(kMaxTraceEpochs) + "-epoch trace bound";
+      return std::nullopt;
+    }
+    if (samples[0].empty() ? *epoch != 0 : *epoch < next_epoch) {
+      error = "line " + std::to_string(line_no) + ": epochs must start at 0 and be strictly " +
+              "increasing, got " + fields[0];
+      return std::nullopt;
+    }
+    for (std::size_t c = 0; c < fabric_tiers.size(); ++c) {
+      const auto v = parse_number(fields[c + 1]);
+      if (!v || !valid_loi(*v)) {
+        error = "line " + std::to_string(line_no) + ": LoI '" + fields[c + 1] +
+                "' must be a number in [0, 2000]";
+        return std::nullopt;
+      }
+      // Hold the previous value across any gap (sparse monitor exports).
+      while (samples[c].size() < *epoch) samples[c].push_back(samples[c].back());
+      samples[c].push_back(*v);
+    }
+    next_epoch = *epoch + 1;
+  }
+  if (samples[0].empty()) {
+    error = "trace has no sample rows";
+    return std::nullopt;
+  }
+  LoiSchedule schedule;
+  for (std::size_t c = 0; c < fabric_tiers.size(); ++c)
+    schedule.set(fabric_tiers[c], LoiWaveform::trace(std::move(samples[c])));
+  return schedule;
+}
+
+std::optional<LoiSchedule> load_loi_trace_csv(const std::string& path,
+                                              const std::vector<TierId>& fabric_tiers,
+                                              std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open trace file '" + path + "'";
+    return std::nullopt;
+  }
+  return parse_loi_trace_csv(in, fabric_tiers, error);
+}
+
+}  // namespace memdis::memsim

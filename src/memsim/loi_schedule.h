@@ -1,0 +1,136 @@
+// Time-varying background interference: per-link LoI waveforms.
+//
+// The paper's interference model (Sec. 4.3) holds the Level-of-Interference
+// fixed per run, but real disaggregated fabrics see *bursty* congestion —
+// the case rack-scale simulators (DRackSim) model explicitly. A LoiWaveform
+// is one fabric link's background LoI as a function of the engine's epoch
+// index: constant (the static model, exactly), a square wave (periodic
+// congestion bursts), a ramp (load building up), or a replayed trace
+// (captured samples, e.g. from a fabric monitor's CSV export). A
+// LoiSchedule maps fabric tiers to waveforms; the engine re-evaluates it at
+// every closed epoch, so the migration planner prices each scan against the
+// link state it will actually see — and can arbitrage transient congestion.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "memsim/tier.h"
+
+namespace memdis::memsim {
+
+/// One fabric link's background LoI (% of peak link traffic) over epochs.
+class LoiWaveform {
+ public:
+  enum class Kind { kConstant, kSquare, kRamp, kTrace };
+
+  /// The static model: `loi` at every epoch. An empty/default waveform is
+  /// constant 0 (an idle link).
+  [[nodiscard]] static LoiWaveform constant(double loi);
+
+  /// Periodic burst: epochs [0, duty*period) of each period are at `hi`,
+  /// the rest at `lo`. `period` is in epochs; `duty` in [0, 1].
+  [[nodiscard]] static LoiWaveform square(std::uint64_t period_epochs, double duty, double hi,
+                                          double lo = 0.0);
+
+  /// Linear ramp from `from` to `to` over `period` epochs, then holding
+  /// `to` (load building up and staying).
+  [[nodiscard]] static LoiWaveform ramp(std::uint64_t period_epochs, double from, double to);
+
+  /// Replayed trace: sample i is the LoI at epoch i; the last sample holds
+  /// past the end of the trace. An empty trace is constant 0.
+  [[nodiscard]] static LoiWaveform trace(std::vector<double> samples);
+
+  LoiWaveform() = default;
+
+  /// The LoI (%) this waveform injects at epoch `epoch`.
+  [[nodiscard]] double value_at(std::uint64_t epoch) const;
+
+  /// Time-averaged LoI over one period (square/ramp) or the whole trace —
+  /// what a static QoS provisioner would budget for.
+  [[nodiscard]] double mean() const;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  /// True when the waveform never changes (the static model).
+  [[nodiscard]] bool is_constant() const;
+
+ private:
+  Kind kind_ = Kind::kConstant;
+  double hi_ = 0.0;
+  double lo_ = 0.0;
+  double duty_ = 0.0;
+  std::uint64_t period_ = 1;
+  std::vector<double> samples_;
+};
+
+/// Per-link LoI schedule, indexed by TierId. Tiers without a waveform keep
+/// whatever static LoI the engine config set; local tiers must stay
+/// unscheduled (they have no link).
+struct LoiSchedule {
+  std::vector<std::optional<LoiWaveform>> per_tier;
+
+  /// True when no tier is scheduled — the engine then behaves exactly as
+  /// the static model (bit-identical artifacts).
+  [[nodiscard]] bool empty() const {
+    for (const auto& w : per_tier)
+      if (w) return false;
+    return true;
+  }
+
+  /// Assigns `wave` to tier `t`, growing the vector as needed.
+  void set(TierId t, LoiWaveform wave);
+
+  /// The waveform on tier `t`, or nullptr when unscheduled.
+  [[nodiscard]] const LoiWaveform* waveform(TierId t) const {
+    if (t < 0 || static_cast<std::size_t>(t) >= per_tier.size()) return nullptr;
+    const auto& w = per_tier[static_cast<std::size_t>(t)];
+    return w ? &*w : nullptr;
+  }
+
+  /// Scheduled LoI of tier `t` at `epoch`; `fallback` when unscheduled.
+  [[nodiscard]] double value_at(TierId t, std::uint64_t epoch, double fallback = 0.0) const {
+    const LoiWaveform* w = waveform(t);
+    return w ? w->value_at(epoch) : fallback;
+  }
+};
+
+// ---- parsing (the CLI grammar, kept in the library so it is testable) -------
+
+/// Parses a strict comma-separated LoI list ("10,20"): every token must be
+/// a number in [0, 2000]; empty tokens (trailing/doubled commas), NaN, and
+/// out-of-range values are rejected. On failure returns nullopt and sets
+/// `error` to a diagnostic.
+[[nodiscard]] std::optional<std::vector<double>> parse_loi_list(const std::string& text,
+                                                                std::string& error);
+
+/// A parsed `--loi-wave` flag: which link, and its square wave.
+struct LoiWaveSpec {
+  TierId tier = 0;
+  LoiWaveform wave;
+};
+
+/// Parses the waveform grammar `link:period:duty:hi[:lo]` — link is a tier
+/// id (>= 1), period an epoch count (>= 1), duty in [0,1], hi/lo LoI
+/// percentages in [0, 2000]. On failure returns nullopt and sets `error`.
+[[nodiscard]] std::optional<LoiWaveSpec> parse_loi_wave(const std::string& spec,
+                                                        std::string& error);
+
+/// Loads a trace schedule from CSV. Format: a header line
+/// `epoch,<name1>,<name2>,...` with one column per fabric tier in tier
+/// order, then rows of strictly increasing epoch indices starting at 0 and
+/// one LoI value per fabric tier. Gaps between rows hold the previous
+/// value (sparse monitor exports). `fabric_tiers` lists the TierIds the
+/// value columns map onto. On failure returns nullopt and sets `error`.
+[[nodiscard]] std::optional<LoiSchedule> parse_loi_trace_csv(std::istream& in,
+                                                             const std::vector<TierId>& fabric_tiers,
+                                                             std::string& error);
+
+/// Convenience: parse_loi_trace_csv over a file path.
+[[nodiscard]] std::optional<LoiSchedule> load_loi_trace_csv(const std::string& path,
+                                                            const std::vector<TierId>& fabric_tiers,
+                                                            std::string& error);
+
+}  // namespace memdis::memsim

@@ -59,6 +59,34 @@ double simulate_run_per_link(const JobProfile& job,
   return wall;
 }
 
+double simulate_run_scheduled(const JobProfile& job, const memsim::LoiSchedule& schedule,
+                              double reroll_interval_s) {
+  expects(job.base_runtime_s > 0, "job needs a positive idle runtime");
+  expects(!job.link_sensitivity.empty(), "job needs per-link sensitivity curves");
+  expects(reroll_interval_s > 0, "interval must be positive");
+  double work_left = job.base_runtime_s;  // in idle-system seconds
+  double wall = 0.0;
+  std::uint64_t interval = 0;
+  while (work_left > 0) {
+    double speed = 1.0;
+    for (std::size_t t = 0; t < job.link_sensitivity.size(); ++t) {
+      if (job.link_sensitivity[t].empty()) continue;
+      const double loi = schedule.value_at(static_cast<memsim::TierId>(t), interval);
+      speed *= core::interpolate_sensitivity(job.link_sensitivity[t], loi);
+    }
+    const double interval_work = reroll_interval_s * speed;
+    if (interval_work >= work_left) {
+      wall += work_left / speed;
+      work_left = 0;
+    } else {
+      wall += reroll_interval_s;
+      work_left -= interval_work;
+    }
+    ++interval;
+  }
+  return wall;
+}
+
 CoLocationOutcome run_colocation(const JobProfile& job, double max_loi,
                                  const CoLocationConfig& cfg) {
   expects(cfg.runs > 0, "need at least one run");

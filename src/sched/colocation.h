@@ -15,6 +15,7 @@
 
 #include "common/stats.h"
 #include "core/interference.h"
+#include "memsim/loi_schedule.h"
 
 namespace memdis::sched {
 
@@ -53,6 +54,16 @@ struct CoLocationConfig {
 [[nodiscard]] double simulate_run_per_link(const JobProfile& job,
                                            const std::vector<double>& max_loi_per_link,
                                            double reroll_interval_s, std::uint64_t seed);
+
+/// Trace/waveform-driven variant: instead of re-rolling randomly, each
+/// fabric link's LoI follows its scheduled waveform, evaluated once per
+/// interval (interval i uses value_at(i)) — fully deterministic, the
+/// replay path for captured congestion traces. Links without a waveform
+/// idle at LoI 0; speeds compound multiplicatively across links, as in
+/// simulate_run_per_link. Requires a non-empty link_sensitivity profile.
+[[nodiscard]] double simulate_run_scheduled(const JobProfile& job,
+                                            const memsim::LoiSchedule& schedule,
+                                            double reroll_interval_s);
 
 /// Outcome of the 100-run experiment for one job and one scheduler.
 struct CoLocationOutcome {

@@ -22,6 +22,22 @@ Engine::Engine(const EngineConfig& cfg)
   for (std::size_t t = 0; t < cfg_.background_loi_per_tier.size() && t < links_.size(); ++t) {
     if (links_[t]) links_[t]->set_background_loi(cfg_.background_loi_per_tier[t]);
   }
+  apply_loi_schedule(0);
+}
+
+void Engine::apply_loi_schedule(std::uint64_t epoch) {
+  if (cfg_.loi_schedule.empty()) return;
+  // A schedule entry beyond the topology would otherwise be silently
+  // ignored — a run that "handled the burst" because the burst never
+  // happened.
+  expects(cfg_.loi_schedule.per_tier.size() <= links_.size(),
+          "LoI schedule targets a tier beyond the topology");
+  for (std::size_t t = 0; t < links_.size(); ++t) {
+    const auto* wave = cfg_.loi_schedule.waveform(static_cast<memsim::TierId>(t));
+    if (!wave) continue;
+    expects(links_[t].has_value(), "LoI schedule targets a tier without a link");
+    links_[t]->set_background_loi(wave->value_at(epoch));
+  }
 }
 
 const memsim::LinkModel& Engine::link() const {
@@ -212,6 +228,11 @@ void Engine::close_epoch() {
   }
   rec.link_traffic_gbps = traffic;
   rec.link_utilization = util;
+  rec.link_loi.resize(static_cast<std::size_t>(n), 0.0);
+  for (memsim::TierId t = 0; t < n; ++t)
+    if (links_[static_cast<std::size_t>(t)])
+      rec.link_loi[static_cast<std::size_t>(t)] =
+          links_[static_cast<std::size_t>(t)]->background_loi();
   const memsim::NumaSnapshot snap = memory_.snapshot();
   rec.resident_bytes = snap.resident_bytes;
   epochs_.push_back(std::move(rec));
@@ -222,6 +243,10 @@ void Engine::close_epoch() {
   pending_flops_ = 0;
   epoch_demand_accesses_ = 0;
   epoch_base_ = now;
+  // The schedule steps *before* the epoch callback fires, so runtime
+  // services (the migration planner) price the upcoming epoch against the
+  // link state it will actually run under.
+  apply_loi_schedule(epochs_.size());
   if (epoch_cb_) epoch_cb_(*this);
 }
 

@@ -27,6 +27,7 @@
 
 #include "cachesim/hierarchy.h"
 #include "memsim/link.h"
+#include "memsim/loi_schedule.h"
 #include "memsim/machine.h"
 #include "memsim/page_table.h"
 
@@ -42,6 +43,11 @@ struct EngineConfig {
   /// asymmetric studies can load one pool while another idles. Tiers beyond
   /// the vector keep the scalar level.
   std::vector<double> background_loi_per_tier;
+  /// Time-varying per-link LoI: scheduled tiers get their waveform
+  /// re-evaluated at every closed epoch (overriding the static levels
+  /// above); unscheduled tiers keep their static LoI. An empty schedule is
+  /// exactly the static model — artifacts stay bit-identical.
+  memsim::LoiSchedule loi_schedule;
   double stall_weight = 1.0;                 ///< scaling of the latency term
   /// Period of the per-page sampler feeding the bandwidth–capacity scaling
   /// curves (Fig. 6). Samples fire on L1 misses — the event class PEBS
@@ -69,6 +75,10 @@ struct EpochRecord {
   double link_utilization = 0.0;    ///< max offered utilization over links
   double migration_s = 0.0;         ///< page-migration transfer time charged
   std::vector<std::uint64_t> resident_bytes;  ///< numa snapshot per tier
+  /// Effective background LoI on each tier's link while this epoch ran
+  /// (local tiers 0) — the per-epoch record a time-varying schedule leaves
+  /// behind, and what `memdis plan` reports per scan.
+  std::vector<double> link_loi;
 
   /// Bytes served by the node tier this epoch.
   [[nodiscard]] std::uint64_t node_bytes() const {
@@ -176,6 +186,12 @@ class Engine {
   /// local tiers.
   [[nodiscard]] double background_loi(memsim::TierId t) const;
 
+  /// Index of the epoch currently accumulating (== epochs().size()): the
+  /// argument the LoI schedule is evaluated at, exposed so runtime services
+  /// (the migration planner's burst deferral) can look ahead on the same
+  /// clock.
+  [[nodiscard]] std::uint64_t epoch_index() const { return epochs_.size(); }
+
   /// Charges page-migration transfer time to the running timeline. The cost
   /// is added to the *next* closed epoch's duration (migrations are issued
   /// from the epoch callback, after the current epoch has been costed) —
@@ -193,6 +209,8 @@ class Engine {
  private:
   void on_demand_access(std::uint64_t addr, cachesim::HitLevel level);
   void close_epoch();
+  /// Re-evaluates the LoI schedule for epoch `epoch` onto the links.
+  void apply_loi_schedule(std::uint64_t epoch);
 
   EngineConfig cfg_;
   memsim::TieredMemory memory_;

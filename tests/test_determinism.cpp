@@ -1,0 +1,67 @@
+// Determinism regression: scenario artifacts must be byte-identical across
+// repeated in-process runs. This guards the engine's epoch-callback path
+// (LoI schedule stepping + migration planning happen inside the callback)
+// against hidden nondeterminism — iteration over unordered containers,
+// uninitialized reads, cross-run state leaks in the runtime — that a single
+// golden run cannot catch.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/scenario_registry.h"
+
+namespace memdis {
+namespace {
+
+struct Artifacts {
+  std::string csv;
+  std::string json;
+};
+
+Artifacts artifacts_of(const std::string& scenario_name, unsigned jobs) {
+  const auto* scenario = core::ScenarioRegistry::instance().find(scenario_name);
+  EXPECT_NE(scenario, nullptr) << scenario_name;
+  core::SweepOptions options;
+  options.jobs = jobs;
+  const auto result = core::run_scenario(*scenario, options);
+  Artifacts out;
+  std::ostringstream csv, json;
+  result.write_csv(csv);
+  result.write_json(json);
+  out.csv = csv.str();
+  out.json = json.str();
+  return out;
+}
+
+/// The staged-migration scenario exercises the full epoch-callback stack:
+/// per-scan re-pricing, budgets, demotion swaps, and charged transfer time.
+TEST(Determinism, ExtStagedMigrationArtifactsAreReproducible) {
+  const Artifacts first = artifacts_of("ext-staged-migration", 1);
+  const Artifacts second = artifacts_of("ext-staged-migration", 1);
+  EXPECT_EQ(first.csv, second.csv);
+  EXPECT_EQ(first.json, second.json);
+  EXPECT_FALSE(first.csv.empty());
+}
+
+/// The transient-LoI scenario additionally steps waveforms every epoch and
+/// runs the belief-vs-truth planner pair — the paths this PR added.
+TEST(Determinism, ExtTransientLoiArtifactsAreReproducible) {
+  const Artifacts first = artifacts_of("ext-transient-loi", 1);
+  const Artifacts second = artifacts_of("ext-transient-loi", 1);
+  EXPECT_EQ(first.csv, second.csv);
+  EXPECT_EQ(first.json, second.json);
+  EXPECT_FALSE(first.json.empty());
+}
+
+/// Parallel execution must not change the artifacts either (the sweep
+/// engine's contract, re-checked here for a callback-heavy scenario).
+TEST(Determinism, TransientLoiParallelMatchesSerial) {
+  const Artifacts serial = artifacts_of("ext-transient-loi", 1);
+  const Artifacts parallel = artifacts_of("ext-transient-loi", 3);
+  EXPECT_EQ(serial.csv, parallel.csv);
+  EXPECT_EQ(serial.json, parallel.json);
+}
+
+}  // namespace
+}  // namespace memdis

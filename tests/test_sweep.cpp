@@ -224,7 +224,7 @@ TEST(ScenarioRegistry, BuiltinScenariosAreRegistered) {
   auto& registry = ScenarioRegistry::instance();
   for (const char* name :
        {"fig05", "fig06", "fig08", "fig09", "fig10", "fig11", "fig12", "ext-cxl",
-        "ext-interleave"}) {
+        "ext-interleave", "ext-transient-loi", "ext-loi-trace"}) {
     const auto* s = registry.find(name);
     ASSERT_NE(s, nullptr) << name;
     EXPECT_TRUE(static_cast<bool>(s->measure)) << name;

@@ -3,7 +3,10 @@
 // residency), and the monotonicity properties the new scenarios claim.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/contract.h"
+#include "common/rng.h"
 #include "core/experiment.h"
 #include "core/scenario_registry.h"
 #include "core/sweep.h"
@@ -53,6 +56,120 @@ TEST(TopologyPresets, EveryRegisteredNameResolves) {
 TEST(TopologyPresets, TwoTierPresetsStayTwoTier) {
   for (const char* name : {"upi", "cxl", "cxl-switched", "split"})
     EXPECT_EQ(machine_for_fabric(name).num_tiers(), 2) << name;
+}
+
+// ---------- path/validate properties over randomized attachment trees --------
+
+/// A random valid topology: 2..kMaxTiers tiers, every fabric tier attached
+/// to a uniformly drawn earlier tier (star, chain, and bushy trees all
+/// occur). Seeded by the repository PRNG so failures reproduce exactly.
+memsim::MemoryTopology random_topology(Xoshiro256& rng) {
+  const int tiers = 2 + static_cast<int>(rng.uniform_below(memsim::kMaxTiers - 1));
+  memsim::MemoryTopology topo;
+  topo.tiers.push_back(memsim::MemoryTierSpec{"node", 1ULL << 30, 73.0, 111.0, {}});
+  for (int i = 1; i < tiers; ++i) {
+    memsim::MemoryTierSpec t{"pool" + std::to_string(i), 1ULL << 30, 30.0 + i, 200.0 + i,
+                             memsim::FabricLinkSpec{}};
+    t.upstream = static_cast<memsim::TierId>(rng.uniform_below(static_cast<std::uint64_t>(i)));
+    topo.tiers.push_back(std::move(t));
+  }
+  return topo;
+}
+
+/// Two tiers are adjacent in the attachment tree when one's link hangs off
+/// the other (crossing tier x's link moves between x and x.upstream).
+bool adjacent_links(const memsim::MemoryTopology& topo, memsim::TierId a, memsim::TierId b) {
+  const auto ends_a = std::pair{a, topo.tier(a).upstream};
+  const auto ends_b = std::pair{b, topo.tier(b).upstream};
+  return ends_a.first == ends_b.first || ends_a.first == ends_b.second ||
+         ends_a.second == ends_b.first || ends_a.second == ends_b.second;
+}
+
+TEST(TopologyPathProperty, SegmentsConnectedAcyclicAndSymmetric) {
+  Xoshiro256 rng(20260730);
+  for (int trial = 0; trial < 200; ++trial) {
+    const memsim::MemoryTopology topo = random_topology(rng);
+    ASSERT_NO_THROW(topo.validate());
+    const int n = topo.num_tiers();
+    for (memsim::TierId src = 0; src < n; ++src) {
+      for (memsim::TierId dst = 0; dst < n; ++dst) {
+        const auto segments = topo.path(src, dst);
+        if (src == dst) {
+          EXPECT_TRUE(segments.empty());
+          continue;
+        }
+        // Every crossed segment is a fabric link, and none repeats
+        // (acyclic: a tree walk never crosses the same link twice).
+        for (const auto seg : segments) EXPECT_TRUE(topo.is_fabric(seg));
+        auto sorted = segments;
+        std::sort(sorted.begin(), sorted.end());
+        EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end())
+            << "segment repeated between tiers " << src << " and " << dst;
+        // Connected: consecutive crossed links share a tree endpoint.
+        for (std::size_t i = 0; i + 1 < segments.size(); ++i)
+          EXPECT_TRUE(adjacent_links(topo, segments[i], segments[i + 1]));
+        // Endpoint coverage: the walk starts at src and ends at dst, so
+        // the first crossed link touches src and the last touches dst
+        // (a tier is touched by its own link or by a child's link).
+        ASSERT_FALSE(segments.empty());
+        const auto touches = [&](memsim::TierId seg, memsim::TierId tier) {
+          return seg == tier || topo.tier(seg).upstream == tier;
+        };
+        EXPECT_TRUE(touches(segments.front(), src));
+        EXPECT_TRUE(touches(segments.back(), dst));
+        // Symmetric: the reverse move crosses the same links in reverse
+        // order.
+        auto reversed = topo.path(dst, src);
+        std::reverse(reversed.begin(), reversed.end());
+        EXPECT_EQ(segments, reversed);
+        // Moves to the node cross exactly the src-side ancestor links.
+        if (dst == memsim::kNodeTier) {
+          auto chain = topo.ancestors(src);
+          chain.pop_back();  // the node tier itself carries no link
+          EXPECT_EQ(segments, chain);
+        }
+      }
+    }
+  }
+}
+
+TEST(TopologyValidateProperty, RejectsMalformedAttachments) {
+  // Cycle: a tier attached to itself (upstream not strictly earlier).
+  memsim::MemoryTopology self_cycle;
+  self_cycle.tiers.push_back(memsim::MemoryTierSpec{"node", 1ULL << 30, 73.0, 111.0, {}});
+  self_cycle.tiers.push_back(
+      memsim::MemoryTierSpec{"pool", 1ULL << 30, 30.0, 200.0, memsim::FabricLinkSpec{}});
+  self_cycle.tiers.back().upstream = 1;
+  EXPECT_THROW(self_cycle.validate(), contract_violation);
+
+  // Forward cycle: tier 1 attached to tier 2 while tier 2 hangs off 1.
+  memsim::MemoryTopology fwd_cycle = self_cycle;
+  fwd_cycle.tiers.push_back(
+      memsim::MemoryTierSpec{"pool2", 1ULL << 30, 30.0, 220.0, memsim::FabricLinkSpec{}});
+  fwd_cycle.tiers[1].upstream = 2;
+  fwd_cycle.tiers[2].upstream = 1;
+  EXPECT_THROW(fwd_cycle.validate(), contract_violation);
+
+  // Dangling upstream: attachment point outside the tier list.
+  memsim::MemoryTopology dangling = self_cycle;
+  dangling.tiers.back().upstream = 7;
+  EXPECT_THROW(dangling.validate(), contract_violation);
+  dangling.tiers.back().upstream = -3;
+  EXPECT_THROW(dangling.validate(), contract_violation);
+
+  // Randomized: corrupting one upstream pointer of a valid tree to a
+  // non-earlier tier must always be rejected.
+  Xoshiro256 rng(987654321);
+  for (int trial = 0; trial < 100; ++trial) {
+    memsim::MemoryTopology topo = random_topology(rng);
+    if (topo.num_tiers() < 2) continue;
+    const auto victim = static_cast<std::size_t>(
+        1 + rng.uniform_below(static_cast<std::uint64_t>(topo.num_tiers() - 1)));
+    const auto bad = static_cast<memsim::TierId>(
+        victim + rng.uniform_below(static_cast<std::uint64_t>(memsim::kMaxTiers)));
+    topo.tiers[victim].upstream = bad;  // >= its own index: cycle or dangling
+    EXPECT_THROW(topo.validate(), contract_violation) << "victim " << victim;
+  }
 }
 
 // ---------- engine propagation ----------------------------------------------

@@ -28,6 +28,7 @@
 #include "common/csv.h"
 #include "common/table.h"
 #include "common/units.h"
+#include "memsim/loi_schedule.h"
 #include "core/advisor.h"
 #include "core/interference.h"
 #include "core/migration.h"
@@ -49,6 +50,8 @@ struct Args {
   std::string fabric = "upi";
   std::vector<double> lois = {0, 10, 20, 30, 40, 50};
   std::vector<double> loi_per_tier;  ///< --loi: static per-link LoI by tier id
+  std::vector<std::string> loi_waves;         ///< --loi-wave specs (repeatable)
+  std::optional<std::string> loi_trace_path;  ///< --loi-trace CSV file
   bool staging = true;               ///< --staging: plan may use intermediate tiers
   std::uint32_t nflop = 1;
   int threads = 12;
@@ -84,6 +87,11 @@ void usage(std::ostream& os) {
      << "  --loi CSV         static per-link background LoI, one value per fabric\n"
      << "                    tier in tier order (level1/level2/plan); a single\n"
      << "                    value loads only the first fabric link\n"
+     << "  --loi-wave SPEC   square-wave LoI schedule on one link, repeatable;\n"
+     << "                    SPEC = link:period:duty:hi[:lo] (link = tier id,\n"
+     << "                    period in epochs, duty in [0,1], LoI % values)\n"
+     << "  --loi-trace FILE  replay a per-link LoI trace CSV (header line, then\n"
+     << "                    rows `epoch,<loi per fabric tier>`; gaps hold)\n"
      << "  --staging on|off  allow the planner to stage via intermediate tiers\n"
      << "                    (plan only; default on)\n"
      << "  --nflop N         LBench flops/element (default 1)\n"
@@ -175,18 +183,20 @@ std::optional<Args> parse(int argc, char** argv) {
     } else if (flag == "--loi") {
       // Values are given per fabric tier in tier order; tier 0 is the node
       // tier and carries no link, so the stored vector leads with a zero.
-      args.loi_per_tier.assign(1, 0.0);
-      std::stringstream ss(*value);
-      std::string tok;
-      while (std::getline(ss, tok, ',')) {
-        const auto v = parse_double("--loi", tok, 0.0, 2000.0);
-        if (!v) return std::nullopt;
-        args.loi_per_tier.push_back(*v);
-      }
-      if (args.loi_per_tier.size() < 2) {
-        std::cerr << "error: --loi expects a comma-separated list of numbers\n";
+      // Strict grammar: trailing/doubled commas, NaN, negatives, and
+      // out-of-range values are all rejected with a diagnostic.
+      std::string error;
+      const auto values = memsim::parse_loi_list(*value, error);
+      if (!values) {
+        std::cerr << "error: --loi: " << error << "\n";
         return std::nullopt;
       }
+      args.loi_per_tier.assign(1, 0.0);
+      args.loi_per_tier.insert(args.loi_per_tier.end(), values->begin(), values->end());
+    } else if (flag == "--loi-wave") {
+      args.loi_waves.push_back(*value);
+    } else if (flag == "--loi-trace") {
+      args.loi_trace_path = *value;
     } else if (flag == "--staging") {
       if (*value == "on") {
         args.staging = true;
@@ -251,6 +261,42 @@ bool loi_matches_topology(const Args& args, const memsim::MachineConfig& m) {
   return false;
 }
 
+/// Builds the LoI schedule requested by --loi-trace/--loi-wave against the
+/// selected machine; nullopt (with a diagnostic on stderr) for malformed
+/// specs, non-fabric links, or a trace whose columns miscount the
+/// topology's fabric tiers. Waves given after a trace override that link's
+/// trace column.
+std::optional<memsim::LoiSchedule> schedule_of(const Args& args,
+                                               const memsim::MachineConfig& m) {
+  memsim::LoiSchedule schedule;
+  std::string error;
+  if (args.loi_trace_path) {
+    std::vector<memsim::TierId> fabric_tiers;
+    for (memsim::TierId t = 0; t < m.num_tiers(); ++t)
+      if (m.topology.is_fabric(t)) fabric_tiers.push_back(t);
+    auto traced = memsim::load_loi_trace_csv(*args.loi_trace_path, fabric_tiers, error);
+    if (!traced) {
+      std::cerr << "error: --loi-trace: " << error << "\n";
+      return std::nullopt;
+    }
+    schedule = std::move(*traced);
+  }
+  for (const auto& spec : args.loi_waves) {
+    auto wave = memsim::parse_loi_wave(spec, error);
+    if (!wave) {
+      std::cerr << "error: --loi-wave: " << error << "\n";
+      return std::nullopt;
+    }
+    if (!m.topology.valid_tier(wave->tier) || !m.topology.is_fabric(wave->tier)) {
+      std::cerr << "error: --loi-wave: tier " << wave->tier << " is not a fabric tier of "
+                << "--fabric " << args.fabric << "\n";
+      return std::nullopt;
+    }
+    schedule.set(wave->tier, std::move(wave->wave));
+  }
+  return schedule;
+}
+
 int cmd_machine(const Args& args) {
   const auto m = machine_of(args.fabric);
   Table t({"parameter", "value"});
@@ -281,6 +327,9 @@ int cmd_level1(const Args& args, workloads::App app) {
   rc.machine = machine_of(args.fabric);
   if (!loi_matches_topology(args, rc.machine)) return 2;
   rc.background_loi_per_tier = args.loi_per_tier;
+  const auto schedule = schedule_of(args, rc.machine);
+  if (!schedule) return 2;
+  rc.loi_schedule = *schedule;
   core::MultiLevelProfiler profiler(rc);
   auto wl = workloads::make_workload(app, args.scale);
   const auto l1 = profiler.level1(*wl);
@@ -319,6 +368,9 @@ int cmd_level2(const Args& args, workloads::App app) {
   rc.machine = machine_of(args.fabric);
   if (!loi_matches_topology(args, rc.machine)) return 2;
   rc.background_loi_per_tier = args.loi_per_tier;
+  const auto schedule = schedule_of(args, rc.machine);
+  if (!schedule) return 2;
+  rc.loi_schedule = *schedule;
   core::MultiLevelProfiler profiler(rc);
   auto wl = workloads::make_workload(app, args.scale);
   const auto l2 = profiler.level2(*wl, args.ratio);
@@ -429,6 +481,9 @@ int cmd_plan(const Args& args, workloads::App app) {
       core::machine_with_spill(machine_of(args.fabric), args.ratio, wl->footprint_bytes());
   if (!loi_matches_topology(args, cfg.machine)) return 2;
   cfg.background_loi_per_tier = args.loi_per_tier;
+  const auto schedule = schedule_of(args, cfg.machine);
+  if (!schedule) return 2;
+  cfg.loi_schedule = *schedule;
   cfg.epoch_accesses = 250'000;  // frequent scan opportunities
   sim::Engine eng(cfg);
 
@@ -448,9 +503,39 @@ int cmd_plan(const Args& args, workloads::App app) {
   t.add_row({"pages demoted", std::to_string(runtime.pages_demoted())});
   t.add_row({"staged moves", std::to_string(runtime.staged_moves())});
   t.add_row({"direct moves", std::to_string(runtime.direct_moves())});
+  t.add_row({"deferred moves", std::to_string(runtime.deferred_moves())});
   t.add_row({"charged transfer cost",
              Table::num(runtime.transfer_cost_s() * 1e3, 3) + " ms"});
   t.print(std::cout);
+
+  // Per-scan effective LoI: the link state each scan priced against,
+  // compressed to the scans where the vector changed (a constant schedule
+  // prints one row).
+  const auto& loi_log = runtime.scan_loi_log();
+  if (!loi_log.empty()) {
+    constexpr std::size_t kMaxLoiRows = 24;
+    Table l({"scan", "effective LoI per link (t1..)"});
+    std::size_t shown = 0, transitions = 0;
+    const std::vector<double>* prev = nullptr;
+    for (std::size_t s = 0; s < loi_log.size(); ++s) {
+      if (prev && loi_log[s] == *prev) continue;
+      prev = &loi_log[s];
+      ++transitions;
+      if (shown >= kMaxLoiRows) continue;
+      ++shown;
+      std::string levels;
+      for (std::size_t t = 1; t < loi_log[s].size(); ++t) {
+        if (t > 1) levels += ", ";
+        levels += Table::num(loi_log[s][t], 0);
+      }
+      l.add_row({std::to_string(s + 1), levels});
+    }
+    std::cout << "\nper-scan effective LoI (" << loi_log.size() << " scans, rows where it "
+              << "changed):\n";
+    l.print(std::cout);
+    if (transitions > shown)
+      std::cout << "... " << transitions - shown << " more transition(s) not shown\n";
+  }
 
   const auto advice = core::advise_migration(runtime, cfg.machine);
   std::cout << "\nadvisor: " << advice.summary << "\n";

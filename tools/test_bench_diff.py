@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_diff.py: the >25% regression gate, exact keys,
+missing-baseline handling, and malformed-JSON diagnostics.
+
+Run directly (`python3 tools/test_bench_diff.py`) or via ctest, where it is
+wired in under the `tools` label.
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_diff.py")
+
+
+def run_tool(*argv):
+    return subprocess.run(
+        [sys.executable, TOOL, *argv], capture_output=True, text=True)
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w") as f:
+            if isinstance(payload, str):
+                f.write(payload)
+            else:
+                json.dump(payload, f)
+        return path
+
+    # ---- the regression gate -------------------------------------------------
+
+    def test_within_gate_passes(self):
+        base = self.write("base.json", {"time_ms": 100.0})
+        cur = self.write("cur.json", {"time_ms": 120.0})  # +20% < 25%
+        result = run_tool(base, cur, "--key", "time_ms")
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("ok", result.stdout)
+
+    def test_regression_beyond_gate_fails(self):
+        base = self.write("base.json", {"time_ms": 100.0})
+        cur = self.write("cur.json", {"time_ms": 130.0})  # +30% > 25%
+        result = run_tool(base, cur, "--key", "time_ms")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("FAIL", result.stdout)
+
+    def test_gate_boundary_is_inclusive(self):
+        base = self.write("base.json", {"time_ms": 100.0})
+        cur = self.write("cur.json", {"time_ms": 125.0})  # exactly 25%
+        result = run_tool(base, cur, "--key", "time_ms")
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_custom_max_regress(self):
+        base = self.write("base.json", {"time_ms": 100.0})
+        cur = self.write("cur.json", {"time_ms": 110.0})
+        self.assertEqual(run_tool(base, cur, "--key", "time_ms",
+                                  "--max-regress", "0.05").returncode, 1)
+
+    def test_higher_is_better_direction(self):
+        base = self.write("base.json", {"rate": 100.0})
+        slower = self.write("slower.json", {"rate": 70.0})  # 100/70-1 = 43%
+        faster = self.write("faster.json", {"rate": 130.0})
+        self.assertEqual(
+            run_tool(base, slower, "--key", "rate:higher").returncode, 1)
+        self.assertEqual(
+            run_tool(base, faster, "--key", "rate:higher").returncode, 0)
+
+    def test_improvement_never_fails(self):
+        base = self.write("base.json", {"time_ms": 100.0})
+        cur = self.write("cur.json", {"time_ms": 10.0})
+        self.assertEqual(run_tool(base, cur, "--key", "time_ms").returncode, 0)
+
+    def test_default_gates_every_shared_key(self):
+        base = self.write("base.json",
+                          {"time_ms": 100.0, "verified": True, "tag": "x"})
+        cur = self.write("cur.json",
+                         {"time_ms": 200.0, "verified": True, "tag": "x"})
+        self.assertEqual(run_tool(base, cur).returncode, 1)
+
+    def test_exact_key_mismatch_fails(self):
+        base = self.write("base.json", {"rows_identical": True})
+        cur = self.write("cur.json", {"rows_identical": False})
+        result = run_tool(base, cur, "--exact", "rows_identical")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("exact", result.stdout)
+
+    # ---- missing inputs ------------------------------------------------------
+
+    def test_missing_baseline_file_is_usage_error(self):
+        cur = self.write("cur.json", {"time_ms": 1.0})
+        result = run_tool(os.path.join(self.dir.name, "nope.json"), cur)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("error", result.stderr)
+
+    def test_key_missing_in_baseline_is_skipped_not_failed(self):
+        base = self.write("base.json", {"other": 1.0})
+        cur = self.write("cur.json", {"time_ms": 1.0})
+        result = run_tool(base, cur, "--key", "time_ms")
+        self.assertEqual(result.returncode, 0)
+        self.assertIn("SKIP", result.stdout)
+        self.assertIn("baseline", result.stdout)
+
+    def test_key_missing_in_current_is_skipped(self):
+        base = self.write("base.json", {"time_ms": 1.0})
+        cur = self.write("cur.json", {"other": 1.0})
+        result = run_tool(base, cur, "--key", "time_ms")
+        self.assertEqual(result.returncode, 0)
+        self.assertIn("SKIP", result.stdout)
+        self.assertIn("current", result.stdout)
+
+    # ---- malformed JSON ------------------------------------------------------
+
+    def test_malformed_baseline_json(self):
+        base = self.write("base.json", "{not json")
+        cur = self.write("cur.json", {"time_ms": 1.0})
+        result = run_tool(base, cur)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("error", result.stderr)
+
+    def test_malformed_current_json(self):
+        base = self.write("base.json", {"time_ms": 1.0})
+        cur = self.write("cur.json", "[1, 2,")
+        result = run_tool(base, cur)
+        self.assertEqual(result.returncode, 2)
+
+    def test_bad_key_direction_is_usage_error(self):
+        base = self.write("base.json", {"time_ms": 1.0})
+        cur = self.write("cur.json", {"time_ms": 1.0})
+        result = run_tool(base, cur, "--key", "time_ms:sideways")
+        self.assertNotEqual(result.returncode, 0)
+
+    # ---- zero baselines ------------------------------------------------------
+
+    def test_zero_baseline_zero_current_ok(self):
+        base = self.write("base.json", {"count": 0})
+        cur = self.write("cur.json", {"count": 0})
+        self.assertEqual(run_tool(base, cur, "--key", "count").returncode, 0)
+
+    def test_zero_baseline_nonzero_current_fails(self):
+        base = self.write("base.json", {"count": 0})
+        cur = self.write("cur.json", {"count": 3})
+        self.assertEqual(run_tool(base, cur, "--key", "count").returncode, 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
