@@ -1,6 +1,7 @@
 #include "cachesim/cache.h"
 
 #include "common/contract.h"
+#include "common/units.h"
 
 namespace memdis::cachesim {
 
@@ -11,82 +12,91 @@ SetAssocCache::SetAssocCache(const CacheConfig& cfg) : cfg_(cfg), sets_(0) {
   sets_ = cfg.num_sets();
   expects(sets_ > 0, "cache must have at least one set");
   expects((sets_ & (sets_ - 1)) == 0, "number of sets must be a power of two");
-  lines_.resize(sets_ * cfg.ways);
-}
-
-std::uint64_t SetAssocCache::set_of(std::uint64_t addr) const {
-  return (addr / cfg_.line_bytes) & (sets_ - 1);
-}
-
-SetAssocCache::Line* SetAssocCache::find(std::uint64_t addr) {
-  const std::uint64_t aligned = line_align(addr);
-  Line* base = &lines_[set_of(addr) * cfg_.ways];
-  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-    if (base[w].valid && base[w].tag_addr == aligned) return &base[w];
-  }
-  return nullptr;
-}
-
-const SetAssocCache::Line* SetAssocCache::find(std::uint64_t addr) const {
-  return const_cast<SetAssocCache*>(this)->find(addr);
-}
-
-SetAssocCache::HitInfo SetAssocCache::access(std::uint64_t addr, bool is_store) {
-  Line* line = find(addr);
-  if (line == nullptr) return {};
-  HitInfo info;
-  info.hit = true;
-  info.first_use_of_prefetch = line->prefetched && !line->referenced;
-  line->referenced = true;
-  line->lru_tick = ++tick_;
-  if (is_store) line->dirty = true;
-  return info;
+  line_shift_ = log2_pow2(cfg.line_bytes);
+  set_mask_ = sets_ - 1;
+  const std::size_t n = sets_ * cfg.ways;
+  tag_.assign(n, kInvalidTag);
+  lru_.assign(n, 0);
+  flags_.assign(n, 0);
+  mru_way_.assign(sets_, 0);
 }
 
 std::optional<Eviction> SetAssocCache::fill(std::uint64_t addr, bool dirty, bool prefetched) {
   const std::uint64_t aligned = line_align(addr);
-  Line* base = &lines_[set_of(addr) * cfg_.ways];
-  Line* victim = nullptr;
+  const std::uint64_t set = set_of(addr);
+  const std::size_t base = set * cfg_.ways;
+  std::size_t victim = kNpos;
+  std::uint32_t victim_way = 0;
   for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-    Line& cand = base[w];
-    if (cand.valid && cand.tag_addr == aligned) {
+    const std::size_t i = base + w;
+    const std::uint64_t t = tag_[i];
+    if (t == aligned) {
       // Refill of a present line (e.g. prefetch racing demand): refresh only.
-      cand.lru_tick = ++tick_;
-      cand.dirty = cand.dirty || dirty;
+      lru_[i] = ++tick_;
+      if (dirty) flags_[i] |= kDirty;
+      mru_way_[set] = w;
       return std::nullopt;
     }
-    if (!cand.valid) {
-      victim = &cand;
+    if (t == kInvalidTag) {
+      victim = i;
+      victim_way = w;
       break;
     }
-    if (victim == nullptr || cand.lru_tick < victim->lru_tick) victim = &cand;
+    if (victim == kNpos || lru_[i] < lru_[victim]) {
+      victim = i;
+      victim_way = w;
+    }
   }
   std::optional<Eviction> evicted;
-  if (victim->valid) {
-    evicted = Eviction{victim->tag_addr, victim->dirty,
-                       victim->prefetched && !victim->referenced};
-  }
-  victim->tag_addr = aligned;
-  victim->valid = true;
-  victim->dirty = dirty;
-  victim->prefetched = prefetched;
-  victim->referenced = !prefetched;  // demand fills start referenced
-  victim->lru_tick = ++tick_;
+  if (tag_[victim] != kInvalidTag) evicted = eviction_of(victim);
+  tag_[victim] = aligned;
+  flags_[victim] = (dirty ? kDirty : 0) | (prefetched ? kPrefetched : 0) |
+                   (prefetched ? 0 : kReferenced);  // demand fills start referenced
+  lru_[victim] = ++tick_;
+  mru_way_[set] = victim_way;
   return evicted;
 }
 
-bool SetAssocCache::contains(std::uint64_t addr) const { return find(addr) != nullptr; }
-
-std::optional<Eviction> SetAssocCache::invalidate(std::uint64_t addr) {
-  Line* line = find(addr);
-  if (line == nullptr) return std::nullopt;
-  Eviction ev{line->tag_addr, line->dirty, line->prefetched && !line->referenced};
-  line->valid = false;
-  return ev;
+std::optional<Eviction> SetAssocCache::fill_absent(std::uint64_t addr, bool dirty,
+                                                   bool prefetched) {
+  const std::uint64_t aligned = line_align(addr);
+  const std::uint64_t set = set_of(addr);
+  const std::size_t base = set * cfg_.ways;
+#ifndef NDEBUG
+  expects(!contains(addr), "fill_absent of a resident line");
+#endif
+  // Victim selection identical to fill(): first invalid way wins, else the
+  // first LRU minimum in way order. Invalid ways keep lru == 0 (valid
+  // lines carry ticks >= 1 — the class invariant), so both rules collapse
+  // into one pure argmin over the dense LRU plane: the first zero IS the
+  // first invalid way. No tag reads, no early-exit branch.
+  std::uint32_t victim_way = 0;
+  std::uint64_t victim_lru = lru_[base];
+  for (std::uint32_t w = 1; w < cfg_.ways; ++w) {
+    const std::uint64_t l = lru_[base + w];
+    if (l < victim_lru) {
+      victim_lru = l;
+      victim_way = w;
+    }
+  }
+  const std::size_t victim = base + victim_way;
+  std::optional<Eviction> evicted;
+  if (tag_[victim] != kInvalidTag) evicted = eviction_of(victim);
+  tag_[victim] = aligned;
+  flags_[victim] = (dirty ? kDirty : 0) | (prefetched ? kPrefetched : 0) |
+                   (prefetched ? 0 : kReferenced);
+  lru_[victim] = ++tick_;
+  mru_way_[set] = victim_way;
+  return evicted;
 }
 
-void SetAssocCache::mark_dirty(std::uint64_t addr) {
-  if (Line* line = find(addr)) line->dirty = true;
+std::optional<Eviction> SetAssocCache::invalidate(std::uint64_t addr) {
+  const std::size_t idx = find(addr);
+  if (idx == kNpos) return std::nullopt;
+  const Eviction ev = eviction_of(idx);
+  tag_[idx] = kInvalidTag;
+  lru_[idx] = 0;  // invariant: invalid ways read as LRU tick 0
+  return ev;
 }
 
 }  // namespace memdis::cachesim

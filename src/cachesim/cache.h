@@ -1,10 +1,28 @@
 // Set-associative, write-back, write-allocate cache with true-LRU
 // replacement. Used for all three levels of the simulated hierarchy.
+//
+// The lookup path is the simulator's innermost loop (every simulated access
+// probes L1, and every L1 miss scans L2/L3 and fills up to three levels),
+// so the cache state is laid out for speed without changing behaviour:
+//  * struct-of-arrays storage — tag, LRU tick, and flag planes — so a way
+//    scan streams over a dense 8-byte tag array instead of 24-byte line
+//    records (the simulated L3's metadata alone overflows the host's L2;
+//    memory traffic per scan is what dominates, not instruction count),
+//  * an impossible tag value (~0) encodes invalidity, so one tag compare
+//    answers valid-and-matching,
+//  * set/tag math uses precomputed shift/mask values (line size and set
+//    count are enforced powers of two),
+//  * each set keeps an MRU way hint probed before the full scan — a pure
+//    search-order optimization (tags are unique within a set, so the same
+//    line is found whichever way finds it),
+//  * the hot entry points are header-inline.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
+
+#include "common/contract.h"
 
 namespace memdis::cachesim {
 
@@ -36,30 +54,125 @@ class SetAssocCache {
     bool hit = false;
     bool first_use_of_prefetch = false;
   };
-  HitInfo access(std::uint64_t addr, bool is_store);
+  HitInfo access(std::uint64_t addr, bool is_store) {
+    const std::size_t idx = find(addr);
+    if (idx == kNpos) return {};
+    const std::uint8_t f = flags_[idx];
+    HitInfo info;
+    info.hit = true;
+    info.first_use_of_prefetch = (f & kPrefetched) != 0 && (f & kReferenced) == 0;
+    flags_[idx] = f | kReferenced | (is_store ? kDirty : 0);
+    lru_[idx] = ++tick_;
+    return info;
+  }
+
+  /// Applies `count` consecutive access() calls to the same (present) line
+  /// in O(1): the LRU tick advances by `count` and lands on this line, the
+  /// line is marked referenced, and dirtied when any of the batched
+  /// accesses is a store — exactly the state `count` sequential calls
+  /// leave behind, since no other access can interleave. Returns a miss
+  /// (hit == false) with no state change when the line is absent.
+  HitInfo access_run(std::uint64_t addr, bool any_store, std::uint64_t count) {
+    const std::size_t idx = find(addr);
+    if (idx == kNpos) return {};
+    const std::uint8_t f = flags_[idx];
+    HitInfo info;
+    info.hit = true;
+    info.first_use_of_prefetch = (f & kPrefetched) != 0 && (f & kReferenced) == 0;
+    flags_[idx] = f | kReferenced | (any_store ? kDirty : 0);
+    tick_ += count;
+    lru_[idx] = tick_;
+    return info;
+  }
+
+  /// Applies `pairs` interleaved hit iterations {access(addr_a), access
+  /// (addr_b)} in O(1). Both lines must be present (the caller probes with
+  /// contains()); the final LRU order — addr_b most recent, addr_a just
+  /// behind it — matches the element-wise sequence exactly, including the
+  /// degenerate addr_a == addr_b case.
+  void access_pair_run(std::uint64_t addr_a, std::uint64_t addr_b, bool is_store,
+                       std::uint64_t pairs) {
+    const std::size_t a = find(addr_a);
+    const std::size_t b = find(addr_b);
+    expects(a != kNpos && b != kNpos, "pair run on a non-resident line");
+    const std::uint8_t set_bits = kReferenced | (is_store ? kDirty : 0);
+    tick_ += 2 * pairs;
+    flags_[a] |= set_bits;
+    lru_[a] = tick_ - 1;
+    flags_[b] |= set_bits;
+    lru_[b] = tick_;
+  }
+
+  // ---- resident-line handles (the engine's multi-stream batcher) -----------
+  // A handle is the line's slot index; it stays valid until the next fill,
+  // invalidate, or drain on this cache (those may move or evict lines).
+  static constexpr std::size_t npos = ~std::size_t{0};
+
+  /// Handle of the line holding `addr`, or npos. Search-order hint updates
+  /// only — same observable state as contains().
+  [[nodiscard]] std::size_t index_of(std::uint64_t addr) { return find(addr); }
+
+  /// Applies the *net* effect of a batch of hit accesses to the line at
+  /// `idx`: referenced, optionally dirtied, LRU tick set to `final_tick`
+  /// (a value the caller obtained from advance_tick for this batch).
+  void touch_at(std::size_t idx, bool any_store, std::uint64_t final_tick) {
+    flags_[idx] |= kReferenced | (any_store ? kDirty : 0);
+    lru_[idx] = final_tick;
+  }
+
+  /// Advances the LRU clock by `n` accesses and returns the new value (the
+  /// tick of the batch's final access).
+  std::uint64_t advance_tick(std::uint64_t n) {
+    tick_ += n;
+    return tick_;
+  }
 
   /// Inserts the line containing `addr`; returns the eviction if a valid
   /// line had to be displaced. `prefetched` marks hardware-prefetch fills.
   std::optional<Eviction> fill(std::uint64_t addr, bool dirty, bool prefetched);
 
-  /// True when the line is present (does not update LRU).
-  [[nodiscard]] bool contains(std::uint64_t addr) const;
+  /// fill() for a line the caller knows is absent (every hierarchy fill
+  /// follows a miss or a failed contains() on this level, with nothing in
+  /// between that could insert it). Skips the present-line refresh check,
+  /// so the victim scan is a pure invalid-or-LRU-min pass — same victim,
+  /// same eviction, same end state as fill().
+  std::optional<Eviction> fill_absent(std::uint64_t addr, bool dirty, bool prefetched);
+
+  /// True when the line is present. Does not update LRU; probes the MRU
+  /// hint first (search order only, observationally pure).
+  [[nodiscard]] bool contains(std::uint64_t addr) const {
+    const std::uint64_t aligned = line_align(addr);
+    const std::uint64_t set = set_of(addr);
+    const std::uint64_t* tags = &tag_[set * cfg_.ways];
+    if (tags[mru_way_[set]] == aligned) return true;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+      if (tags[w] == aligned) return true;
+    }
+    return false;
+  }
 
   /// Invalidates the line if present; returns its eviction record.
   std::optional<Eviction> invalidate(std::uint64_t addr);
 
-  /// Marks the line dirty if present (used when an upper level writes back).
-  void mark_dirty(std::uint64_t addr);
+  /// Marks the line dirty when present — an upper level writing back into
+  /// this one — and reports whether it was (one scan replacing the former
+  /// contains + mark_dirty probe pair).
+  bool mark_dirty_if_present(std::uint64_t addr) {
+    const std::size_t idx = find(addr);
+    if (idx == kNpos) return false;
+    flags_[idx] |= kDirty;
+    return true;
+  }
 
   /// Evicts every valid line, invoking `sink` for each (used at end of run
   /// to drain dirty data into the writeback accounting).
   template <typename Sink>
   void drain(Sink&& sink) {
-    for (auto& line : lines_) {
-      if (!line.valid) continue;
-      Eviction ev{line.tag_addr, line.dirty, line.prefetched && !line.referenced};
-      line.valid = false;
-      sink(ev);
+    for (std::size_t i = 0; i < tag_.size(); ++i) {
+      if (tag_[i] == kInvalidTag) continue;
+      sink(eviction_of(i));
+      tag_[i] = kInvalidTag;
+      lru_[i] = 0;  // invariant: invalid ways read as LRU tick 0
     }
   }
 
@@ -67,26 +180,51 @@ class SetAssocCache {
   [[nodiscard]] std::uint64_t line_bytes() const { return cfg_.line_bytes; }
 
  private:
-  struct Line {
-    std::uint64_t tag_addr = 0;  ///< line-aligned byte address
-    std::uint64_t lru_tick = 0;
-    bool valid = false;
-    bool dirty = false;
-    bool prefetched = false;
-    bool referenced = false;  ///< demand-referenced since fill
-  };
+  static constexpr std::uint64_t kInvalidTag = ~0ULL;  // not a line address
+  static constexpr std::size_t kNpos = ~std::size_t{0};
+  static constexpr std::uint8_t kDirty = 1;
+  static constexpr std::uint8_t kPrefetched = 2;
+  static constexpr std::uint8_t kReferenced = 4;
 
-  [[nodiscard]] std::uint64_t set_of(std::uint64_t addr) const;
+  [[nodiscard]] std::uint64_t set_of(std::uint64_t addr) const {
+    return (addr >> line_shift_) & set_mask_;
+  }
   [[nodiscard]] std::uint64_t line_align(std::uint64_t addr) const {
     return addr & ~static_cast<std::uint64_t>(cfg_.line_bytes - 1);
   }
-  Line* find(std::uint64_t addr);
-  [[nodiscard]] const Line* find(std::uint64_t addr) const;
+  [[nodiscard]] Eviction eviction_of(std::size_t idx) const {
+    const std::uint8_t f = flags_[idx];
+    return Eviction{tag_[idx], (f & kDirty) != 0,
+                    (f & kPrefetched) != 0 && (f & kReferenced) == 0};
+  }
+
+  /// Index of the line holding `addr`, or kNpos. Updates the MRU hint on a
+  /// scan hit (search order only).
+  std::size_t find(std::uint64_t addr) {
+    const std::uint64_t aligned = line_align(addr);
+    const std::uint64_t set = set_of(addr);
+    const std::size_t base = set * cfg_.ways;
+    const std::size_t hinted = base + mru_way_[set];
+    if (tag_[hinted] == aligned) return hinted;
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+      if (tag_[base + w] == aligned) {
+        mru_way_[set] = w;
+        return base + w;
+      }
+    }
+    return kNpos;
+  }
 
   CacheConfig cfg_;
   std::uint64_t sets_;
+  std::uint32_t line_shift_ = 0;
+  std::uint64_t set_mask_ = 0;
   std::uint64_t tick_ = 0;
-  std::vector<Line> lines_;  // sets_ * ways, row-major by set
+  // Struct-of-arrays line state, sets_ * ways entries, row-major by set.
+  std::vector<std::uint64_t> tag_;   ///< line-aligned addr, kInvalidTag if empty
+  std::vector<std::uint64_t> lru_;   ///< last-access tick (victim = min)
+  std::vector<std::uint8_t> flags_;  ///< kDirty | kPrefetched | kReferenced
+  std::vector<std::uint32_t> mru_way_;  ///< per-set hint, search order only
 };
 
 }  // namespace memdis::cachesim

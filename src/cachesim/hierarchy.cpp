@@ -20,18 +20,7 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig& cfg, memsim::TieredMemory&
       prefetcher_(with_line(cfg.prefetcher, cfg.l2.line_bytes, mem.page_bytes())),
       pebs_(cfg.pebs_period, mem.page_bytes()) {}
 
-AccessResult CacheHierarchy::access(std::uint64_t vaddr, bool is_store) {
-  if (is_store) {
-    ++counters_.stores;
-  } else {
-    ++counters_.loads;
-  }
-
-  if (l1_.access(vaddr, is_store).hit) {
-    ++counters_.l1_hits;
-    return AccessResult{HitLevel::kL1, memsim::kNodeTier, false};
-  }
-
+AccessResult CacheHierarchy::access_miss(std::uint64_t vaddr, bool is_store) {
   // L1 miss: the L2 access stream is what trains the streamer.
   AccessResult result;
   const auto l2_hit = l2_.access(vaddr, is_store);
@@ -45,29 +34,24 @@ AccessResult CacheHierarchy::access(std::uint64_t vaddr, bool is_store) {
   } else if (l3_.access(vaddr, is_store).hit) {
     ++counters_.l3_hits;
     ++counters_.l2_lines_in;
-    if (auto ev = l2_.fill(vaddr, is_store, /*prefetched=*/false)) handle_l2_eviction(*ev);
+    if (auto ev = l2_.fill_absent(vaddr, is_store, /*prefetched=*/false)) handle_l2_eviction(*ev);
     result = AccessResult{HitLevel::kL3, memsim::kNodeTier, false};
   } else {
     const memsim::TierId tier = dram_fetch(vaddr, /*demand=*/true);
     // PEBS records demand *load* misses (Sec. 3.1); RFO misses are excluded.
     if (!is_store) pebs_.sample(vaddr, tier);
-    if (auto ev = l3_.fill(vaddr, /*dirty=*/false, /*prefetched=*/false))
+    if (auto ev = l3_.fill_absent(vaddr, /*dirty=*/false, /*prefetched=*/false))
       handle_l3_eviction(*ev);
     ++counters_.l2_lines_in;
-    if (auto ev = l2_.fill(vaddr, is_store, /*prefetched=*/false)) handle_l2_eviction(*ev);
+    if (auto ev = l2_.fill_absent(vaddr, is_store, /*prefetched=*/false)) handle_l2_eviction(*ev);
     result = AccessResult{HitLevel::kDram, tier, false};
   }
 
-  if (auto ev = l1_.fill(vaddr, is_store, /*prefetched=*/false)) {
+  if (auto ev = l1_.fill_absent(vaddr, is_store, /*prefetched=*/false)) {
     // Evicted dirty L1 lines write back into the closest level holding them.
-    if (ev->dirty) {
-      if (l2_.contains(ev->line_addr)) {
-        l2_.mark_dirty(ev->line_addr);
-      } else if (l3_.contains(ev->line_addr)) {
-        l3_.mark_dirty(ev->line_addr);
-      } else {
-        writeback_to_dram(ev->line_addr);
-      }
+    if (ev->dirty && !l2_.mark_dirty_if_present(ev->line_addr) &&
+        !l3_.mark_dirty_if_present(ev->line_addr)) {
+      writeback_to_dram(ev->line_addr);
     }
   }
 
@@ -87,11 +71,11 @@ void CacheHierarchy::issue_prefetches(std::uint64_t vaddr, bool is_store) {
     }
     if (!l3_.contains(req.line_addr)) {
       dram_fetch(req.line_addr, /*demand=*/false);
-      if (auto ev = l3_.fill(req.line_addr, false, /*prefetched=*/false))
+      if (auto ev = l3_.fill_absent(req.line_addr, false, /*prefetched=*/false))
         handle_l3_eviction(*ev);
     }
     ++counters_.l2_lines_in;
-    if (auto ev = l2_.fill(req.line_addr, false, /*prefetched=*/true)) handle_l2_eviction(*ev);
+    if (auto ev = l2_.fill_absent(req.line_addr, false, /*prefetched=*/true)) handle_l2_eviction(*ev);
   }
 }
 
@@ -110,13 +94,7 @@ void CacheHierarchy::handle_l2_eviction(const Eviction& ev) {
     ++counters_.useless_hwpf;
     prefetcher_.record_useless();
   }
-  if (ev.dirty) {
-    if (l3_.contains(ev.line_addr)) {
-      l3_.mark_dirty(ev.line_addr);
-    } else {
-      writeback_to_dram(ev.line_addr);
-    }
-  }
+  if (ev.dirty && !l3_.mark_dirty_if_present(ev.line_addr)) writeback_to_dram(ev.line_addr);
 }
 
 void CacheHierarchy::handle_l3_eviction(const Eviction& ev) {
@@ -131,12 +109,8 @@ void CacheHierarchy::writeback_to_dram(std::uint64_t line_addr) {
 
 void CacheHierarchy::drain() {
   l1_.drain([this](const Eviction& ev) {
-    if (!ev.dirty) return;
-    if (l2_.contains(ev.line_addr)) {
-      l2_.mark_dirty(ev.line_addr);
-    } else if (l3_.contains(ev.line_addr)) {
-      l3_.mark_dirty(ev.line_addr);
-    } else {
+    if (ev.dirty && !l2_.mark_dirty_if_present(ev.line_addr) &&
+        !l3_.mark_dirty_if_present(ev.line_addr)) {
       writeback_to_dram(ev.line_addr);
     }
   });
@@ -145,12 +119,7 @@ void CacheHierarchy::drain() {
       ++counters_.useless_hwpf;
       prefetcher_.record_useless();
     }
-    if (!ev.dirty) return;
-    if (l3_.contains(ev.line_addr)) {
-      l3_.mark_dirty(ev.line_addr);
-    } else {
-      writeback_to_dram(ev.line_addr);
-    }
+    if (ev.dirty && !l3_.mark_dirty_if_present(ev.line_addr)) writeback_to_dram(ev.line_addr);
   });
   l3_.drain([this](const Eviction& ev) {
     if (ev.dirty) writeback_to_dram(ev.line_addr);

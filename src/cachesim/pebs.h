@@ -25,8 +25,19 @@ class PebsSampler {
 
   void sample(std::uint64_t vaddr, memsim::TierId tier) {
     expects(tier >= 0 && tier < memsim::kMaxTiers, "tier id out of range");
-    if (++event_counter_ % period_ != 0) return;
-    ++page_counts_[vaddr / page_bytes_];
+    // Count-to-period instead of modulo: fires on events period, 2·period,
+    // ... exactly like the `% period_ == 0` form, without the division.
+    if (++event_counter_ < period_) return;
+    event_counter_ = 0;
+    // One-entry memo: streamed misses sample the same page ~64 lines in a
+    // row, and unordered_map nodes are pointer-stable, so the repeated
+    // hash lookups collapse to one pointer bump. Same final map.
+    const std::uint64_t page = vaddr / page_bytes_;
+    if (page != memo_page_ || memo_count_ == nullptr) {
+      memo_page_ = page;
+      memo_count_ = &page_counts_[page];
+    }
+    ++*memo_count_;
     ++tier_samples_[static_cast<std::size_t>(tier)];
   }
 
@@ -50,6 +61,8 @@ class PebsSampler {
     page_counts_.clear();
     tier_samples_ = {};
     event_counter_ = 0;
+    memo_page_ = ~0ULL;
+    memo_count_ = nullptr;
   }
 
  private:
@@ -57,6 +70,8 @@ class PebsSampler {
   std::uint64_t page_bytes_;
   std::uint64_t event_counter_ = 0;
   std::unordered_map<std::uint64_t, std::uint64_t> page_counts_;
+  std::uint64_t memo_page_ = ~0ULL;
+  std::uint64_t* memo_count_ = nullptr;
   std::array<std::uint64_t, memsim::kMaxTiers> tier_samples_{};
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contract.h"
+#include "common/units.h"
 
 namespace memdis::cachesim {
 
@@ -10,13 +11,28 @@ StreamPrefetcher::StreamPrefetcher(const PrefetcherConfig& cfg) : cfg_(cfg) {
   expects(cfg.num_streams > 0, "need at least one stream entry");
   expects(cfg.max_degree >= 1, "degree must be >= 1");
   expects(cfg.page_bytes % cfg.line_bytes == 0, "page must hold whole lines");
+  expects((cfg.page_bytes & (cfg.page_bytes - 1)) == 0, "page size must be a power of two");
+  expects((cfg.line_bytes & (cfg.line_bytes - 1)) == 0, "line size must be a power of two");
+  page_shift_ = log2_pow2(cfg.page_bytes);
+  line_shift_ = log2_pow2(cfg.line_bytes);
   streams_.resize(cfg.num_streams);
 }
 
 StreamPrefetcher::Stream* StreamPrefetcher::lookup_stream(std::uint64_t page) {
+  // Pages are unique across entries, so probing the hinted entry first
+  // changes only the search order, never which entry matches (and the
+  // LRU allocation choice on a true miss is computed by the same full
+  // scan as before).
+  const std::uint32_t slot = static_cast<std::uint32_t>(page) & (kHintSlots - 1);
+  Stream& hinted = streams_[hint_[slot]];
+  if (hinted.valid && hinted.page == page) return &hinted;
   Stream* lru = &streams_[0];
-  for (auto& s : streams_) {
-    if (s.valid && s.page == page) return &s;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    Stream& s = streams_[i];
+    if (s.valid && s.page == page) {
+      hint_[slot] = static_cast<std::uint32_t>(i);
+      return &s;
+    }
     if (!s.valid || s.last_tick < lru->last_tick) lru = &s;
   }
   // Allocate: replace the LRU entry with a fresh, untrained stream.
@@ -25,6 +41,7 @@ StreamPrefetcher::Stream* StreamPrefetcher::lookup_stream(std::uint64_t page) {
   lru->direction = 0;
   lru->run_length = 0;
   lru->valid = true;
+  hint_[slot] = static_cast<std::uint32_t>(lru - streams_.data());
   return lru;
 }
 
@@ -32,10 +49,10 @@ void StreamPrefetcher::observe(std::uint64_t addr, bool is_store,
                                std::vector<PrefetchRequest>& out) {
   if (!cfg_.enabled) return;
   ++tick_;
-  const std::uint64_t page = addr / cfg_.page_bytes;
-  const auto line_in_page =
-      static_cast<std::int64_t>((addr % cfg_.page_bytes) / cfg_.line_bytes);
-  const auto lines_per_page = static_cast<std::int64_t>(cfg_.page_bytes / cfg_.line_bytes);
+  const std::uint64_t page = addr >> page_shift_;
+  const auto line_in_page = static_cast<std::int64_t>(
+      (addr & (cfg_.page_bytes - 1)) >> line_shift_);
+  const auto lines_per_page = static_cast<std::int64_t>(cfg_.page_bytes >> line_shift_);
 
   Stream& s = *lookup_stream(page);
   const bool fresh = s.last_line < 0;

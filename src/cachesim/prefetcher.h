@@ -9,6 +9,7 @@
 // prefetcher), mirroring real hardware and the CXL non-faulting argument.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -70,6 +71,13 @@ class StreamPrefetcher {
   void age_window();
 
   PrefetcherConfig cfg_;
+  std::uint32_t page_shift_ = 0;  ///< log2(page_bytes), page/line are pow2
+  std::uint32_t line_shift_ = 0;  ///< log2(line_bytes)
+  /// Direct-mapped page→entry lookup hints (search order only: interleaved
+  /// loops rotate several live streams, so a single MRU hint keeps
+  /// missing; hashing the page low bits keeps each stream's slot warm).
+  static constexpr std::uint32_t kHintSlots = 64;
+  std::array<std::uint32_t, kHintSlots> hint_{};
   std::vector<Stream> streams_;
   std::uint64_t tick_ = 0;
   // Aged feedback window; starts optimistic so cold-start is not throttled.

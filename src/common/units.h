@@ -2,10 +2,17 @@
 // bandwidths are decimal GB/s — matching how the paper reports them.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <string>
 
 namespace memdis {
+
+/// log2 of a power of two — the shift behind the simulators' line/page/set
+/// address math (callers validate the power-of-two precondition).
+[[nodiscard]] constexpr std::uint32_t log2_pow2(std::uint64_t v) {
+  return static_cast<std::uint32_t>(std::bit_width(v) - 1);
+}
 
 inline constexpr std::uint64_t KiB = 1024ULL;
 inline constexpr std::uint64_t MiB = 1024ULL * KiB;

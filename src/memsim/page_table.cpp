@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "common/contract.h"
+#include "common/units.h"
 
 namespace memdis::memsim {
 
 TieredMemory::TieredMemory(const MachineConfig& cfg) : page_bytes_(cfg.page_bytes) {
   expects(page_bytes_ > 0 && (page_bytes_ & (page_bytes_ - 1)) == 0,
           "page size must be a power of two");
+  page_shift_ = log2_pow2(page_bytes_);
   cfg.topology.validate();
   const int n = cfg.num_tiers();
   used_.assign(static_cast<std::size_t>(n), 0);
@@ -35,7 +37,17 @@ VRange TieredMemory::alloc(std::uint64_t bytes, MemPolicy policy) {
     page_region_.resize(last_page + 1, 0);
   }
   const auto region_idx = static_cast<std::uint32_t>(regions_.size());
-  regions_.push_back(Region{range, std::move(policy), 0, false});
+  regions_.push_back(Region{range, std::move(policy), 0, false, {}});
+  Region& region = regions_.back();
+  if (region.policy.kind == PlacementKind::kInterleave) {
+    std::uint64_t acc = 0;
+    region.weight_prefix.reserve(region.policy.weights.size());
+    for (const auto w : region.policy.weights) {
+      acc += w;
+      region.weight_prefix.push_back(acc);
+    }
+    expects(acc > 0, "interleave weights must not all be zero");
+  }
   for (std::uint64_t p = page_of(range.base); p <= last_page; ++p) page_region_[p] = region_idx;
   return range;
 }
@@ -46,6 +58,7 @@ void TieredMemory::free(const VRange& range) {
   expects(region != nullptr && region->range.base == range.base, "free must match an allocation");
   expects(!region->freed, "double free");
   region->freed = true;
+  memo_page_ = ~0ULL;  // the memoized page may be in this range
   for (std::uint64_t p = page_of(range.base); p <= page_of(range.end() - 1); ++p) {
     if (page_tier_[p] >= 0 && page_tier_[p] < kFreedBase) {
       used_[static_cast<std::size_t>(page_tier_[p])] -= page_bytes_;
@@ -57,20 +70,31 @@ void TieredMemory::free(const VRange& range) {
 TierId TieredMemory::touch(std::uint64_t vaddr) {
   expects(vaddr >= kVaBase && vaddr < bump_, "touch of unallocated address");
   const std::uint64_t page = page_of(vaddr);
-  if (page_tier_[page] >= 0 && page_tier_[page] < kFreedBase)
-    return static_cast<TierId>(page_tier_[page]);
+  if (page == memo_page_) return memo_tier_;  // resident, tier unchanged
+  if (page_tier_[page] >= 0 && page_tier_[page] < kFreedBase) {
+    memo_page_ = page;
+    memo_tier_ = static_cast<TierId>(page_tier_[page]);
+    return memo_tier_;
+  }
   expects(page_tier_[page] == kUntouched, "touch after free");
   Region& region = regions_[page_region_[page]];
   expects(!region.freed, "use after free");
-  return place_page(region, page);
+  const TierId t = place_page(region, page);
+  memo_page_ = page;
+  memo_tier_ = t;
+  return t;
 }
 
 TierId TieredMemory::tier_of(std::uint64_t vaddr) const {
   expects(vaddr >= kVaBase && vaddr < bump_, "tier_of unallocated address");
   const std::uint64_t page = page_of(vaddr);
+  if (page == memo_page_) return memo_tier_;  // resident, tier unchanged
   expects(page_tier_[page] != kUntouched, "tier_of untouched page");
   const std::int8_t enc = page_tier_[page];
-  return static_cast<TierId>(enc >= kFreedBase ? enc - kFreedBase : enc);
+  if (enc >= kFreedBase) return static_cast<TierId>(enc - kFreedBase);  // tombstone: no memo
+  memo_page_ = page;
+  memo_tier_ = static_cast<TierId>(enc);
+  return static_cast<TierId>(enc);
 }
 
 bool TieredMemory::resident(std::uint64_t vaddr) const {
@@ -82,6 +106,7 @@ bool TieredMemory::resident(std::uint64_t vaddr) const {
 std::uint64_t TieredMemory::migrate(const VRange& range, TierId dst) {
   expects(range.bytes > 0, "migrate of empty range");
   expects(dst >= 0 && dst < num_tiers(), "migrate to a tier outside the topology");
+  memo_page_ = ~0ULL;  // moved pages invalidate the translation memo
   std::uint64_t moved = 0;
   for (std::uint64_t p = page_of(range.base); p <= page_of(range.end() - 1); ++p) {
     if (page_tier_[p] < 0 || page_tier_[p] >= kFreedBase) continue;
@@ -183,20 +208,14 @@ TierId TieredMemory::place_page(Region& region, std::uint64_t page) {
       return pol.target;
     }
     case PlacementKind::kInterleave: {
-      std::uint64_t period = 0;
-      for (const auto w : pol.weights) period += w;
-      expects(period > 0, "interleave weights must not all be zero");
+      // The prefix sums were computed once at alloc(): the slot's owner is
+      // the first tier whose inclusive prefix exceeds it (identical to the
+      // former per-page walk of the weight vector).
+      const std::uint64_t period = region.weight_prefix.back();
       const std::uint64_t slot = region.interleave_cursor++ % period;
-      // Walk the weight vector to find the tier owning this slot.
-      TierId want = 0;
-      std::uint64_t acc = 0;
-      for (std::size_t i = 0; i < pol.weights.size(); ++i) {
-        acc += pol.weights[i];
-        if (slot < acc) {
-          want = static_cast<TierId>(i);
-          break;
-        }
-      }
+      const auto it = std::upper_bound(region.weight_prefix.begin(),
+                                       region.weight_prefix.end(), slot);
+      TierId want = static_cast<TierId>(it - region.weight_prefix.begin());
       if (!tier_has_room(want)) want = fallback_tier(want);
       if (want < 0) throw OutOfMemoryError("all tiers exhausted");
       assign(page, want);

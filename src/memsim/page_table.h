@@ -115,6 +115,11 @@ class TieredMemory {
     MemPolicy policy;
     std::uint64_t interleave_cursor = 0;  // pages placed so far (for N:M)
     bool freed = false;
+    /// Inclusive prefix sums of the interleave weights, precomputed at
+    /// alloc() so place_page resolves a slot with one upper_bound instead
+    /// of re-walking the weight vector per page. Empty for non-interleave
+    /// policies; the last entry is the interleave period.
+    std::vector<std::uint64_t> weight_prefix;
   };
 
   // page_tier_ encoding: kUntouched, tier id while resident, or
@@ -125,7 +130,7 @@ class TieredMemory {
   static constexpr std::int8_t kFreedBase = kMaxTiers;
 
   [[nodiscard]] std::uint64_t page_of(std::uint64_t vaddr) const {
-    return (vaddr - kVaBase) / page_bytes_;
+    return (vaddr - kVaBase) >> page_shift_;
   }
   Region* region_of(std::uint64_t vaddr);
   TierId place_page(Region& region, std::uint64_t page);
@@ -140,6 +145,16 @@ class TieredMemory {
   static constexpr std::uint64_t kVaBase = 0x10000000ULL;
 
   std::uint64_t page_bytes_;
+  std::uint32_t page_shift_ = 0;  ///< log2(page_bytes); pow2 enforced
+  /// One-entry translation memo: the last page resolved by touch() or
+  /// tier_of(). The engine's access stream has strong page locality (64
+  /// lines/page), so most translations re-resolve the previous page; the
+  /// memo returns the cached tier without re-reading the page table. Only
+  /// *resident* pages are memoized, and anything that can change a
+  /// resident page's tier or validity (migrate, free) drops the memo.
+  /// Mutable: tier_of() is logically const, the memo is pure caching.
+  mutable std::uint64_t memo_page_ = ~0ULL;
+  mutable TierId memo_tier_ = -1;
   std::uint64_t bump_ = kVaBase;
   std::vector<std::int8_t> page_tier_;   // indexed by page number, -1 untouched
   std::vector<std::uint32_t> page_region_;  // region index per page

@@ -8,6 +8,7 @@
 // baseline deliberately leaves a temporary object unfreed — Sec. 7.1).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -78,6 +79,34 @@ class Array {
     eng_->load(addr_of(i), sizeof(T));
     data_[i] = f(data_[i]);
     eng_->store(addr_of(i), sizeof(T));
+  }
+
+  // ---- bulk instrumentation ------------------------------------------------
+  // Range counterparts of ld/st/rmw over elements [i, i+count): each is
+  // bit-identical to the element-wise loop but runs on the engine's batched
+  // fast path. They drive *instrumentation only* — host data is read or
+  // written separately through raw()/raw_mutable(), exactly like the
+  // eng.load(addr_of(i), ...) idiom in workload inner loops.
+
+  /// ≡ for (k = i; k < i+count; ++k) eng.load(addr_of(k), sizeof(T));
+  void ld_range(std::size_t i, std::size_t count) const {
+    eng_->load_range(addr_of(i), static_cast<std::uint64_t>(count) * sizeof(T), sizeof(T));
+  }
+  /// ≡ for (k...) eng.store(addr_of(k), sizeof(T));
+  void st_range(std::size_t i, std::size_t count) {
+    eng_->store_range(addr_of(i), static_cast<std::uint64_t>(count) * sizeof(T), sizeof(T));
+  }
+  /// ≡ for (k...) { eng.load(addr_of(k), ...); eng.store(addr_of(k), ...); }
+  void rmw_range(std::size_t i, std::size_t count) {
+    eng_->rmw_range(addr_of(i), static_cast<std::uint64_t>(count) * sizeof(T), sizeof(T));
+  }
+
+  /// Host fill + store instrumentation for elements [i, i+count) — the
+  /// initialization-stream idiom (`for v: a.st(v, value)`) in one call.
+  void fill_range(std::size_t i, std::size_t count, const T& value) {
+    std::fill(data_.begin() + static_cast<std::ptrdiff_t>(i),
+              data_.begin() + static_cast<std::ptrdiff_t>(i + count), value);
+    st_range(i, count);
   }
 
   /// Proxy reference so workload code can read naturally: `x = A[i]; A[i] = y;`.

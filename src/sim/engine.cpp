@@ -1,14 +1,32 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/contract.h"
 #include "common/units.h"
 
 namespace memdis::sim {
 
+namespace {
+std::atomic<bool> g_bulk_fast_path_default{true};
+}  // namespace
+
+bool bulk_fast_path_default() { return g_bulk_fast_path_default.load(std::memory_order_relaxed); }
+void set_bulk_fast_path_default(bool on) {
+  g_bulk_fast_path_default.store(on, std::memory_order_relaxed);
+}
+
 Engine::Engine(const EngineConfig& cfg)
     : cfg_(cfg), memory_(cfg.machine), hierarchy_(cfg.hierarchy, memory_) {
+  const auto& m = cfg_.machine;
+  expects(m.cacheline_bytes > 0 && (m.cacheline_bytes & (m.cacheline_bytes - 1)) == 0,
+          "cacheline size must be a power of two");
+  expects(m.page_bytes > 0 && (m.page_bytes & (m.page_bytes - 1)) == 0,
+          "page size must be a power of two");
+  line_bytes_ = m.cacheline_bytes;
+  line_mask_ = m.cacheline_bytes - 1;
+  page_shift_ = log2_pow2(m.page_bytes);
   const auto& topo = cfg_.machine.topology;
   links_.reserve(static_cast<std::size_t>(topo.num_tiers()));
   for (memsim::TierId t = 0; t < topo.num_tiers(); ++t) {
@@ -77,51 +95,374 @@ memsim::VRange Engine::alloc(std::uint64_t bytes, memsim::MemPolicy policy, std:
     policy = *cfg_.default_policy_override;
   }
   const memsim::VRange range = memory_.alloc(bytes, std::move(policy));
+  alloc_index_.emplace(range.base, allocations_.size());
   allocations_.push_back(AllocationInfo{std::move(name), range, false});
   return range;
 }
 
 void Engine::free(const memsim::VRange& range) {
   memory_.free(range);
-  for (auto& info : allocations_) {
-    if (info.range.base == range.base) info.freed = true;
+  const auto it = alloc_index_.find(range.base);
+  if (it != alloc_index_.end()) allocations_[it->second].freed = true;
+}
+
+// ---- bulk access streams ----------------------------------------------------
+
+void Engine::range_element_loop(std::uint64_t addr, std::uint64_t bytes, std::uint32_t elem,
+                                RangeKind kind) {
+  const std::uint64_t end = addr + bytes;
+  switch (kind) {
+    case RangeKind::kLoad:
+      for (std::uint64_t a = addr; a < end; a += elem) load(a, elem);
+      break;
+    case RangeKind::kStore:
+      for (std::uint64_t a = addr; a < end; a += elem) store(a, elem);
+      break;
+    case RangeKind::kRmw:
+      for (std::uint64_t a = addr; a < end; a += elem) {
+        load(a, elem);
+        store(a, elem);
+      }
+      break;
+    case RangeKind::kStoreLoad:
+      for (std::uint64_t a = addr; a < end; a += elem) {
+        store(a, elem);
+        load(a, elem);
+      }
+      break;
   }
 }
 
-void Engine::load(std::uint64_t addr, std::uint32_t size) {
-  expects(size > 0, "load of zero bytes");
-  const std::uint64_t line = cfg_.machine.cacheline_bytes;
-  const std::uint64_t first = addr / line;
-  const std::uint64_t last = (addr + size - 1) / line;
-  for (std::uint64_t l = first; l <= last; ++l) {
-    const auto res = hierarchy_.access(l * line, /*is_store=*/false);
-    on_demand_access(l * line, res.level);
+bool Engine::line_run_fast(std::uint64_t line_addr, std::uint64_t loads, std::uint64_t stores,
+                           bool first_is_store, BulkAcc& acc) {
+  const std::uint64_t r = loads + stores;
+  // Accesses left before the epoch closes. If the boundary falls inside
+  // (or exactly at the end of) this run, the caller replays it
+  // access-by-access so close_epoch() fires at the identical access.
+  const std::uint64_t room = cfg_.epoch_accesses - epoch_demand_accesses_;
+  if (r >= room) return false;
+  if (hierarchy_.try_l1_run(line_addr, stores != 0, r)) {
+    // Pure L1-hit run: no page samples (sampling fires on non-L1 only).
+    acc.loads += loads;
+    acc.stores += stores;
+    epoch_demand_accesses_ += r;
+    return true;
   }
-}
-
-void Engine::store(std::uint64_t addr, std::uint32_t size) {
-  expects(size > 0, "store of zero bytes");
-  const std::uint64_t line = cfg_.machine.cacheline_bytes;
-  const std::uint64_t first = addr / line;
-  const std::uint64_t last = (addr + size - 1) / line;
-  for (std::uint64_t l = first; l <= last; ++l) {
-    const auto res = hierarchy_.access(l * line, /*is_store=*/true);
-    on_demand_access(l * line, res.level);
-  }
-}
-
-void Engine::on_demand_access(std::uint64_t addr, cachesim::HitLevel level) {
-  // Page-access sampling fires at L1-miss granularity — where PEBS
-  // demand-load-miss events fire on the paper's testbed. L1 hits (register
-  // and stack-like reuse) carry no bandwidth and are excluded so the Fig. 6
-  // curves weigh pages by memory-system traffic, not raw instruction count.
-  if (level != cachesim::HitLevel::kL1 &&
+  // Leading access misses L1: the unavoidable full walk, identical to the
+  // element-wise path (counters written directly, page sampler advanced).
+  // The failed run probe already established the L1 miss.
+  const auto res = hierarchy_.access_after_l1_miss(line_addr, first_is_store);
+  if (res.level != cachesim::HitLevel::kL1 &&
       ++page_sample_counter_ >= cfg_.page_sample_period) {
     page_sample_counter_ = 0;
-    ++page_hist_[addr / cfg_.machine.page_bytes];
+    bump_page_hist(line_addr >> page_shift_);
   }
-  if (++epoch_demand_accesses_ >= cfg_.epoch_accesses) close_epoch();
+  if (r > 1) {
+    // The remaining r-1 accesses hit the line just filled into L1.
+    const std::uint64_t tail_loads = loads - (first_is_store ? 0 : 1);
+    const std::uint64_t tail_stores = stores - (first_is_store ? 1 : 0);
+    hierarchy_.l1_touch_run(line_addr, tail_stores != 0, r - 1);
+    acc.loads += tail_loads;
+    acc.stores += tail_stores;
+  }
+  epoch_demand_accesses_ += r;  // stays below the epoch threshold: r < room
+  return true;
 }
+
+void Engine::range_access(std::uint64_t addr, std::uint64_t bytes, std::uint32_t elem,
+                          RangeKind kind) {
+  expects(bytes > 0, "range of zero bytes");
+  expects(elem > 0, "range with zero element size");
+  expects(bytes % elem == 0, "range must hold whole elements");
+  // The fast path requires elements that never straddle a cacheline
+  // (element size divides the line and the base is element-aligned);
+  // anything else decomposes to the reference loop — still exact.
+  if (!cfg_.bulk_fast_path || line_bytes_ % elem != 0 || addr % elem != 0) {
+    range_element_loop(addr, bytes, elem, kind);
+    return;
+  }
+  BulkAcc acc;
+  std::uint64_t a = addr;
+  const std::uint64_t end = addr + bytes;
+  while (a < end) {
+    const std::uint64_t line_start = a & ~line_mask_;
+    const std::uint64_t seg_end = std::min(end, line_start + line_bytes_);
+    const std::uint64_t k = (seg_end - a) / elem;  // elements in this line
+    bool ok = false;
+    switch (kind) {
+      case RangeKind::kLoad:
+        ok = line_run_fast(line_start, k, 0, /*first_is_store=*/false, acc);
+        break;
+      case RangeKind::kStore:
+        ok = line_run_fast(line_start, 0, k, /*first_is_store=*/true, acc);
+        break;
+      case RangeKind::kRmw:
+        ok = line_run_fast(line_start, k, k, /*first_is_store=*/false, acc);
+        break;
+      case RangeKind::kStoreLoad:
+        ok = line_run_fast(line_start, k, k, /*first_is_store=*/true, acc);
+        break;
+    }
+    if (!ok) {  // epoch boundary inside the run: exact access-by-access replay
+      flush_bulk(acc);
+      switch (kind) {
+        case RangeKind::kLoad:
+          for (std::uint64_t i = 0; i < k; ++i) access_one(line_start, false);
+          break;
+        case RangeKind::kStore:
+          for (std::uint64_t i = 0; i < k; ++i) access_one(line_start, true);
+          break;
+        case RangeKind::kRmw:
+          for (std::uint64_t i = 0; i < k; ++i) {
+            access_one(line_start, false);
+            access_one(line_start, true);
+          }
+          break;
+        case RangeKind::kStoreLoad:
+          for (std::uint64_t i = 0; i < k; ++i) {
+            access_one(line_start, true);
+            access_one(line_start, false);
+          }
+          break;
+      }
+    }
+    a = seg_end;
+  }
+  flush_bulk(acc);
+}
+
+void Engine::load_range(std::uint64_t addr, std::uint64_t bytes, std::uint32_t elem_bytes) {
+  range_access(addr, bytes, elem_bytes, RangeKind::kLoad);
+}
+void Engine::store_range(std::uint64_t addr, std::uint64_t bytes, std::uint32_t elem_bytes) {
+  range_access(addr, bytes, elem_bytes, RangeKind::kStore);
+}
+void Engine::rmw_range(std::uint64_t addr, std::uint64_t bytes, std::uint32_t elem_bytes) {
+  range_access(addr, bytes, elem_bytes, RangeKind::kRmw);
+}
+void Engine::store_load_range(std::uint64_t addr, std::uint64_t bytes,
+                              std::uint32_t elem_bytes) {
+  range_access(addr, bytes, elem_bytes, RangeKind::kStoreLoad);
+}
+
+void Engine::strided_access(std::uint64_t addr, std::uint64_t count, std::uint64_t stride,
+                            std::uint32_t elem, bool is_store) {
+  expects(count > 0, "strided range of zero elements");
+  expects(elem > 0, "strided range with zero element size");
+  expects(stride > 0, "strided range with zero stride");
+  if (!cfg_.bulk_fast_path || line_bytes_ % elem != 0 || addr % elem != 0 ||
+      stride % elem != 0) {
+    for (std::uint64_t k = 0; k < count; ++k) {
+      if (is_store) {
+        store(addr + k * stride, elem);
+      } else {
+        load(addr + k * stride, elem);
+      }
+    }
+    return;
+  }
+  // Elements are line-contained; group consecutive same-line elements into
+  // runs (stride < line keeps several elements per line, stride >= line
+  // makes every run a single access).
+  BulkAcc acc;
+  std::uint64_t run_line = ~0ULL;
+  std::uint64_t run_k = 0;
+  const auto emit = [&](std::uint64_t line, std::uint64_t k) {
+    const bool ok = is_store ? line_run_fast(line, 0, k, true, acc)
+                             : line_run_fast(line, k, 0, false, acc);
+    if (!ok) {
+      flush_bulk(acc);
+      for (std::uint64_t i = 0; i < k; ++i) access_one(line, is_store);
+    }
+  };
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const std::uint64_t line = (addr + k * stride) & ~line_mask_;
+    if (line == run_line) {
+      ++run_k;
+      continue;
+    }
+    if (run_k != 0) emit(run_line, run_k);
+    run_line = line;
+    run_k = 1;
+  }
+  if (run_k != 0) emit(run_line, run_k);
+  flush_bulk(acc);
+}
+
+void Engine::load_strided(std::uint64_t addr, std::uint64_t count, std::uint64_t stride_bytes,
+                          std::uint32_t elem_bytes) {
+  strided_access(addr, count, stride_bytes, elem_bytes, /*is_store=*/false);
+}
+void Engine::store_strided(std::uint64_t addr, std::uint64_t count, std::uint64_t stride_bytes,
+                           std::uint32_t elem_bytes) {
+  strided_access(addr, count, stride_bytes, elem_bytes, /*is_store=*/true);
+}
+
+void Engine::pair_range_access(std::uint64_t a, std::uint32_t elem_a, std::uint64_t b,
+                               std::uint32_t elem_b, std::uint64_t count, bool is_store) {
+  expects(count > 0, "paired range of zero elements");
+  expects(elem_a > 0 && elem_b > 0, "paired range with zero element size");
+  const auto slow_iter = [&](std::uint64_t k) {
+    if (is_store) {
+      store(a + k * elem_a, elem_a);
+      store(b + k * elem_b, elem_b);
+    } else {
+      load(a + k * elem_a, elem_a);
+      load(b + k * elem_b, elem_b);
+    }
+  };
+  if (!cfg_.bulk_fast_path || line_bytes_ % elem_a != 0 || a % elem_a != 0 ||
+      line_bytes_ % elem_b != 0 || b % elem_b != 0) {
+    for (std::uint64_t k = 0; k < count; ++k) slow_iter(k);
+    return;
+  }
+  BulkAcc acc;
+  std::uint64_t k = 0;
+  while (k < count) {
+    const std::uint64_t addr_a = a + k * elem_a;
+    const std::uint64_t addr_b = b + k * elem_b;
+    const std::uint64_t line_a = addr_a & ~line_mask_;
+    const std::uint64_t line_b = addr_b & ~line_mask_;
+    // Iterations both streams spend in their current lines (elements are
+    // line-contained and element-aligned, so these divide exactly).
+    const std::uint64_t in_a = (line_a + line_bytes_ - addr_a) / elem_a;
+    const std::uint64_t in_b = (line_b + line_bytes_ - addr_b) / elem_b;
+    const std::uint64_t n = std::min({in_a, in_b, count - k});
+    const std::uint64_t room = cfg_.epoch_accesses - epoch_demand_accesses_;
+    if (2 * n >= room || !hierarchy_.l1_contains(line_a) ||
+        !hierarchy_.l1_contains(line_b)) {
+      // Epoch boundary nearby or a line not yet in L1: run one iteration
+      // through the exact element-wise path (which performs any fills and
+      // closes the epoch at the precise access), then re-derive the window.
+      flush_bulk(acc);
+      slow_iter(k);
+      ++k;
+      continue;
+    }
+    // Both lines are L1-resident: all 2n accesses are hits, applied as one
+    // interleaved run (A then B per iteration; B's line holds the final
+    // LRU tick, exactly as the element-wise sequence would leave it).
+    hierarchy_.l1_pair_run(line_a, line_b, is_store, n);
+    if (is_store) {
+      acc.stores += 2 * n;
+    } else {
+      acc.loads += 2 * n;
+    }
+    epoch_demand_accesses_ += 2 * n;
+    k += n;
+  }
+  flush_bulk(acc);
+}
+
+void Engine::stream_range(const StreamLane* lanes, std::size_t num_lanes,
+                          std::uint64_t count) {
+  expects(num_lanes > 0, "stream_range without lanes");
+  expects(count > 0, "stream_range of zero iterations");
+  for (std::size_t i = 0; i < num_lanes; ++i)
+    expects(lanes[i].elem > 0 && lanes[i].stride > 0,
+            "stream lane with zero element size or stride");
+  const auto emit_iter = [&](std::uint64_t k) {
+    for (std::size_t i = 0; i < num_lanes; ++i) {
+      const StreamLane& ln = lanes[i];
+      const std::uint64_t a = ln.base + k * ln.stride;
+      switch (ln.op) {
+        case StreamLane::Op::kLoad:
+          load(a, ln.elem);
+          break;
+        case StreamLane::Op::kStore:
+          store(a, ln.elem);
+          break;
+        case StreamLane::Op::kRmw:
+          load(a, ln.elem);
+          store(a, ln.elem);
+          break;
+      }
+    }
+  };
+  constexpr std::size_t kMaxLanes = 16;
+  bool fast = cfg_.bulk_fast_path && num_lanes <= kMaxLanes;
+  for (std::size_t i = 0; fast && i < num_lanes; ++i) {
+    const StreamLane& ln = lanes[i];
+    // Line-contained, element-aligned lanes only (same rule as the other
+    // range entry points); anything else runs the reference emission.
+    if (line_bytes_ % ln.elem != 0 || ln.base % ln.elem != 0 || ln.stride % ln.elem != 0)
+      fast = false;
+  }
+  if (!fast) {
+    for (std::uint64_t k = 0; k < count; ++k) emit_iter(k);
+    return;
+  }
+
+  // Per-iteration access count and each lane's final-access position within
+  // one iteration (an rmw lane's store is its last access).
+  std::uint32_t pos[kMaxLanes];
+  std::uint32_t accesses_per_iter = 0;
+  for (std::size_t i = 0; i < num_lanes; ++i) {
+    accesses_per_iter += lanes[i].op == StreamLane::Op::kRmw ? 2 : 1;
+    pos[i] = accesses_per_iter;
+  }
+  std::uint64_t lane_line[kMaxLanes];
+  std::size_t handle[kMaxLanes];
+  bool handles_valid = false;  // false → re-resolve every lane (post-fill)
+  BulkAcc acc;
+  std::uint64_t k = 0;
+  while (k < count) {
+    // Window: iterations every lane spends inside its current cacheline.
+    std::uint64_t n = count - k;
+    bool any_miss = false;
+    for (std::size_t i = 0; i < num_lanes; ++i) {
+      const StreamLane& ln = lanes[i];
+      const std::uint64_t addr = ln.base + k * ln.stride;
+      const std::uint64_t line = addr & ~line_mask_;
+      const std::uint64_t in_line = (line + line_bytes_ - 1 - addr) / ln.stride + 1;
+      n = std::min(n, in_line);
+      if (!handles_valid || line != lane_line[i]) {
+        lane_line[i] = line;
+        handle[i] = hierarchy_.l1_index_of(line);
+      }
+      any_miss = any_miss || handle[i] == cachesim::CacheHierarchy::l1_npos;
+    }
+    const std::uint64_t total = n * accesses_per_iter;
+    const std::uint64_t room = cfg_.epoch_accesses - epoch_demand_accesses_;
+    if (any_miss || total >= room) {
+      // A lane's line is not resident (the element-wise path performs the
+      // fill) or the epoch boundary falls inside the window (the element-
+      // wise path closes it at the precise access). One exact iteration,
+      // then re-resolve: fills may have evicted or moved any lane's line.
+      flush_bulk(acc);
+      emit_iter(k);
+      ++k;
+      handles_valid = false;
+      continue;
+    }
+    // Every access in the window is an L1 hit: apply each lane's net batch
+    // effect. Applying in lane order makes the latest lane win on shared
+    // lines, exactly like the element-wise sequence.
+    const std::uint64_t t_end = hierarchy_.l1_advance_tick(total);
+    for (std::size_t i = 0; i < num_lanes; ++i) {
+      const StreamLane::Op op = lanes[i].op;
+      hierarchy_.l1_touch_at(handle[i], op != StreamLane::Op::kLoad,
+                             t_end - (accesses_per_iter - pos[i]));
+      if (op != StreamLane::Op::kStore) acc.loads += n;
+      if (op != StreamLane::Op::kLoad) acc.stores += n;
+    }
+    epoch_demand_accesses_ += total;
+    handles_valid = true;
+    k += n;
+  }
+  flush_bulk(acc);
+}
+
+void Engine::load_pair_range(std::uint64_t a, std::uint32_t elem_a, std::uint64_t b,
+                             std::uint32_t elem_b, std::uint64_t count) {
+  pair_range_access(a, elem_a, b, elem_b, count, /*is_store=*/false);
+}
+void Engine::store_pair_range(std::uint64_t a, std::uint32_t elem_a, std::uint64_t b,
+                              std::uint32_t elem_b, std::uint64_t count) {
+  pair_range_access(a, elem_a, b, elem_b, count, /*is_store=*/true);
+}
+
+// ---- phases & epochs --------------------------------------------------------
 
 void Engine::pf_start(std::string tag) {
   expects(current_phase_.empty(), "nested pf_start without pf_stop");

@@ -16,6 +16,19 @@
 // (Sec. 4.2) and off-node latency its sting when coverage is low (XSBench,
 // Sec. 5.1). With a two-tier topology this reduces exactly to the paper's
 // bytes_L/bytes_R formulation.
+//
+// ---- bulk access streams ---------------------------------------------------
+// Element-wise load()/store() is the reference instrumentation; the range
+// API (load_range/store_range/rmw_range/store_load_range, the strided and
+// paired variants) expresses the same access *sequence* declaratively so
+// the engine can execute it on a fast path: runs of consecutive accesses to
+// one cacheline are resolved with a single L1 probe and O(1) state update,
+// and their counter updates accumulate in registers until the batch ends.
+// The fast path is exact — counters, epoch boundaries, page samples, cache
+// and prefetcher state are bit-identical to the element loop each range
+// call documents (an epoch boundary falling inside a run is replayed
+// access-by-access). `EngineConfig::bulk_fast_path = false` forces the
+// reference decomposition; the determinism suite byte-compares the two.
 #pragma once
 
 #include <cstdint>
@@ -26,12 +39,19 @@
 #include <vector>
 
 #include "cachesim/hierarchy.h"
+#include "common/contract.h"
 #include "memsim/link.h"
 #include "memsim/loi_schedule.h"
 #include "memsim/machine.h"
 #include "memsim/page_table.h"
 
 namespace memdis::sim {
+
+/// Process-wide default for EngineConfig::bulk_fast_path. The determinism
+/// tests flip this to run whole scenarios through the element-wise
+/// reference decomposition of the range API.
+[[nodiscard]] bool bulk_fast_path_default();
+void set_bulk_fast_path_default(bool on);
 
 struct EngineConfig {
   memsim::MachineConfig machine = memsim::MachineConfig::skylake_testbed();
@@ -58,6 +78,10 @@ struct EngineConfig {
   /// everything else follows the overridden system default. Used for the
   /// weighted-interleave experiments (Sec. 2.2, "Low Porting Efforts").
   std::optional<memsim::MemPolicy> default_policy_override;
+  /// When false, every range/strided/paired call decomposes into the
+  /// element-wise loop it documents (bit-identical, slower) — the reference
+  /// path for the fast-path correctness gate.
+  bool bulk_fast_path = bulk_fast_path_default();
 };
 
 /// One closed epoch: the unit of the profiler's per-interval timelines
@@ -135,11 +159,79 @@ class Engine {
 
   // ---- instrumented access & compute --------------------------------------
   /// Demand load of `size` bytes at simulated address `addr`.
-  void load(std::uint64_t addr, std::uint32_t size);
+  void load(std::uint64_t addr, std::uint32_t size) {
+    expects(size > 0, "load of zero bytes");
+    const std::uint64_t first = addr & ~line_mask_;
+    const std::uint64_t last = (addr + size - 1) & ~line_mask_;
+    for (std::uint64_t l = first; l <= last; l += line_bytes_) access_one(l, false);
+  }
   /// Demand store of `size` bytes.
-  void store(std::uint64_t addr, std::uint32_t size);
+  void store(std::uint64_t addr, std::uint32_t size) {
+    expects(size > 0, "store of zero bytes");
+    const std::uint64_t first = addr & ~line_mask_;
+    const std::uint64_t last = (addr + size - 1) & ~line_mask_;
+    for (std::uint64_t l = first; l <= last; l += line_bytes_) access_one(l, true);
+  }
   /// Accounts `n` floating-point operations.
   void flops(std::uint64_t n) { pending_flops_ += n; }
+
+  // ---- bulk access streams -------------------------------------------------
+  // Each call is defined by (and bit-identical with) the element-wise loop
+  // in its comment; `bytes` must be a whole number of `elem_bytes` elements.
+
+  /// for (a = addr; a < addr+bytes; a += elem_bytes) load(a, elem_bytes);
+  void load_range(std::uint64_t addr, std::uint64_t bytes, std::uint32_t elem_bytes);
+  /// for (...) store(a, elem_bytes);
+  void store_range(std::uint64_t addr, std::uint64_t bytes, std::uint32_t elem_bytes);
+  /// for (...) { load(a, elem_bytes); store(a, elem_bytes); }  — read-modify-
+  /// write sweeps (e.g. LBench's update pass, BFS's prefix sum).
+  void rmw_range(std::uint64_t addr, std::uint64_t bytes, std::uint32_t elem_bytes);
+  /// for (...) { store(a, elem_bytes); load(a, elem_bytes); }  — regenerate-
+  /// then-read passes (e.g. HPL's pdtest matrix regeneration).
+  void store_load_range(std::uint64_t addr, std::uint64_t bytes, std::uint32_t elem_bytes);
+
+  /// for (k = 0; k < count; ++k) load(addr + k*stride_bytes, elem_bytes);
+  /// The strided variant for column sweeps over row-major data.
+  void load_strided(std::uint64_t addr, std::uint64_t count, std::uint64_t stride_bytes,
+                    std::uint32_t elem_bytes);
+  /// for (k...) store(addr + k*stride_bytes, elem_bytes);
+  void store_strided(std::uint64_t addr, std::uint64_t count, std::uint64_t stride_bytes,
+                     std::uint32_t elem_bytes);
+
+  /// for (k = 0; k < count; ++k) { load(a + k*elem_a, elem_a);
+  ///                               load(b + k*elem_b, elem_b); }
+  /// Two interleaved sequential streams advanced in lockstep — the
+  /// index/value sweep idiom of sparse codes (SuperLU's rowidx/val columns,
+  /// nekRS's gather+field loads).
+  void load_pair_range(std::uint64_t a, std::uint32_t elem_a, std::uint64_t b,
+                       std::uint32_t elem_b, std::uint64_t count);
+  /// for (k...) { store(a + k*elem_a, elem_a); store(b + k*elem_b, elem_b); }
+  void store_pair_range(std::uint64_t a, std::uint32_t elem_a, std::uint64_t b,
+                        std::uint32_t elem_b, std::uint64_t count);
+
+  /// One lane of an interleaved multi-stream sweep (stream_range).
+  struct StreamLane {
+    enum class Op : std::uint8_t { kLoad, kStore, kRmw };  // kRmw: load then store
+    std::uint64_t base = 0;    ///< address of the lane's element 0
+    std::uint64_t stride = 0;  ///< bytes between consecutive elements
+    std::uint32_t elem = 0;    ///< bytes accessed per element
+    Op op = Op::kLoad;
+  };
+
+  /// The general interleaved sweep — fused multi-vector loops (PCG axpy
+  /// passes, stencil updates) where several arrays advance in lockstep:
+  ///
+  ///   for (k = 0; k < count; ++k)
+  ///     for (lane : lanes)
+  ///       kLoad:  load(lane.base + k*lane.stride, lane.elem)
+  ///       kStore: store(...)
+  ///       kRmw:   load(...); store(...)
+  ///
+  /// Lanes may target the same array (e.g. a trailing re-store). The fast
+  /// path batches whole iterations while every lane's current cacheline is
+  /// L1-resident, falling back to the exact element-wise emission around
+  /// line transitions, epoch boundaries, and misses.
+  void stream_range(const StreamLane* lanes, std::size_t num_lanes, std::uint64_t count);
 
   // ---- phase tagging (the profiler API pf_start/pf_stop of Sec. 3.1) -----
   void pf_start(std::string tag);
@@ -207,7 +299,69 @@ class Engine {
   void set_epoch_callback(std::function<void(Engine&)> cb) { epoch_cb_ = std::move(cb); }
 
  private:
-  void on_demand_access(std::uint64_t addr, cachesim::HitLevel level);
+  /// Per-batch counter accumulator for L1-hit runs; flushed into the
+  /// hierarchy's HwCounters before any epoch can close and at batch end.
+  struct BulkAcc {
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+  };
+  enum class RangeKind : std::uint8_t { kLoad, kStore, kRmw, kStoreLoad };
+
+  /// One demand access to a line-aligned address — the element-wise hot
+  /// path (also the exact replay primitive for batched runs).
+  void access_one(std::uint64_t line_addr, bool is_store) {
+    const auto res = hierarchy_.access(line_addr, is_store);
+    on_demand_access(line_addr, res.level);
+  }
+  void on_demand_access(std::uint64_t addr, cachesim::HitLevel level) {
+    // Page-access sampling fires at L1-miss granularity — where PEBS
+    // demand-load-miss events fire on the paper's testbed. L1 hits
+    // (register and stack-like reuse) carry no bandwidth and are excluded
+    // so the Fig. 6 curves weigh pages by memory-system traffic, not raw
+    // instruction count.
+    if (level != cachesim::HitLevel::kL1 &&
+        ++page_sample_counter_ >= cfg_.page_sample_period) {
+      page_sample_counter_ = 0;
+      bump_page_hist(addr >> page_shift_);
+    }
+    if (++epoch_demand_accesses_ >= cfg_.epoch_accesses) close_epoch();
+  }
+
+  /// Increments the page histogram through a one-entry memo: streaming
+  /// samples hit the same page ~16 times in a row, and unordered_map nodes
+  /// are pointer-stable, so the repeated hash lookups collapse to one
+  /// pointer bump. Same final map either way.
+  void bump_page_hist(std::uint64_t page) {
+    if (page != hist_memo_page_ || hist_memo_count_ == nullptr) {
+      hist_memo_page_ = page;
+      hist_memo_count_ = &page_hist_[page];
+    }
+    ++*hist_memo_count_;
+  }
+
+  void range_access(std::uint64_t addr, std::uint64_t bytes, std::uint32_t elem,
+                    RangeKind kind);
+  void strided_access(std::uint64_t addr, std::uint64_t count, std::uint64_t stride,
+                      std::uint32_t elem, bool is_store);
+  void pair_range_access(std::uint64_t a, std::uint32_t elem_a, std::uint64_t b,
+                         std::uint32_t elem_b, std::uint64_t count, bool is_store);
+  /// Reference decomposition of a range call (also the bulk_fast_path=false
+  /// path): the element-wise loop the public API documents.
+  void range_element_loop(std::uint64_t addr, std::uint64_t bytes, std::uint32_t elem,
+                          RangeKind kind);
+  /// Batches a run of loads+stores consecutive accesses to one line.
+  /// Returns false when the epoch boundary falls inside the run — the
+  /// caller must flush `acc` and replay the run access-by-access.
+  bool line_run_fast(std::uint64_t line_addr, std::uint64_t loads, std::uint64_t stores,
+                     bool first_is_store, BulkAcc& acc);
+  void flush_bulk(BulkAcc& acc) {
+    if (acc.loads != 0 || acc.stores != 0) {
+      hierarchy_.credit_l1_run(acc.loads, acc.stores);
+      acc.loads = 0;
+      acc.stores = 0;
+    }
+  }
+
   void close_epoch();
   /// Re-evaluates the LoI schedule for epoch `epoch` onto the links.
   void apply_loi_schedule(std::uint64_t epoch);
@@ -218,6 +372,11 @@ class Engine {
   std::vector<std::optional<memsim::LinkModel>> links_;
   cachesim::CacheHierarchy hierarchy_;
 
+  // precomputed address math (cacheline/page sizes are powers of two)
+  std::uint64_t line_bytes_ = 64;
+  std::uint64_t line_mask_ = 63;   ///< line_bytes - 1
+  std::uint32_t page_shift_ = 12;  ///< log2(page_bytes)
+
   // epoch state
   cachesim::HwCounters epoch_base_;
   std::uint64_t epoch_demand_accesses_ = 0;
@@ -226,6 +385,8 @@ class Engine {
   // page-access sampling
   std::uint64_t page_sample_counter_ = 0;
   std::unordered_map<std::uint64_t, std::uint64_t> page_hist_;
+  std::uint64_t hist_memo_page_ = ~0ULL;
+  std::uint64_t* hist_memo_count_ = nullptr;
 
   // phase state
   std::string current_phase_;
@@ -244,6 +405,10 @@ class Engine {
   std::vector<EpochRecord> epochs_;
   std::vector<PhaseRecord> phases_;
   std::vector<AllocationInfo> allocations_;
+  /// Base address → allocations_ index (bases are unique: the underlying
+  /// virtual allocator never reuses addresses), so free() is O(1) instead
+  /// of a scan over every allocation ever made.
+  std::unordered_map<std::uint64_t, std::size_t> alloc_index_;
   std::function<void(Engine&)> epoch_cb_;
 };
 

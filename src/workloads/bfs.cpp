@@ -71,7 +71,7 @@ WorkloadResult Bfs::run(sim::Engine& eng) {
   std::optional<sim::Array<std::int32_t>> parents_opt;
   const auto alloc_parents = [&] {
     parents_opt.emplace(eng, n, memsim::MemPolicy::first_touch(), "Parents");
-    for (std::size_t v = 0; v < n; ++v) parents_opt->st(v, -1);
+    parents_opt->fill_range(0, n, -1);
   };
   if (parents_first) alloc_parents();
 
@@ -81,10 +81,16 @@ WorkloadResult Bfs::run(sim::Engine& eng) {
   auto dst = std::make_unique<sim::Array<std::uint32_t>>(
       eng, m_und, memsim::MemPolicy::first_touch(), "gen.dst");
   Xoshiro256 rng(params_.seed);
-  for (std::size_t e = 0; e < m_und; ++e) {
-    const auto [u, v] = rmat_edge(rng, params_.log2_vertices);
-    src->st(e, u);
-    dst->st(e, v);
+  {
+    auto sraw = src->raw_mutable();
+    auto draw = dst->raw_mutable();
+    for (std::size_t e = 0; e < m_und; ++e) {
+      const auto [u, v] = rmat_edge(rng, params_.log2_vertices);
+      sraw[e] = u;
+      draw[e] = v;
+    }
+    // Alternating src/dst stores, advanced in lockstep.
+    eng.store_pair_range(src->addr_of(0), 4, dst->addr_of(0), 4, m_und);
   }
 
   sim::Array<std::uint32_t> offsets(eng, n + 1, memsim::MemPolicy::first_touch(), "offsets");
@@ -100,14 +106,14 @@ WorkloadResult Bfs::run(sim::Engine& eng) {
       offsets.rmw(sraw[e], [](std::uint32_t d) { return d + 1; });
       offsets.rmw(draw[e], [](std::uint32_t d) { return d + 1; });
     }
-    std::uint32_t sum = 0;  // exclusive prefix sum (streaming)
+    std::uint32_t sum = 0;  // exclusive prefix sum (streaming rmw pass)
     for (std::size_t v = 0; v <= n; ++v) {
-      eng.load(offsets.addr_of(v), 4);
       const std::uint32_t d = v < n ? offs[v] : 0;
       offs[v] = sum;
-      eng.store(offsets.addr_of(v), 4);
       sum += d;
     }
+    eng.rmw_range(offsets.addr_of(0), (n + 1) * sizeof(std::uint32_t),
+                  sizeof(std::uint32_t));
     std::vector<std::uint32_t> cursor(offs.begin(), offs.end() - 1);
     auto eraw = edges.raw_mutable();
     for (std::size_t e = 0; e < m_und; ++e) {  // fill both directions
@@ -150,7 +156,7 @@ WorkloadResult Bfs::run(sim::Engine& eng) {
   std::uint64_t total_reached = 0;
   for (std::size_t root_i = 0; root_i < params_.num_roots; ++root_i) {
     // Reset parents between traversals.
-    for (std::size_t v = 0; v < n; ++v) parents.st(v, -1);
+    parents.fill_range(0, n, -1);
 
     // Pick a root with nonzero degree, deterministically.
     Xoshiro256 root_rng(params_.seed + 100 + root_i);
@@ -186,7 +192,7 @@ WorkloadResult Bfs::run(sim::Engine& eng) {
 
       if (want_bottom_up) {
         if (!bottom_up) {  // convert sparse list → dense bitmap
-          for (std::size_t v = 0; v < n; ++v) bitmap.st(v, 0);
+          bitmap.fill_range(0, n, 0);
           for (std::size_t f = 0; f < frontier_size; ++f) {
             const std::uint32_t u = cur->ld(f);
             bitmap.st(u, 1);
@@ -212,10 +218,9 @@ WorkloadResult Bfs::run(sim::Engine& eng) {
             }
           }
         }
-        for (std::size_t v = 0; v < n; ++v) {  // publish the next frontier
-          bmraw[v] = next_bm[v];
-          eng.store(bitmap.addr_of(v), 1);
-        }
+        // Publish the next frontier: one sequential store sweep.
+        std::copy(next_bm.begin(), next_bm.end(), bmraw.begin());
+        eng.store_range(bitmap.addr_of(0), n, 1);
         // Shrink back to a sparse list when the frontier gets small again.
         if (next_size < n / 32) {
           auto craw = cur->raw_mutable();

@@ -51,19 +51,19 @@ WorkloadResult Hpl::run(sim::Engine& eng) {
   // ---- p1: problem generation ---------------------------------------------
   eng.pf_start("p1");
   Xoshiro256 rng(params_.seed);
-  for (std::size_t j = 0; j < n; ++j)
-    for (std::size_t i = 0; i < n; ++i) a.st(idx(i, j, n), rng.uniform(-0.5, 0.5));
+  {
+    // Column-major fill is one contiguous store stream over the matrix.
+    auto araw = a.raw_mutable();
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i) araw[idx(i, j, n)] = rng.uniform(-0.5, 0.5);
+    eng.store_range(a.addr_of(0), n * n * sizeof(double), sizeof(double));
+  }
   // b = A * ones, so the reference solution is x = 1 everywhere.
   {
     auto raw = a.raw();
-    for (std::size_t i = 0; i < n; ++i) b.st(i, 0.0);
+    b.fill_range(0, n, 0.0);
     for (std::size_t j = 0; j < n; ++j) {
-      double unused = 0.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        eng.load(a.addr_of(idx(i, j, n)), 8);
-        unused += raw[idx(i, j, n)];
-      }
-      (void)unused;
+      eng.load_range(a.addr_of(idx(0, j, n)), n * sizeof(double), sizeof(double));
       eng.flops(2 * n);
     }
     auto braw = b.raw_mutable();
@@ -84,7 +84,7 @@ WorkloadResult Hpl::run(sim::Engine& eng) {
 
     // Stream the panel in (it stays cache-resident during factorization).
     for (std::size_t c = k; c < kend; ++c)
-      for (std::size_t i = k; i < n; ++i) eng.load(a.addr_of(idx(i, c, n)), 8);
+      eng.load_range(a.addr_of(idx(k, c, n)), (n - k) * sizeof(double), sizeof(double));
 
     // Host-side unblocked panel LU with partial pivoting.
     for (std::size_t j = k; j < kend; ++j) {
@@ -118,7 +118,7 @@ WorkloadResult Hpl::run(sim::Engine& eng) {
 
     // Stream the factored panel back out.
     for (std::size_t c = k; c < kend; ++c)
-      for (std::size_t i = k; i < n; ++i) eng.store(a.addr_of(idx(i, c, n)), 8);
+      eng.store_range(a.addr_of(idx(k, c, n)), (n - k) * sizeof(double), sizeof(double));
 
     // Apply the panel's row interchanges to the rest of the matrix (laswp).
     // Swap traffic is O(N²) against GEMM's O(N³/NB): ~2% of traffic at the
@@ -144,13 +144,13 @@ WorkloadResult Hpl::run(sim::Engine& eng) {
 
     // TRSM: U12 = L11^{-1} A12. One read+write pass over A12; L11 is cached.
     for (std::size_t c = kend; c < n; ++c) {
-      for (std::size_t i = k; i < kend; ++i) eng.load(a.addr_of(idx(i, c, n)), 8);
+      eng.load_range(a.addr_of(idx(k, c, n)), (kend - k) * sizeof(double), sizeof(double));
       for (std::size_t j = k; j < kend; ++j) {
         const double xj = raw[idx(j, c, n)];
         for (std::size_t i = j + 1; i < kend; ++i) raw[idx(i, c, n)] -= raw[idx(i, j, n)] * xj;
       }
       eng.flops(nb * nb);
-      for (std::size_t i = k; i < kend; ++i) eng.store(a.addr_of(idx(i, c, n)), 8);
+      eng.store_range(a.addr_of(idx(k, c, n)), (kend - k) * sizeof(double), sizeof(double));
     }
 
     // GEMM: A22 -= L21 * U12 in NB×NB tiles. C tiles are read and written
@@ -159,15 +159,17 @@ WorkloadResult Hpl::run(sim::Engine& eng) {
     for (std::size_t ib = kend; ib < n; ib += nb) {
       const std::size_t iend = std::min(ib + nb, n);
       for (std::size_t j = k; j < kend; ++j)
-        for (std::size_t i = ib; i < iend; ++i) eng.load(a.addr_of(idx(i, j, n)), 8);
+        eng.load_range(a.addr_of(idx(ib, j, n)), (iend - ib) * sizeof(double), sizeof(double));
       for (std::size_t jb = kend; jb < n; jb += nb) {
         const std::size_t jend = std::min(jb + nb, n);
         if (ib == kend) {  // U12 tile: first tile row streams it in
           for (std::size_t j = jb; j < jend; ++j)
-            for (std::size_t i = k; i < kend; ++i) eng.load(a.addr_of(idx(i, j, n)), 8);
+            eng.load_range(a.addr_of(idx(k, j, n)), (kend - k) * sizeof(double),
+                           sizeof(double));
         }
         for (std::size_t j = jb; j < jend; ++j)
-          for (std::size_t i = ib; i < iend; ++i) eng.load(a.addr_of(idx(i, j, n)), 8);
+          eng.load_range(a.addr_of(idx(ib, j, n)), (iend - ib) * sizeof(double),
+                         sizeof(double));
         for (std::size_t j = jb; j < jend; ++j) {
           for (std::size_t l = k; l < kend; ++l) {
             const double ulj = raw[idx(l, j, n)];
@@ -176,7 +178,8 @@ WorkloadResult Hpl::run(sim::Engine& eng) {
         }
         eng.flops(2 * (iend - ib) * (jend - jb) * nb);
         for (std::size_t j = jb; j < jend; ++j)
-          for (std::size_t i = ib; i < iend; ++i) eng.store(a.addr_of(idx(i, j, n)), 8);
+          eng.store_range(a.addr_of(idx(ib, j, n)), (iend - ib) * sizeof(double),
+                          sizeof(double));
       }
     }
   }
@@ -219,10 +222,10 @@ WorkloadResult Hpl::run(sim::Engine& eng) {
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t e = idx(i, j, n);
       raw[e] = a0[e];
-      eng.store(a.addr_of(e), 8);
-      eng.load(a.addr_of(e), 8);
       ax[i] += raw[e] * xj;
     }
+    // Regenerate-then-read per element: store immediately followed by load.
+    eng.store_load_range(a.addr_of(idx(0, j, n)), n * sizeof(double), sizeof(double));
     eng.flops(2 * n);
   }
   eng.pf_stop();

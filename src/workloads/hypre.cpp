@@ -114,33 +114,36 @@ WorkloadResult Hypre::run(sim::Engine& eng) {
     eng.flops(npts * 11);
 
     const double alpha = rz / p_ap;
-    // Pass 2: x += αp, r -= αAp, z = D⁻¹r, fused r·z reduction.
+    // Pass 2: x += αp, r -= αAp, z = D⁻¹r, fused r·z reduction. Six arrays
+    // advance in lockstep (the coef lane reads the diagonal entry, one
+    // 8-byte load per 40-byte stencil record), expressed as one
+    // multi-stream sweep.
     double rz_new = 0.0;
     for (std::size_t pt = 0; pt < npts; ++pt) {
-      eng.load(p.addr_of(pt), 8);
-      eng.load(x.addr_of(pt), 8);
       xraw[pt] += alpha * praw[pt];
-      eng.store(x.addr_of(pt), 8);
-      eng.load(ap.addr_of(pt), 8);
-      eng.load(r.addr_of(pt), 8);
       rraw[pt] -= alpha * apraw[pt];
-      eng.store(r.addr_of(pt), 8);
-      eng.load(coef.addr_of(pt * 5), 8);  // diagonal entry for Jacobi
       zraw[pt] = rraw[pt] / craw[pt * 5];
-      eng.store(z.addr_of(pt), 8);
       rz_new += rraw[pt] * zraw[pt];
     }
+    using Lane = sim::Engine::StreamLane;
+    const Lane pass2[] = {
+        {p.addr_of(0), 8, 8, Lane::Op::kLoad},  {x.addr_of(0), 8, 8, Lane::Op::kRmw},
+        {ap.addr_of(0), 8, 8, Lane::Op::kLoad}, {r.addr_of(0), 8, 8, Lane::Op::kRmw},
+        {coef.addr_of(0), 40, 8, Lane::Op::kLoad},
+        {z.addr_of(0), 8, 8, Lane::Op::kStore},
+    };
+    eng.stream_range(pass2, 6, npts);
     eng.flops(npts * 9);
 
     const double beta = rz_new / rz;
     rz = rz_new;
     // Pass 3: p = z + βp.
-    for (std::size_t pt = 0; pt < npts; ++pt) {
-      eng.load(z.addr_of(pt), 8);
-      eng.load(p.addr_of(pt), 8);
-      praw[pt] = zraw[pt] + beta * praw[pt];
-      eng.store(p.addr_of(pt), 8);
-    }
+    for (std::size_t pt = 0; pt < npts; ++pt) praw[pt] = zraw[pt] + beta * praw[pt];
+    const Lane pass3[] = {
+        {z.addr_of(0), 8, 8, Lane::Op::kLoad},
+        {p.addr_of(0), 8, 8, Lane::Op::kRmw},
+    };
+    eng.stream_range(pass3, 2, npts);
     eng.flops(npts * 2);
   }
   eng.pf_stop();

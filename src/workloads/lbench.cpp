@@ -22,17 +22,16 @@ WorkloadResult Lbench::run(sim::Engine& eng) {
   sim::Array<double> a(eng, n, policy, "LBench.A");
 
   eng.pf_start("p1");
-  for (std::size_t i = 0; i < n; ++i) a.st(i, 0.5);
+  a.fill_range(0, n, 0.5);
   eng.pf_stop();
 
   eng.pf_start("p2");
   auto raw = a.raw_mutable();
   for (std::size_t s = 0; s < params_.sweeps; ++s) {
-    for (std::size_t i = 0; i < n; ++i) {
-      eng.load(a.addr_of(i), 8);
+    // Load-compute-store per element: the canonical rmw sweep.
+    for (std::size_t i = 0; i < n; ++i)
       raw[i] = kernel_element(raw[i], params_.nflop, alpha);
-      eng.store(a.addr_of(i), 8);
-    }
+    a.rmw_range(0, n);
     eng.flops(n * params_.nflop);
   }
   eng.pf_stop();

@@ -94,11 +94,10 @@ WorkloadResult Nekrs::run(sim::Engine& eng) {
     double dot = 0.0;
     for (std::size_t e = 0; e < e_count; ++e) {
       const std::size_t base = e * ppe;
-      for (std::size_t q = 0; q < ppe; ++q) {
-        eng.load(gather.addr_of(base + q), 4);
-        eng.load(in_base_addr + (base + q) * sizeof(double), 8);
-        scratch_u[q] = in[base + q];
-      }
+      for (std::size_t q = 0; q < ppe; ++q) scratch_u[q] = in[base + q];
+      // Gather-index and field loads advance in lockstep (4 B + 8 B pair).
+      eng.load_pair_range(gather.addr_of(base), 4, in_base_addr + base * sizeof(double), 8,
+                          ppe);
       // Forward contractions per direction, metric scaling, then adjoint.
       std::fill(scratch_w.begin(), scratch_w.end(), 0.0);
       for (int dir = 0; dir < 3; ++dir) {
@@ -116,10 +115,11 @@ WorkloadResult Nekrs::run(sim::Engine& eng) {
           }
         }
         // w += D_dirᵀ (g_dir ⊙ v), with g_dir the dir-th geometric factor.
-        for (std::size_t q = 0; q < ppe; ++q) {
-          eng.load(geo.addr_of((base + q) * 6), 48);
+        for (std::size_t q = 0; q < ppe; ++q)
           scratch_v[q] *= graw[(base + q) * 6 + static_cast<std::size_t>(dir)];
-        }
+        // One 48-byte factor load per point (48 ∤ 64: decomposes to the
+        // element loop, kept as a range for the declared stream shape).
+        eng.load_range(geo.addr_of(base * 6), ppe * 48, 48);
         for (std::size_t a = 0; a < ppe / m; ++a) {
           const std::size_t plane = dir == 0 ? a : dir == 1 ? (a / m) * m * m + a % m
                                                             : a * m;
@@ -135,9 +135,9 @@ WorkloadResult Nekrs::run(sim::Engine& eng) {
       for (std::size_t q = 0; q < ppe; ++q) {
         const double val = scratch_w[q] + lambda * scratch_u[q];
         out[base + q] = val;
-        eng.store(out_base_addr + (base + q) * sizeof(double), 8);
         dot += val * in[base + q];
       }
+      eng.store_range(out_base_addr + base * sizeof(double), ppe * sizeof(double), 8);
     }
     return dot;
   };
@@ -153,27 +153,28 @@ WorkloadResult Nekrs::run(sim::Engine& eng) {
       const double p_ap = apply_operator(praw.data(), apraw.data(), p.range().base,
                                          ap.range().base);
       const double alpha = rr / p_ap;
+      // Fused axpy pass: four vectors in lockstep, one multi-stream sweep.
       double rr_new = 0.0;
-      for (std::size_t pt = 0; pt < pts; ++pt) {  // fused axpy pass
-        eng.load(p.addr_of(pt), 8);
-        eng.load(x.addr_of(pt), 8);
+      for (std::size_t pt = 0; pt < pts; ++pt) {
         xraw[pt] += alpha * praw[pt];
-        eng.store(x.addr_of(pt), 8);
-        eng.load(ap.addr_of(pt), 8);
-        eng.load(r.addr_of(pt), 8);
         rraw[pt] -= alpha * apraw[pt];
-        eng.store(r.addr_of(pt), 8);
         rr_new += rraw[pt] * rraw[pt];
       }
+      using Lane = sim::Engine::StreamLane;
+      const Lane axpy[] = {
+          {p.addr_of(0), 8, 8, Lane::Op::kLoad},  {x.addr_of(0), 8, 8, Lane::Op::kRmw},
+          {ap.addr_of(0), 8, 8, Lane::Op::kLoad}, {r.addr_of(0), 8, 8, Lane::Op::kRmw},
+      };
+      eng.stream_range(axpy, 4, pts);
       eng.flops(pts * 6);
       const double beta = rr_new / rr;
       rr = rr_new;
-      for (std::size_t pt = 0; pt < pts; ++pt) {
-        eng.load(r.addr_of(pt), 8);
-        eng.load(p.addr_of(pt), 8);
-        praw[pt] = rraw[pt] + beta * praw[pt];
-        eng.store(p.addr_of(pt), 8);
-      }
+      for (std::size_t pt = 0; pt < pts; ++pt) praw[pt] = rraw[pt] + beta * praw[pt];
+      const Lane pupd[] = {
+          {r.addr_of(0), 8, 8, Lane::Op::kLoad},
+          {p.addr_of(0), 8, 8, Lane::Op::kRmw},
+      };
+      eng.stream_range(pupd, 2, pts);
       eng.flops(pts * 2);
     }
     rel_res = std::sqrt(rr / rr0);
@@ -181,16 +182,19 @@ WorkloadResult Nekrs::run(sim::Engine& eng) {
     // (a stand-in for the time integrator) and restart CG.
     if (step + 1 < params_.timesteps) {
       for (std::size_t pt = 0; pt < pts; ++pt) {
-        eng.load(x.addr_of(pt), 8);
-        eng.load(b.addr_of(pt), 8);
         const double bnew = braw[pt] + 0.1 * xraw[pt];
         rraw[pt] = bnew;  // r = b_new - A·0 with x reset
         praw[pt] = bnew;
         xraw[pt] = 0.0;
-        eng.store(r.addr_of(pt), 8);
-        eng.store(p.addr_of(pt), 8);
-        eng.store(x.addr_of(pt), 8);
       }
+      using Lane = sim::Engine::StreamLane;
+      // x appears twice: read up front, reset at the end of each iteration.
+      const Lane refresh[] = {
+          {x.addr_of(0), 8, 8, Lane::Op::kLoad},  {b.addr_of(0), 8, 8, Lane::Op::kLoad},
+          {r.addr_of(0), 8, 8, Lane::Op::kStore}, {p.addr_of(0), 8, 8, Lane::Op::kStore},
+          {x.addr_of(0), 8, 8, Lane::Op::kStore},
+      };
+      eng.stream_range(refresh, 5, pts);
       eng.flops(pts * 2);
     }
   }

@@ -115,13 +115,14 @@ WorkloadResult Superlu::run(sim::Engine& eng) {
   for (std::size_t j = 0; j < n && !overflow; ++j) {
     const std::size_t lo = j >= band ? j - band : 0;
     const std::size_t hi = std::min(j + band + 1, n);
-    // Scatter A(:,j) into the work array (stream the column in).
+    // Scatter A(:,j) into the work array (stream the column in: the
+    // rowidx/val entries advance in lockstep — a paired 4 B + 8 B sweep).
     for (std::uint32_t t = aptr[j]; t < aptr[j + 1]; ++t) {
-      eng.load(a_idx.addr_of(t), 4);
-      eng.load(a_val.addr_of(t), 8);
       work[aidx[t]] = aval[t];
       occupied[aidx[t]] = 1;
     }
+    eng.load_pair_range(a_idx.addr_of(aptr[j]), 4, a_val.addr_of(aptr[j]), 8,
+                        aptr[j + 1] - aptr[j]);
     // Left-looking update: for each finished column i in the reach (ascending
     // row order is topological for this banded, statically-pivoted matrix),
     // apply L(:,i) scaled by the solved U entry x_i.
@@ -131,12 +132,12 @@ WorkloadResult Superlu::run(sim::Engine& eng) {
       const auto cb = static_cast<std::uint32_t>(i * stride);
       const std::uint32_t ce = cb + lcnt[i];
       for (std::uint32_t t = cb; t < ce; ++t) {
-        eng.load(l_idx.addr_of(t), 4);
-        eng.load(l_val.addr_of(t), 8);
         const std::uint32_t row = lidx[t];
         work[row] -= lval[t] * xi;
         occupied[row] = 1;
       }
+      if (ce > cb)
+        eng.load_pair_range(l_idx.addr_of(cb), 4, l_val.addr_of(cb), 8, ce - cb);
       eng.flops(2 * (ce - cb));
     }
     // Static pivot on the (dominant) diagonal.
@@ -146,6 +147,9 @@ WorkloadResult Superlu::run(sim::Engine& eng) {
       break;
     }
     // Emit U(:,j) = finalized entries at rows ≤ j, L(:,j) = rows > j scaled.
+    // Each emitted entry is a rowidx/val store pair at consecutive slots;
+    // the pairs are batched after the host-side emit (same access stream:
+    // nothing else touches the simulator between entries).
     for (std::size_t i = lo; i <= j && !overflow; ++i) {
       if (!occupied[i]) continue;
       const std::size_t slot = j * stride + ucnt[j];
@@ -155,15 +159,19 @@ WorkloadResult Superlu::run(sim::Engine& eng) {
       }
       uidxr[slot] = static_cast<std::uint32_t>(i);
       uvalr[slot] = work[i];
-      eng.store(u_idx.addr_of(slot), 4);
-      eng.store(u_val.addr_of(slot), 8);
       ++ucnt[j];
       ++unz;
       work[i] = 0.0;
       occupied[i] = 0;
     }
+    if (ucnt[j] > 0)
+      eng.store_pair_range(u_idx.addr_of(j * stride), 4, u_val.addr_of(j * stride), 8,
+                           ucnt[j]);
     uptr[j] = ucnt[j];
     eng.store(u_ptr.addr_of(j), 4);
+    // L's emit stays element-wise: the per-entry flops(1) (the scaling
+    // divide) is interleaved between the stores, and an epoch closing
+    // mid-column must see the exact flop count at that access.
     for (std::size_t i = j + 1; i < hi && !overflow; ++i) {
       if (!occupied[i]) continue;
       const std::size_t slot = j * stride + lcnt[j];
@@ -201,11 +209,8 @@ WorkloadResult Superlu::run(sim::Engine& eng) {
     const double yj = xsol[j];
     const auto cb = static_cast<std::uint32_t>(j * stride);
     const std::uint32_t ce = cb + lcnt[j];
-    for (std::uint32_t t = cb; t < ce; ++t) {
-      eng.load(l_idx.addr_of(t), 4);
-      eng.load(l_val.addr_of(t), 8);
-      xsol[lidx[t]] -= lval[t] * yj;
-    }
+    for (std::uint32_t t = cb; t < ce; ++t) xsol[lidx[t]] -= lval[t] * yj;
+    if (ce > cb) eng.load_pair_range(l_idx.addr_of(cb), 4, l_val.addr_of(cb), 8, ce - cb);
     eng.flops(2 * (ce - cb));
   }
   // Backward: U x = y, columns right to left (diagonal is U's last entry).
@@ -216,11 +221,9 @@ WorkloadResult Superlu::run(sim::Engine& eng) {
     eng.load(u_val.addr_of(ce - 1), 8);
     const double xj = xsol[jj] / uvalr[ce - 1];
     xsol[jj] = xj;
-    for (std::uint32_t t = cb; t + 1 < ce; ++t) {
-      eng.load(u_idx.addr_of(t), 4);
-      eng.load(u_val.addr_of(t), 8);
-      xsol[uidxr[t]] -= uvalr[t] * xj;
-    }
+    for (std::uint32_t t = cb; t + 1 < ce; ++t) xsol[uidxr[t]] -= uvalr[t] * xj;
+    if (ce - 1 > cb)
+      eng.load_pair_range(u_idx.addr_of(cb), 4, u_val.addr_of(cb), 8, ce - 1 - cb);
     eng.flops(2 * (ce - cb));
   }
   eng.pf_stop();

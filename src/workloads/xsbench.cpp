@@ -69,10 +69,8 @@ WorkloadResult Xsbench::run(sim::Engine& eng) {
     auto ue = u_energy.raw_mutable();
     std::vector<double> all(ne.begin(), ne.end());
     std::sort(all.begin(), all.end());
-    for (std::size_t t = 0; t < u_pts; ++t) {
-      ue[t] = all[t];
-      eng.store(u_energy.addr_of(t), 8);
-    }
+    for (std::size_t t = 0; t < u_pts; ++t) ue[t] = all[t];
+    eng.store_range(u_energy.addr_of(0), u_pts * sizeof(double), sizeof(double));
     // Index grid: simultaneous two-pointer sweep, one row store per point.
     auto ui = u_index.raw_mutable();
     std::vector<std::size_t> cursor(nuc, 0);

@@ -2,6 +2,9 @@
 // accounting, the time model's monotonicity properties, and determinism.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <tuple>
+
 #include "common/contract.h"
 #include "sim/array.h"
 #include "sim/engine.h"
@@ -290,6 +293,95 @@ TEST(Engine, EpochLinkTrafficReported) {
   for (const auto& e : eng.epochs())
     if (e.link_traffic_gbps > 0) saw_traffic = true;
   EXPECT_TRUE(saw_traffic);
+}
+
+// ---------- allocation bookkeeping -------------------------------------------
+
+// Regression: Engine::free used to scan every allocation ever made; the
+// base-address index must keep marking the right allocation freed when
+// frees arrive out of allocation order.
+TEST(Engine, FreeOutOfAllocationOrderMarksTheRightAllocations) {
+  Engine eng(fast_engine());
+  const auto a = eng.alloc(4096, memsim::MemPolicy::first_touch(), "a");
+  const auto b = eng.alloc(8192, memsim::MemPolicy::first_touch(), "b");
+  const auto c = eng.alloc(4096, memsim::MemPolicy::first_touch(), "c");
+  eng.free(b);
+  eng.free(c);
+  const auto& infos = eng.allocations();
+  ASSERT_EQ(infos.size(), 3u);
+  EXPECT_FALSE(infos[0].freed);
+  EXPECT_TRUE(infos[1].freed);
+  EXPECT_TRUE(infos[2].freed);
+  eng.free(a);
+  EXPECT_TRUE(eng.allocations()[0].freed);
+}
+
+// ---------- bulk access streams ----------------------------------------------
+
+// Drives every bulk entry point through a fixed access script on two
+// engines — fast path on vs. the element-wise reference decomposition —
+// and requires the full observable state (all hardware counters, epoch
+// count, simulated time) to match bit-for-bit. A small epoch quantum
+// forces boundaries *inside* batched runs, covering the exact-replay path.
+TEST(BulkApi, FastPathBitIdenticalToElementWise) {
+  const auto run = [](bool fast) {
+    EngineConfig cfg;
+    cfg.epoch_accesses = 1000;  // many boundaries inside runs
+    cfg.bulk_fast_path = fast;
+    Engine eng(cfg);
+    constexpr std::size_t kN = 6000;
+    Array<double> a(eng, kN);
+    Array<double> b(eng, kN);
+    Array<std::uint32_t> idx(eng, kN);
+    eng.load_range(a.addr_of(0), kN * 8, 8);
+    eng.store_range(b.addr_of(0), kN * 8, 8);
+    eng.rmw_range(a.addr_of(0), kN * 8, 8);
+    eng.store_load_range(b.addr_of(0), kN * 8, 8);
+    eng.load_strided(a.addr_of(0), kN / 64, 64 * 8, 8);       // column sweep
+    eng.store_strided(b.addr_of(0), kN / 4, 4 * 8, 8);        // short stride
+    eng.load_pair_range(idx.addr_of(0), 4, a.addr_of(0), 8, kN);
+    eng.store_pair_range(idx.addr_of(0), 4, b.addr_of(0), 8, kN);
+    using Lane = Engine::StreamLane;
+    const Lane lanes[] = {
+        {a.addr_of(0), 8, 8, Lane::Op::kLoad},
+        {b.addr_of(0), 8, 8, Lane::Op::kRmw},
+        {idx.addr_of(0), 4, 4, Lane::Op::kLoad},
+        {a.addr_of(0), 40, 8, Lane::Op::kLoad},  // strided lane (stencil diagonal)
+        {b.addr_of(0), 8, 8, Lane::Op::kStore},  // same array twice
+    };
+    eng.stream_range(lanes, 5, kN / 8);
+    eng.load_range(a.addr_of(0), kN * 8 / 48 * 48, 48);  // straddling elems: fallback
+    eng.finish();
+    return std::tuple{eng.counters(), eng.epochs().size(), eng.elapsed_seconds(),
+                      eng.page_access_histogram()};
+  };
+  const auto [cf, ef, tf, hf] = run(true);
+  const auto [cs, es, ts, hs] = run(false);
+  EXPECT_EQ(0, std::memcmp(&cf, &cs, sizeof(cf)));
+  EXPECT_EQ(ef, es);
+  EXPECT_EQ(tf, ts);
+  EXPECT_EQ(hf, hs);
+}
+
+// The range calls must count exactly like the loops they document.
+TEST(BulkApi, RangeCountersMatchTheDocumentedLoops) {
+  Engine eng(fast_engine());
+  Array<double> a(eng, 512);
+  const auto before = eng.counters();
+  eng.load_range(a.addr_of(0), 512 * 8, 8);
+  eng.rmw_range(a.addr_of(0), 512 * 8, 8);
+  const auto d = eng.counters().delta_since(before);
+  EXPECT_EQ(d.loads, 512u + 512u);
+  EXPECT_EQ(d.stores, 512u);
+}
+
+TEST(BulkApi, RangeContractViolations) {
+  Engine eng(fast_engine());
+  Array<double> a(eng, 64);
+  EXPECT_THROW(eng.load_range(a.addr_of(0), 0, 8), contract_violation);
+  EXPECT_THROW(eng.load_range(a.addr_of(0), 12, 8), contract_violation);  // partial elem
+  EXPECT_THROW(eng.load_strided(a.addr_of(0), 0, 8, 8), contract_violation);
+  EXPECT_THROW(eng.stream_range(nullptr, 0, 4), contract_violation);
 }
 
 }  // namespace
