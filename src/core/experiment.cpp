@@ -63,6 +63,7 @@ RunOutput run_workload(workloads::Workload& workload, const RunConfig& cfg) {
   ecfg.background_loi = cfg.background_loi;
   ecfg.background_loi_per_tier = cfg.background_loi_per_tier;
   ecfg.loi_schedule = cfg.loi_schedule;
+  ecfg.link_model = cfg.link_model;
 
   sim::Engine eng(ecfg);
   eng.set_prefetch_enabled(cfg.prefetch_enabled);

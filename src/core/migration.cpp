@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/units.h"
+
 namespace memdis::core {
 
 namespace {
@@ -40,10 +42,17 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
   // Live per-link LoI: the links' actual state this scan — under a
   // time-varying schedule the engine has already stepped the waveforms to
   // the upcoming epoch, so this is the state the next epoch runs under.
+  // Under the queue model "live" means the *effective* LoI the bulk class
+  // experiences (background plus the demand class's windowed traffic): the
+  // planner prices moves against predicted queue delay, not the static dial.
+  const bool queue_mode =
+      eng.config().link_model == memsim::LinkModelKind::kQueue;
   std::vector<double> live_loi(static_cast<std::size_t>(n), 0.0);
   for (memsim::TierId t = 0; t < n; ++t)
     if (machine.topology.is_fabric(t))
-      live_loi[static_cast<std::size_t>(t)] = eng.background_loi(t);
+      live_loi[static_cast<std::size_t>(t)] =
+          queue_mode ? eng.effective_loi(t, memsim::TrafficClass::kBulk)
+                     : eng.background_loi(t);
   scan_loi_log_.push_back(live_loi);
 
   // The planner prices moves (and scales segment budgets) against its
@@ -77,12 +86,32 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
   const auto& schedule = eng.config().loi_schedule;
   const bool scheduled = cfg_.assumed_loi.empty() && !schedule.empty();
   const std::uint64_t now_epoch = eng.epoch_index();
+
+  // Under the queue model the *benefit* side of a plan is what the demand
+  // class will pay — its effective LoI includes the bulk class's traffic,
+  // not the demand class's own. A separate cached model prices tier access
+  // latencies at that view while `model` keeps pricing transfer costs at
+  // the bulk view.
+  const bool demand_view = queue_mode && cfg_.assumed_loi.empty();
+  if (demand_view) {
+    std::vector<double> demand_loi(static_cast<std::size_t>(n), 0.0);
+    for (memsim::TierId t = 0; t < n; ++t)
+      if (machine.topology.is_fabric(t))
+        demand_loi[static_cast<std::size_t>(t)] =
+            eng.effective_loi(t, memsim::TrafficClass::kDemand);
+    if (!demand_model_ || demand_loi != demand_loi_) {
+      demand_model_.emplace(machine, demand_loi);
+      demand_loi_ = std::move(demand_loi);
+    }
+  }
+  const MigrationCostModel& lat_model = demand_view ? *demand_model_ : model;
+
   std::vector<double> tier_lat(static_cast<std::size_t>(n));
   for (memsim::TierId t = 0; t < n; ++t)
     tier_lat[static_cast<std::size_t>(t)] =
         scheduled
             ? model.scheduled_access_latency_s(t, schedule, now_epoch, cfg_.horizon_epochs)
-            : model.access_latency_s(t);
+            : lat_model.access_latency_s(t);
 
   const std::uint64_t sample_period =
       std::max<std::uint64_t>(1, eng.config().page_sample_period);
@@ -94,7 +123,7 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
   // scheduled plans reuse it instead of re-integrating the waveform per
   // candidate pair.
   const auto make_plan = [&](memsim::TierId src, memsim::TierId dst, std::uint64_t heat) {
-    return scheduled
+    return scheduled || demand_view
                ? model.plan_with_latencies(src, dst, heat, horizon_scans, sample_period,
                                            tier_lat[static_cast<std::size_t>(src)],
                                            tier_lat[static_cast<std::size_t>(dst)])
@@ -201,11 +230,19 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
       --left;
     }
   };
+  // Bulk bytes this scan has already committed per fabric segment — the
+  // self-traffic term of the queue model's self-congestion deferral, and
+  // the byte stream that feeds each link's bulk class in the engine.
+  std::vector<std::uint64_t> self_bytes(static_cast<std::size_t>(n), 0);
   const auto charge = [&](const MovePlan& plan) {
     const double true_cost =
         &truth == &model ? plan.cost_s : truth.move_cost_s(plan.src, plan.dst);
     transfer_cost_s_ += true_cost;
     if (cfg_.charge_transfer_cost) eng.charge_migration_seconds(true_cost);
+    for (const memsim::TierId s : plan.segments) {
+      eng.charge_migration_bytes(s, page_bytes);
+      self_bytes[static_cast<std::size_t>(s)] += page_bytes;
+    }
     return true_cost;
   };
 
@@ -251,6 +288,38 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
       }
     }
     return defer;
+  };
+
+  // Self-congestion deferral (queue model): re-price a candidate with each
+  // crossed segment's LoI inflated by the bulk bytes this scan has already
+  // committed there — at the rate those bytes will cross during the next
+  // epoch (last epoch's duration is the deterministic proxy). When the
+  // inflated cost erases the plan's net value, the page waits a scan: the
+  // burst sheds its low-value tail instead of delaying the app's demand
+  // misses. Candidates are ranked value-descending, so the high-value head
+  // of the burst still moves first.
+  const double dt_proxy = eng.epochs().empty() ? 0.0 : eng.epochs().back().duration_s;
+  const bool can_self_defer =
+      cfg_.defer_on_self_congestion && queue_mode && dt_proxy > 0.0;
+  const auto self_defer_pays = [&](const MovePlan& plan) {
+    if (!can_self_defer) return false;
+    bool any = false;
+    std::vector<double> loi_vec = plan_loi;
+    for (const memsim::TierId s : plan.segments) {
+      const std::uint64_t bytes = self_bytes[static_cast<std::size_t>(s)];
+      if (bytes == 0) continue;
+      any = true;
+      const auto& link = *machine.tier(s).link;
+      const double rate_gbps =
+          bytes_per_sec_to_gbps(static_cast<double>(bytes) / dt_proxy);
+      auto& loi = loi_vec[static_cast<std::size_t>(s)];
+      loi = std::min(loi + 100.0 * rate_gbps * link.protocol_overhead /
+                               link.traffic_capacity_gbps,
+                     memsim::LinkModel::kMaxLoi);
+    }
+    if (!any) return false;
+    const double inflated = future_cost(loi_vec, plan.src, plan.dst);
+    return static_cast<double>(horizon_scans) * plan.benefit_s_per_epoch - inflated <= 0.0;
   };
 
   // Demotes the coldest page of `tier` colder than `ceiling` to the
@@ -326,6 +395,12 @@ void MigrationRuntime::on_epoch(sim::Engine& eng) {
       // long-haul path waits out a burst).
       if (defer_pays(plan)) {
         ++deferred_;
+        continue;
+      }
+      // A self-deferred plan likewise stays put this scan — the traffic
+      // already scheduled on its path priced it out.
+      if (self_defer_pays(plan)) {
+        ++deferred_self_;
         continue;
       }
       if (mem.free_bytes(plan.dst) < page_bytes) {

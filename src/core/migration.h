@@ -67,6 +67,13 @@ struct MigrationConfig {
   /// epochs lost waiting) — the planner arbitraging a congestion burst.
   /// No-op without a schedule or with a static assumed_loi belief.
   bool defer_on_schedule = true;
+  /// Under the queue link model, re-price each candidate against the bulk
+  /// traffic this scan has *already scheduled* on the candidate's path
+  /// (self-induced congestion) and defer the move when the inflated cost
+  /// erases its net value — trimming the low-value tail off a migration
+  /// burst before it delays the application's own demand misses. No-op
+  /// under the `loi` model, whose closed form carries no self-traffic term.
+  bool defer_on_self_congestion = true;
 };
 
 /// One executed move, for the machine-readable plan dump (`memdis plan`).
@@ -100,6 +107,9 @@ class MigrationRuntime {
   /// Plans skipped this run because the LoI schedule priced a later epoch
   /// cheaper (congestion-burst arbitrage; the page stays put this scan).
   [[nodiscard]] std::uint64_t deferred_moves() const { return deferred_; }
+  /// Plans skipped because the scan's own already-scheduled bulk traffic
+  /// priced the move's path out (self-congestion deferral; queue model).
+  [[nodiscard]] std::uint64_t self_deferred_moves() const { return deferred_self_; }
   /// Total priced transfer cost of all executed moves (seconds), at the
   /// links' true state at execution time.
   [[nodiscard]] double transfer_cost_s() const { return transfer_cost_s_; }
@@ -124,6 +134,7 @@ class MigrationRuntime {
   std::uint64_t staged_ = 0;
   std::uint64_t direct_ = 0;
   std::uint64_t deferred_ = 0;
+  std::uint64_t deferred_self_ = 0;
   double transfer_cost_s_ = 0.0;
   std::vector<ExecutedMove> plan_log_;
   std::vector<std::vector<double>> scan_loi_log_;
@@ -133,6 +144,12 @@ class MigrationRuntime {
   // vector (live links, or the static assumed_loi belief) changes.
   std::optional<MigrationCostModel> model_;
   std::vector<double> model_loi_;
+  // Demand-class view under the queue model: tier access latencies are
+  // priced at the LoI the *demand* class experiences (background + bulk
+  // cross-traffic), while `model_` prices transfer costs at the bulk
+  // class's view. Cached like model_.
+  std::optional<MigrationCostModel> demand_model_;
+  std::vector<double> demand_loi_;
   // Truth model for charging executed moves when the planner believes a
   // different (assumed) LoI than the links actually carry.
   std::optional<MigrationCostModel> truth_model_;

@@ -1,0 +1,78 @@
+#include "memsim/queue_model.h"
+
+#include <algorithm>
+
+#include "common/contract.h"
+#include "common/units.h"
+
+namespace memdis::memsim {
+
+QueueModel::QueueModel(const MemoryTierSpec& spec)
+    : link_(spec),
+      window_(spec.link ? static_cast<std::size_t>(spec.link->queue_window_epochs) : 0) {
+  expects(spec.link.has_value(), "QueueModel requires a fabric tier (spec.link set)");
+  expects(window_ >= 1, "queue estimator window must hold at least one epoch");
+}
+
+void QueueModel::observe(TrafficClass cls, double bytes, double seconds) {
+  expects(bytes >= 0.0 && seconds >= 0.0, "queue observation cannot be negative");
+  Window& w = windows_[static_cast<int>(cls)];
+  if (w.samples.size() < window_) {
+    w.samples.push_back({bytes, seconds});
+  } else {
+    const Sample old = w.samples[w.next];
+    w.bytes_sum -= old.bytes;
+    w.seconds_sum -= old.seconds;
+    w.samples[w.next] = {bytes, seconds};
+    w.next = (w.next + 1) % window_;
+  }
+  w.bytes_sum += bytes;
+  w.seconds_sum += seconds;
+}
+
+double QueueModel::estimated_rate_gbps(TrafficClass cls, double extra_bytes,
+                                       double extra_seconds) const {
+  const Window& w = windows_[static_cast<int>(cls)];
+  const double bytes = w.bytes_sum + extra_bytes;
+  const double seconds = w.seconds_sum + extra_seconds;
+  if (seconds <= 0.0 || bytes <= 0.0) return 0.0;
+  return bytes_per_sec_to_gbps(bytes / seconds);
+}
+
+double QueueModel::effective_loi(TrafficClass cls, double background_loi,
+                                 double cross_rate_gbps) const {
+  (void)cls;  // the formula is symmetric; the class picks the cross rate
+  const double cross_traffic = link_.traffic_of_data_gbps(cross_rate_gbps);
+  const double loi = background_loi + 100.0 * cross_traffic / link_.capacity_gbps();
+  return std::min(loi, LinkModel::kMaxLoi);
+}
+
+const LinkModel& QueueModel::at_effective_loi(TrafficClass cls, double background_loi,
+                                              double cross_rate_gbps) const {
+  link_.set_background_loi(effective_loi(cls, background_loi, cross_rate_gbps));
+  return link_;
+}
+
+double QueueModel::latency_multiplier(TrafficClass cls, double background_loi,
+                                      double own_rate_gbps, double cross_rate_gbps) const {
+  return at_effective_loi(cls, background_loi, cross_rate_gbps)
+      .latency_multiplier(own_rate_gbps);
+}
+
+double QueueModel::effective_latency_ns(TrafficClass cls, double background_loi,
+                                        double own_rate_gbps, double cross_rate_gbps) const {
+  return at_effective_loi(cls, background_loi, cross_rate_gbps)
+      .effective_latency_ns(own_rate_gbps);
+}
+
+double QueueModel::effective_data_bandwidth_gbps(TrafficClass cls, double background_loi,
+                                                 double cross_rate_gbps) const {
+  return at_effective_loi(cls, background_loi, cross_rate_gbps)
+      .effective_data_bandwidth_gbps(0.0);
+}
+
+std::size_t QueueModel::window_size(TrafficClass cls) const {
+  return windows_[static_cast<int>(cls)].samples.size();
+}
+
+}  // namespace memdis::memsim

@@ -1,0 +1,134 @@
+// QueueModel: per-link queueing with partitioned traffic classes.
+//
+// The LoI model (link.h) treats congestion as an *input*: background
+// interference is a dial, and the simulated application never congests
+// itself. The queue model closes that loop. Every fabric link carries two
+// traffic classes sharing one queue:
+//
+//   kDemand — cacheline-granularity demand misses (the stall-latency path)
+//   kBulk   — page-migration transfers issued by runtime services
+//
+// Each class's delay is the LinkModel M/G/1-style utilization curve
+// evaluated at an *effective* Level-of-Interference: the configured
+// background LoI plus the other class's measured traffic as a share of
+// link capacity. A migration storm therefore inflates demand-miss latency,
+// and a saturating demand phase prices migrations up — without changing
+// the closed-form curve the rest of the stack (MigrationCostModel, the
+// planner, the goldens) is calibrated against.
+//
+// Arrival rates come from a windowed estimator: the last
+// `FabricLinkSpec::queue_window_epochs` closed epochs' (bytes, seconds)
+// observations per class, summed into one rate. The estimator is
+// deterministic and seed-free — same access stream, same delays.
+//
+// Compat guarantee (the `loi` mode of `--link-model`): with zero
+// cross-class traffic the effective LoI *is* the background LoI, so every
+// query reduces bit-identically to the LinkModel closed form. See
+// docs/QUEUE_MODEL.md for the equivalence sketch.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "memsim/link.h"
+#include "memsim/tier.h"
+
+namespace memdis::memsim {
+
+/// Which per-link delay model the engine runs.
+enum class LinkModelKind {
+  kLoi,    ///< closed-form LinkModel under configured background LoI only
+  kQueue,  ///< QueueModel: classes feed each other's effective LoI
+};
+
+/// Traffic classes sharing one fabric link's queue.
+enum class TrafficClass : int {
+  kDemand = 0,  ///< demand cacheline misses (stall-latency path)
+  kBulk = 1,    ///< bulk page-migration transfers
+};
+
+/// Number of traffic classes (array sizing).
+inline constexpr int kNumTrafficClasses = 2;
+
+/// The class competing with `cls` on the same link.
+[[nodiscard]] constexpr TrafficClass other_class(TrafficClass cls) {
+  return cls == TrafficClass::kDemand ? TrafficClass::kBulk : TrafficClass::kDemand;
+}
+
+class QueueModel {
+ public:
+  /// Builds the queue for one fabric tier; `spec.link` must be set. The
+  /// estimator window length comes from `spec.link->queue_window_epochs`.
+  explicit QueueModel(const MemoryTierSpec& spec);
+
+  /// Records one closed epoch's observed traffic for `cls`: `bytes` of
+  /// data moved over `seconds` of simulated time. Evicts the oldest
+  /// observation once the window is full.
+  void observe(TrafficClass cls, double bytes, double seconds);
+
+  /// Windowed arrival-rate estimate for `cls` in GB/s of *data* (protocol
+  /// overhead not applied). `extra_bytes`/`extra_seconds` fold in the
+  /// current, not-yet-observed epoch, so the closing epoch can see its own
+  /// burst. Zero when the window holds no time.
+  [[nodiscard]] double estimated_rate_gbps(TrafficClass cls, double extra_bytes = 0.0,
+                                           double extra_seconds = 0.0) const;
+
+  /// Windowed rate of the class competing with `cls` — the default
+  /// cross-traffic term of the queries below.
+  [[nodiscard]] double cross_rate_gbps(TrafficClass cls) const {
+    return estimated_rate_gbps(other_class(cls));
+  }
+
+  /// Effective LoI class `cls` experiences: `background_loi` plus the
+  /// cross-class data rate's link traffic as % of capacity, clamped to the
+  /// LinkModel's LoI bound. Exactly `background_loi` at zero cross rate.
+  [[nodiscard]] double effective_loi(TrafficClass cls, double background_loi,
+                                     double cross_rate_gbps) const;
+
+  /// Queueing multiplier for `cls` offering `own_rate_gbps` of data while
+  /// the other class offers `cross_rate_gbps`, under `background_loi`.
+  [[nodiscard]] double latency_multiplier(TrafficClass cls, double background_loi,
+                                          double own_rate_gbps, double cross_rate_gbps) const;
+
+  /// Access latency (ns) for `cls` under the same load triple.
+  [[nodiscard]] double effective_latency_ns(TrafficClass cls, double background_loi,
+                                            double own_rate_gbps,
+                                            double cross_rate_gbps) const;
+
+  /// Data bandwidth available to `cls` after background *and* cross-class
+  /// traffic take their share of the link.
+  [[nodiscard]] double effective_data_bandwidth_gbps(TrafficClass cls, double background_loi,
+                                                     double cross_rate_gbps) const;
+
+  /// Observations currently held for `cls` (≤ window length).
+  [[nodiscard]] std::size_t window_size(TrafficClass cls) const;
+  /// Configured estimator window length in epochs.
+  [[nodiscard]] std::size_t window_epochs() const { return window_; }
+
+ private:
+  /// One closed epoch's observation for one class.
+  struct Sample {
+    double bytes = 0.0;
+    double seconds = 0.0;
+  };
+  /// Fixed-capacity ring over the last `window_` epochs.
+  struct Window {
+    std::vector<Sample> samples;  ///< ring storage, size ≤ window_
+    std::size_t next = 0;         ///< ring cursor
+    double bytes_sum = 0.0;
+    double seconds_sum = 0.0;
+  };
+
+  /// Applies the effective LoI and returns the scratch LinkModel to query.
+  [[nodiscard]] const LinkModel& at_effective_loi(TrafficClass cls, double background_loi,
+                                                  double cross_rate_gbps) const;
+
+  /// Scratch LinkModel re-pointed at the effective LoI per query; mutable
+  /// because queries are logically const (the queue's own state — the
+  /// windows — never changes on a read).
+  mutable LinkModel link_;
+  std::size_t window_;
+  Window windows_[kNumTrafficClasses];
+};
+
+}  // namespace memdis::memsim

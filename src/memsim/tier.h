@@ -43,6 +43,10 @@ struct FabricLinkSpec {
   double queue_weight = 0.12;           ///< M/M/1 queue-delay scaling
   double overload_slope = 0.05;         ///< delay growth per unit of overload
   double max_latency_multiplier = 6.0;  ///< cap on queueing blow-up
+  /// Length (in closed epochs) of the QueueModel's windowed arrival-rate
+  /// estimator — how quickly one traffic class's delay reacts to the other
+  /// class's traffic under `--link-model queue`. Unused by the `loi` model.
+  int queue_window_epochs = 4;
 
   /// Peak link *data* bandwidth implied by capacity and overhead.
   [[nodiscard]] double data_bandwidth_gbps() const {

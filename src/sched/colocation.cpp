@@ -1,7 +1,10 @@
 #include "sched/colocation.h"
 
+#include <algorithm>
+
 #include "common/contract.h"
 #include "common/rng.h"
+#include "memsim/link.h"
 
 namespace memdis::sched {
 
@@ -85,6 +88,70 @@ double simulate_run_scheduled(const JobProfile& job, const memsim::LoiSchedule& 
     ++interval;
   }
   return wall;
+}
+
+SharedQueuePair simulate_pair_shared_queue(const JobProfile& a, const JobProfile& b,
+                                           const memsim::FabricLinkSpec& link,
+                                           double background_loi, double interval_s) {
+  expects(a.base_runtime_s > 0 && b.base_runtime_s > 0,
+          "jobs need positive idle runtimes");
+  expects(!a.sensitivity.empty() && !b.sensitivity.empty(),
+          "jobs need sensitivity curves");
+  expects(a.offered_gbps >= 0 && b.offered_gbps >= 0,
+          "offered traffic cannot be negative");
+  expects(interval_s > 0, "interval must be positive");
+
+  // LoI a job experiences when its co-runner offers traffic at `speed`
+  // times full rate — background plus the co-runner's link traffic as % of
+  // capacity, the QueueModel::effective_loi formula at the job granularity.
+  const auto produced_loi = [&](const JobProfile& other, double other_speed) {
+    const double traffic = other.offered_gbps * other_speed * link.protocol_overhead;
+    return std::min(background_loi + 100.0 * traffic / link.traffic_capacity_gbps,
+                    memsim::LinkModel::kMaxLoi);
+  };
+
+  SharedQueuePair out;
+  const double a_solo_speed = core::interpolate_sensitivity(a.sensitivity, background_loi);
+  const double b_solo_speed = core::interpolate_sensitivity(b.sensitivity, background_loi);
+  expects(a_solo_speed > 0 && b_solo_speed > 0, "sensitivity curve reaches zero speed");
+  out.a_solo_s = a.base_runtime_s / a_solo_speed;
+  out.b_solo_s = b.base_runtime_s / b_solo_speed;
+
+  double work_a = a.base_runtime_s;  // in idle-system seconds
+  double work_b = b.base_runtime_s;
+  double wall = 0.0;
+  while (work_a > 0 && work_b > 0) {
+    // Per-interval fixed point over the speed pair: each job's speed sets
+    // the traffic the other sees. The map is a monotone contraction on
+    // [0,1]^2, so a fixed small iteration count converges deterministically.
+    double speed_a = 1.0;
+    double speed_b = 1.0;
+    for (int i = 0; i < 16; ++i) {
+      const double next_a =
+          core::interpolate_sensitivity(a.sensitivity, produced_loi(b, speed_b));
+      const double next_b =
+          core::interpolate_sensitivity(b.sensitivity, produced_loi(a, speed_a));
+      speed_a = next_a;
+      speed_b = next_b;
+    }
+    expects(speed_a > 0 && speed_b > 0, "sensitivity curve reaches zero speed");
+    const double t_a = work_a / speed_a;  // time to finish at this speed
+    const double t_b = work_b / speed_b;
+    const double dt = std::min({interval_s, t_a, t_b});
+    wall += dt;
+    // Exact-finish bookkeeping avoids an ulp of leftover work re-running
+    // a whole extra interval.
+    work_a = t_a <= dt ? 0.0 : work_a - dt * speed_a;
+    work_b = t_b <= dt ? 0.0 : work_b - dt * speed_b;
+    if (work_a == 0.0) out.a_wall_s = wall;
+    if (work_b == 0.0) out.b_wall_s = wall;
+  }
+  // The survivor has the link to itself (background interference only).
+  if (work_a > 0) out.a_wall_s = wall + work_a / a_solo_speed;
+  if (work_b > 0) out.b_wall_s = wall + work_b / b_solo_speed;
+  out.a_slowdown = out.a_wall_s / out.a_solo_s;
+  out.b_slowdown = out.b_wall_s / out.b_solo_s;
+  return out;
 }
 
 CoLocationOutcome run_colocation(const JobProfile& job, double max_loi,

@@ -16,6 +16,7 @@
 #include "common/stats.h"
 #include "core/interference.h"
 #include "memsim/loi_schedule.h"
+#include "memsim/tier.h"
 
 namespace memdis::sched {
 
@@ -31,6 +32,10 @@ struct JobProfile {
   /// mean the job is insensitive to that link (local tiers stay empty).
   /// When the whole vector is empty the job only has the aggregate curve.
   std::vector<std::vector<core::SensitivityPoint>> link_sensitivity;
+  /// Link *data* traffic (GB/s) the job offers onto the shared pool link
+  /// when running at full speed — what it injects into a co-runner's queue
+  /// (simulate_pair_shared_queue). A slowed job offers proportionally less.
+  double offered_gbps = 0.0;
 };
 
 struct CoLocationConfig {
@@ -64,6 +69,33 @@ struct CoLocationConfig {
 [[nodiscard]] double simulate_run_scheduled(const JobProfile& job,
                                             const memsim::LoiSchedule& schedule,
                                             double reroll_interval_s);
+
+/// Outcome of co-running two jobs on one shared pool link where each job's
+/// interference is *produced* by the other's offered traffic through the
+/// link's queue (simulate_pair_shared_queue).
+struct SharedQueuePair {
+  double a_wall_s = 0.0;   ///< job A's wall time co-located
+  double b_wall_s = 0.0;   ///< job B's wall time co-located
+  double a_solo_s = 0.0;   ///< job A alone on the link (background LoI only)
+  double b_solo_s = 0.0;   ///< job B alone on the link
+  double a_slowdown = 0.0; ///< a_wall_s / a_solo_s
+  double b_slowdown = 0.0; ///< b_wall_s / b_solo_s
+};
+
+/// Deterministic shared-queue pair simulation: per interval, each job's
+/// experienced LoI on the shared link is the background LoI plus the
+/// co-runner's *current* offered traffic (its full-speed `offered_gbps`
+/// scaled by its current speed, protocol overhead applied) as % of link
+/// capacity — the sched-level analogue of the engine's QueueModel class
+/// coupling. The two speeds are solved as a per-interval fixed point (a
+/// slower co-runner offers less traffic, which speeds the victim up, which
+/// slows the co-runner...); once the shorter job finishes, the survivor
+/// runs against the background alone. Seed-free.
+[[nodiscard]] SharedQueuePair simulate_pair_shared_queue(const JobProfile& a,
+                                                         const JobProfile& b,
+                                                         const memsim::FabricLinkSpec& link,
+                                                         double background_loi = 0.0,
+                                                         double interval_s = 60.0);
 
 /// Outcome of the 100-run experiment for one job and one scheduler.
 struct CoLocationOutcome {

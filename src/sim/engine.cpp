@@ -10,11 +10,19 @@ namespace memdis::sim {
 
 namespace {
 std::atomic<bool> g_bulk_fast_path_default{true};
+std::atomic<memsim::LinkModelKind> g_link_model_default{memsim::LinkModelKind::kLoi};
 }  // namespace
 
 bool bulk_fast_path_default() { return g_bulk_fast_path_default.load(std::memory_order_relaxed); }
 void set_bulk_fast_path_default(bool on) {
   g_bulk_fast_path_default.store(on, std::memory_order_relaxed);
+}
+
+memsim::LinkModelKind link_model_default() {
+  return g_link_model_default.load(std::memory_order_relaxed);
+}
+void set_link_model_default(memsim::LinkModelKind kind) {
+  g_link_model_default.store(kind, std::memory_order_relaxed);
 }
 
 Engine::Engine(const EngineConfig& cfg)
@@ -29,13 +37,22 @@ Engine::Engine(const EngineConfig& cfg)
   page_shift_ = log2_pow2(m.page_bytes);
   const auto& topo = cfg_.machine.topology;
   links_.reserve(static_cast<std::size_t>(topo.num_tiers()));
+  queues_.reserve(static_cast<std::size_t>(topo.num_tiers()));
+  const bool queue_mode = cfg_.link_model == memsim::LinkModelKind::kQueue;
   for (memsim::TierId t = 0; t < topo.num_tiers(); ++t) {
     if (topo.is_fabric(t)) {
       links_.emplace_back(memsim::LinkModel(topo.tier(t)));
+      if (queue_mode) {
+        queues_.emplace_back(memsim::QueueModel(topo.tier(t)));
+      } else {
+        queues_.emplace_back(std::nullopt);
+      }
     } else {
       links_.emplace_back(std::nullopt);
+      queues_.emplace_back(std::nullopt);
     }
   }
+  pending_migration_bytes_.assign(static_cast<std::size_t>(topo.num_tiers()), 0);
   set_background_loi(cfg.background_loi);
   for (std::size_t t = 0; t < cfg_.background_loi_per_tier.size() && t < links_.size(); ++t) {
     if (links_[t]) links_[t]->set_background_loi(cfg_.background_loi_per_tier[t]);
@@ -86,6 +103,25 @@ double Engine::background_loi(memsim::TierId t) const { return link(t).backgroun
 void Engine::charge_migration_seconds(double seconds) {
   expects(seconds >= 0.0, "migration time cannot be negative");
   pending_migration_s_ += seconds;
+}
+
+void Engine::charge_migration_bytes(memsim::TierId seg, std::uint64_t bytes) {
+  expects(seg >= 0 && seg < static_cast<int>(links_.size()), "tier id out of range");
+  expects(links_[static_cast<std::size_t>(seg)].has_value(), "tier has no fabric link");
+  pending_migration_bytes_[static_cast<std::size_t>(seg)] += bytes;
+}
+
+const memsim::QueueModel& Engine::queue(memsim::TierId t) const {
+  expects(t >= 0 && t < static_cast<int>(queues_.size()), "tier id out of range");
+  const auto& q = queues_[static_cast<std::size_t>(t)];
+  expects(q.has_value(), "tier has no link queue (kLoi model or local tier)");
+  return *q;
+}
+
+double Engine::effective_loi(memsim::TierId t, memsim::TrafficClass cls) const {
+  if (cfg_.link_model != memsim::LinkModelKind::kQueue) return background_loi(t);
+  const memsim::QueueModel& q = queue(t);
+  return q.effective_loi(cls, background_loi(t), q.cross_rate_gbps(cls));
 }
 
 memsim::VRange Engine::alloc(std::uint64_t bytes, memsim::MemPolicy policy, std::string name) {
@@ -496,27 +532,46 @@ void Engine::close_epoch() {
 
   const auto& m = cfg_.machine;
   const int n = m.num_tiers();
+  const bool queue_mode = cfg_.link_model == memsim::LinkModelKind::kQueue;
+  using memsim::TrafficClass;
 
   // Throughput-bound terms: the epoch is as long as its most-loaded lane —
   // compute, or any single tier's byte stream at that tier's effective
-  // bandwidth (fabric tiers are additionally clipped by their link).
+  // bandwidth (fabric tiers are additionally clipped by their link). Under
+  // the queue model the demand stream's bandwidth share is further reduced
+  // by the bulk class's *windowed* traffic estimate (prior epochs — this
+  // epoch's own burst cannot shrink t_base without a circular dependency;
+  // it feeds the latency pass below instead).
   const double t_flop = static_cast<double>(flops_now) / (m.peak_gflops * 1e9);
   double t_base = t_flop;
   for (memsim::TierId t = 0; t < n; ++t) {
     const auto bytes = static_cast<double>(d.dram_bytes(t));
     const auto& spec = m.tier(t);
+    double bw_link = spec.bandwidth_gbps;
+    if (spec.is_fabric()) {
+      bw_link = queue_mode
+                    ? queues_[static_cast<std::size_t>(t)]->effective_data_bandwidth_gbps(
+                          TrafficClass::kDemand, link(t).background_loi(),
+                          queues_[static_cast<std::size_t>(t)]->cross_rate_gbps(
+                              TrafficClass::kDemand))
+                    : link(t).effective_data_bandwidth_gbps(0.0);
+    }
     const double bw_eff =
-        spec.is_fabric()
-            ? std::min(link(t).effective_data_bandwidth_gbps(0.0), spec.bandwidth_gbps)
-            : spec.bandwidth_gbps;
+        spec.is_fabric() ? std::min(bw_link, spec.bandwidth_gbps) : spec.bandwidth_gbps;
     t_base = std::max(t_base, bytes / gbps_to_bytes_per_sec(bw_eff));
   }
 
   // Latency-bound term: only *demand* misses stall the cores; each fabric
   // tier's own offered rate feeds its link queueing model (two-pass fixed
-  // point per link).
+  // point per link). Under the queue model the demand class additionally
+  // sees the bulk class's traffic — the windowed estimate plus the bulk
+  // bytes charged into this very epoch (at rate bytes/t_base, the same
+  // proxy the demand rate uses), so a migration burst inflates the demand
+  // latency of the epoch it lands in, not just the following window.
   const double overlap = m.mlp * static_cast<double>(m.threads);
   double stall_sum = 0.0;
+  std::vector<double> demand_mult(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> demand_infl(static_cast<std::size_t>(n), 1.0);
   for (memsim::TierId t = 0; t < n; ++t) {
     const auto& spec = m.tier(t);
     double lat_s;
@@ -524,7 +579,29 @@ void Engine::close_epoch() {
       const auto bytes = static_cast<double>(d.dram_bytes(t));
       const double est_rate_gbps =
           t_base > 0 ? bytes_per_sec_to_gbps(bytes / t_base) : 0.0;
-      lat_s = ns_to_s(link(t).effective_latency_ns(est_rate_gbps));
+      if (queue_mode) {
+        const auto& q = *queues_[static_cast<std::size_t>(t)];
+        const double cross_gbps = q.estimated_rate_gbps(
+            TrafficClass::kBulk,
+            static_cast<double>(pending_migration_bytes_[static_cast<std::size_t>(t)]),
+            t_base);
+        lat_s = ns_to_s(q.effective_latency_ns(TrafficClass::kDemand,
+                                               link(t).background_loi(), est_rate_gbps,
+                                               cross_gbps));
+        demand_mult[static_cast<std::size_t>(t)] =
+            q.latency_multiplier(TrafficClass::kDemand, link(t).background_loi(),
+                                 est_rate_gbps, cross_gbps);
+        // Same epoch, same demand load, bulk cross-traffic removed: the
+        // denominator of the inflation trace.
+        const double solo_mult = q.latency_multiplier(
+            TrafficClass::kDemand, link(t).background_loi(), est_rate_gbps, 0.0);
+        if (solo_mult > 0)
+          demand_infl[static_cast<std::size_t>(t)] =
+              demand_mult[static_cast<std::size_t>(t)] / solo_mult;
+      } else {
+        lat_s = ns_to_s(link(t).effective_latency_ns(est_rate_gbps));
+        demand_mult[static_cast<std::size_t>(t)] = link(t).latency_multiplier(est_rate_gbps);
+      }
     } else {
       lat_s = ns_to_s(spec.latency_ns);
     }
@@ -557,11 +634,15 @@ void Engine::close_epoch() {
   rec.l2_lines_in = d.l2_lines_in;
   // Link measurements: PCM-style measured traffic summed over links; the
   // utilization of the busiest link (what an operator would alarm on).
+  // Under the queue model the gauges see the bulk bytes too — migration
+  // traffic is real link traffic to an operator's counters.
   double traffic = 0.0;
   double util = 0.0;
   for (memsim::TierId t = 0; t < n; ++t) {
     if (!m.tier(t).is_fabric()) continue;
-    const auto bytes = static_cast<double>(d.dram_bytes(t));
+    double bytes = static_cast<double>(d.dram_bytes(t));
+    if (queue_mode)
+      bytes += static_cast<double>(pending_migration_bytes_[static_cast<std::size_t>(t)]);
     const double app_rate_gbps =
         duration > 0 ? bytes_per_sec_to_gbps(bytes / duration) : 0.0;
     traffic += link(t).measured_traffic_gbps(app_rate_gbps);
@@ -574,8 +655,24 @@ void Engine::close_epoch() {
     if (links_[static_cast<std::size_t>(t)])
       rec.link_loi[static_cast<std::size_t>(t)] =
           links_[static_cast<std::size_t>(t)]->background_loi();
+  rec.link_demand_mult = std::move(demand_mult);
+  rec.link_demand_inflation = std::move(demand_infl);
+  rec.migration_bytes = pending_migration_bytes_;
   const memsim::NumaSnapshot snap = memory_.snapshot();
   rec.resident_bytes = snap.resident_bytes;
+  // Fold this epoch's per-class traffic into the windowed estimators, then
+  // clear the bulk accumulators for the next epoch's charges.
+  if (queue_mode) {
+    for (memsim::TierId t = 0; t < n; ++t) {
+      auto& q = queues_[static_cast<std::size_t>(t)];
+      if (!q) continue;
+      q->observe(TrafficClass::kDemand, static_cast<double>(d.dram_bytes(t)), duration);
+      q->observe(TrafficClass::kBulk,
+                 static_cast<double>(pending_migration_bytes_[static_cast<std::size_t>(t)]),
+                 duration);
+    }
+  }
+  std::fill(pending_migration_bytes_.begin(), pending_migration_bytes_.end(), 0);
   epochs_.push_back(std::move(rec));
 
   elapsed_s_ += duration;

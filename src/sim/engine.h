@@ -44,6 +44,7 @@
 #include "memsim/loi_schedule.h"
 #include "memsim/machine.h"
 #include "memsim/page_table.h"
+#include "memsim/queue_model.h"
 
 namespace memdis::sim {
 
@@ -52,6 +53,12 @@ namespace memdis::sim {
 /// reference decomposition of the range API.
 [[nodiscard]] bool bulk_fast_path_default();
 void set_bulk_fast_path_default(bool on);
+
+/// Process-wide default for EngineConfig::link_model (kLoi unless
+/// overridden). The determinism tests flip this to re-run whole scenarios
+/// under the queue model and byte-compare against the closed form.
+[[nodiscard]] memsim::LinkModelKind link_model_default();
+void set_link_model_default(memsim::LinkModelKind kind);
 
 struct EngineConfig {
   memsim::MachineConfig machine = memsim::MachineConfig::skylake_testbed();
@@ -82,6 +89,11 @@ struct EngineConfig {
   /// element-wise loop it documents (bit-identical, slower) — the reference
   /// path for the fast-path correctness gate.
   bool bulk_fast_path = bulk_fast_path_default();
+  /// Which per-link delay model runs. `kLoi` (the default) is the closed
+  /// form under configured background LoI only, bit-identical to the
+  /// pre-queue engine. `kQueue` partitions each link's traffic into demand
+  /// and bulk classes that inflate each other's delay (queue_model.h).
+  memsim::LinkModelKind link_model = link_model_default();
 };
 
 /// One closed epoch: the unit of the profiler's per-interval timelines
@@ -103,6 +115,22 @@ struct EpochRecord {
   /// (local tiers 0) — the per-epoch record a time-varying schedule leaves
   /// behind, and what `memdis plan` reports per scan.
   std::vector<double> link_loi;
+  /// Demand-class latency multiplier on each tier's link this epoch (local
+  /// tiers 1.0). Under the queue model this includes the bulk class's
+  /// cross-traffic — the per-epoch trace the `ext-queue-contention` golden
+  /// asserts on; under the LoI model it is the closed-form multiplier.
+  std::vector<double> link_demand_mult;
+  /// Demand-latency inflation attributable to bulk traffic, per tier: the
+  /// ratio of the demand class's latency multiplier with the bulk class's
+  /// cross-traffic to the multiplier without it, at this epoch's actual
+  /// demand load (local tiers and bulk-free epochs exactly 1.0; always 1.0
+  /// under the `kLoi` model, whose closed form has no bulk class). The
+  /// isolation trace the `ext-queue-contention` golden asserts on.
+  std::vector<double> link_demand_inflation;
+  /// Bulk page-migration bytes charged onto each tier's link this epoch
+  /// (Engine::charge_migration_bytes), indexed by TierId. Zero without an
+  /// attached migration runtime.
+  std::vector<std::uint64_t> migration_bytes;
 
   /// Bytes served by the node tier this epoch.
   [[nodiscard]] std::uint64_t node_bytes() const {
@@ -292,6 +320,25 @@ class Engine {
   /// Total migration transfer time charged so far.
   [[nodiscard]] double migration_seconds() const { return migration_s_total_; }
 
+  /// Charges `bytes` of bulk page-migration traffic onto fabric tier
+  /// `seg`'s link. The bytes land in the *next* closed epoch's record and —
+  /// under the queue model — feed that link's bulk traffic class, which is
+  /// what lets a migration burst inflate demand-miss latency. Contract
+  /// violation for local tiers. Under the LoI model the bytes are recorded
+  /// but carry no cost (the closed form has no bulk class).
+  void charge_migration_bytes(memsim::TierId seg, std::uint64_t bytes);
+
+  /// The queue of fabric tier `t`'s link; contract violation for local
+  /// tiers or when the engine runs the `kLoi` model (no queues exist).
+  [[nodiscard]] const memsim::QueueModel& queue(memsim::TierId t) const;
+
+  /// Effective LoI traffic class `cls` experiences on tier `t`'s link right
+  /// now: the configured background LoI plus the *other* class's windowed
+  /// traffic estimate as % of capacity. Under the `kLoi` model this is just
+  /// the background LoI — callers (the migration planner) can price against
+  /// it unconditionally. Contract violation for local tiers.
+  [[nodiscard]] double effective_loi(memsim::TierId t, memsim::TrafficClass cls) const;
+
   /// Installs a hook invoked after every closed epoch — the attachment
   /// point for runtime services such as the hot-page migration daemon
   /// (core::MigrationRuntime). The callback may inspect epochs() and the
@@ -370,6 +417,12 @@ class Engine {
   memsim::TieredMemory memory_;
   /// Per-tier link models, indexed by TierId; nullopt for local tiers.
   std::vector<std::optional<memsim::LinkModel>> links_;
+  /// Per-tier link queues (kQueue model only), indexed by TierId; nullopt
+  /// for local tiers and for every tier under the kLoi model.
+  std::vector<std::optional<memsim::QueueModel>> queues_;
+  /// Bulk migration bytes charged per fabric tier since the last closed
+  /// epoch (charge_migration_bytes), indexed by TierId.
+  std::vector<std::uint64_t> pending_migration_bytes_;
   cachesim::CacheHierarchy hierarchy_;
 
   // precomputed address math (cacheline/page sizes are powers of two)

@@ -31,6 +31,22 @@ class ScopedElementWise {
   bool saved_;
 };
 
+/// Scoped override of the engine-wide link-model default: everything run
+/// inside the scope prices fabric links with the chosen model (unless a
+/// scenario pins one explicitly, as ext-queue-contention does).
+class ScopedLinkModel {
+ public:
+  explicit ScopedLinkModel(memsim::LinkModelKind kind) : saved_(sim::link_model_default()) {
+    sim::set_link_model_default(kind);
+  }
+  ~ScopedLinkModel() { sim::set_link_model_default(saved_); }
+  ScopedLinkModel(const ScopedLinkModel&) = delete;
+  ScopedLinkModel& operator=(const ScopedLinkModel&) = delete;
+
+ private:
+  memsim::LinkModelKind saved_;
+};
+
 struct Artifacts {
   std::string csv;
   std::string json;
@@ -128,6 +144,54 @@ TEST(Determinism, TransientLoiRangeApiMatchesElementWise) {
   }
   EXPECT_EQ(fast.csv, reference.csv);
   EXPECT_EQ(fast.json, reference.json);
+}
+
+// ---- queue model vs LoI closed form -----------------------------------------
+// The compat half of `--link-model`: scenarios without bulk traffic carry
+// zero cross-class rates, so running them under the queue model must
+// reproduce the closed-form artifacts byte for byte (fig06 covers all six
+// workloads with no migration runtime attached). Conversely, pinning the
+// default to kLoi must be a no-op for a planner-heavy scenario — the
+// closed-form path is untouched by the queue refactor.
+
+TEST(Determinism, Fig06QueueModelMatchesLoiModel) {
+#ifdef MEMDIS_UNDER_ASAN
+  GTEST_SKIP() << "double fig06 run exceeds the sanitized scenario timeout";
+#endif
+  const Artifacts loi = artifacts_of("fig06", 1);
+  Artifacts queued;
+  {
+    ScopedLinkModel queue_mode(memsim::LinkModelKind::kQueue);
+    queued = artifacts_of("fig06", 1);
+  }
+  EXPECT_EQ(loi.csv, queued.csv);
+  EXPECT_EQ(loi.json, queued.json);
+  EXPECT_FALSE(loi.csv.empty());
+}
+
+TEST(Determinism, TransientLoiExplicitLoiModelIsDefault) {
+#ifdef MEMDIS_UNDER_ASAN
+  GTEST_SKIP() << "double scenario run exceeds the sanitized scenario timeout";
+#endif
+  const Artifacts implicit = artifacts_of("ext-transient-loi", 1);
+  Artifacts pinned;
+  {
+    ScopedLinkModel loi_mode(memsim::LinkModelKind::kLoi);
+    pinned = artifacts_of("ext-transient-loi", 1);
+  }
+  EXPECT_EQ(implicit.csv, pinned.csv);
+  EXPECT_EQ(implicit.json, pinned.json);
+}
+
+/// The new scenario itself must be reproducible — it layers the queue
+/// estimators, self-deferral bookkeeping, and the inflation trace on top
+/// of the epoch-callback stack the other determinism tests cover.
+TEST(Determinism, ExtQueueContentionArtifactsAreReproducible) {
+  const Artifacts first = artifacts_of("ext-queue-contention", 1);
+  const Artifacts second = artifacts_of("ext-queue-contention", 2);
+  EXPECT_EQ(first.csv, second.csv);
+  EXPECT_EQ(first.json, second.json);
+  EXPECT_FALSE(first.csv.empty());
 }
 
 }  // namespace

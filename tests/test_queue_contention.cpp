@@ -1,0 +1,80 @@
+// Property gate for the ext-queue-contention scenario (the golden test
+// byte-compares its artifacts; this suite asserts the *claims* those
+// numbers make):
+//  * demand-miss latency strictly inflates while a migration burst's bulk
+//    bytes share the link (burst inflation > quiet inflation);
+//  * quiet epochs — outside any burst and its estimator window — carry no
+//    cross traffic, so their inflation is exactly 1.0;
+//  * the self-congestion deferral strictly reduces burst-epoch inflation
+//    (the planner sheds the low-value tail of its own burst).
+#include <gtest/gtest.h>
+
+#include "core/scenario_registry.h"
+
+namespace memdis {
+namespace {
+
+double metric_of(const core::SweepRow& row, const std::string& name) {
+  for (const auto& [key, value] : row.metrics)
+    if (key == name) return value;
+  ADD_FAILURE() << "missing metric " << name;
+  return 0.0;
+}
+
+class QueueContentionScenario : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto* scenario = core::ScenarioRegistry::instance().find("ext-queue-contention");
+    ASSERT_NE(scenario, nullptr);
+    core::SweepOptions options;
+    options.jobs = 2;
+    result_ = new core::SweepResult(core::run_scenario(*scenario, options));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static const core::SweepResult& result() { return *result_; }
+
+ private:
+  static core::SweepResult* result_;
+};
+
+core::SweepResult* QueueContentionScenario::result_ = nullptr;
+
+TEST_F(QueueContentionScenario, MigrationBurstsInflateDemandLatency) {
+  ASSERT_FALSE(result().rows.empty());
+  for (const auto& row : result().rows) {
+    const double burst = metric_of(row, "eager_burst_inflation");
+    const double quiet = metric_of(row, "eager_quiet_inflation");
+    EXPECT_GT(burst, quiet) << row.point.variant << " ratio=" << row.point.ratio;
+    // Quiet epochs see zero bulk cross traffic by construction, so their
+    // inflation is not merely smaller — it is exactly the closed form.
+    EXPECT_EQ(quiet, 1.0) << row.point.variant;
+  }
+}
+
+TEST_F(QueueContentionScenario, DeferralReducesBurstInflation) {
+  for (const auto& row : result().rows) {
+    EXPECT_LT(metric_of(row, "deferred_burst_inflation"),
+              metric_of(row, "eager_burst_inflation"))
+        << row.point.variant << " ratio=" << row.point.ratio;
+    // The reduction must come from moves actually shed, not noise.
+    EXPECT_GT(metric_of(row, "self_deferred"), 0.0) << row.point.variant;
+    EXPECT_LT(metric_of(row, "deferred_migrated_mib"),
+              metric_of(row, "eager_migrated_mib"))
+        << row.point.variant;
+  }
+}
+
+TEST_F(QueueContentionScenario, DeferralDoesNotSlowTheRunDown) {
+  // Shedding self-congested moves should pay for itself end to end; allow
+  // a small tolerance so the gate tracks regressions, not ulps.
+  for (const auto& row : result().rows) {
+    EXPECT_LE(metric_of(row, "deferred_ms"), metric_of(row, "eager_ms") * 1.02)
+        << row.point.variant << " ratio=" << row.point.ratio;
+  }
+}
+
+}  // namespace
+}  // namespace memdis

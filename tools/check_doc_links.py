@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation tree.
+
+Verifies that every intra-repo link in the given markdown files resolves:
+
+* relative file links must name an existing file or directory;
+* ``#fragment`` anchors (with or without a file part) must match a heading
+  in the target document, using GitHub's heading-slug rules;
+* reference-style links (``[text][label]``) must have a matching
+  ``[label]: target`` definition, whose target is then checked like any
+  inline link.
+
+External links (``http(s)://``, ``mailto:``) are *not* fetched — CI must
+not flake on third-party outages — and links that escape the repository
+root (e.g. the ``../../actions/...`` badge idiom, which is a GitHub web
+URL rather than a path) are skipped for the same reason.
+
+Usage:
+    check_doc_links.py [--root DIR] [FILE...]
+
+With no FILE arguments, checks ``README.md`` and every ``*.md`` under
+``docs/`` relative to the root (default: the repo root containing this
+script's parent directory). Exits 0 when every link resolves, 1 otherwise,
+listing each dead link as ``file:line: message``.
+
+Stdlib only; wired into ctest as the ``tools_doc_links`` test and into the
+CI ``docs-lint`` lane.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Inline links/images: [text](target) / ![alt](target). The target may
+# carry an optional "title" part after whitespace, which is dropped.
+_INLINE_RE = re.compile(r"!?\[(?:[^\]\\]|\\.)*\]\(([^()\s]+(?:\([^()]*\))?)[^)]*\)")
+# Reference definitions: [label]: target
+_REF_DEF_RE = re.compile(r"^\s*\[([^\]]+)\]:\s*(\S+)")
+# Reference uses: [text][label] (shortcut [label][] handled via group 2)
+_REF_USE_RE = re.compile(r"\[((?:[^\]\\]|\\.)+)\]\[([^\]]*)\]")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: strip markdown emphasis/code
+    markers and punctuation, lowercase, spaces to hyphens."""
+    text = re.sub(r"[`*_]", "", heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: pathlib.Path) -> set[str]:
+    """All anchor slugs defined by a markdown file's headings, with GitHub's
+    ``-1``/``-2`` suffixing for duplicates."""
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING_RE.match(line)
+        if not m:
+            continue
+        base = github_slug(m.group(2))
+        n = counts.get(base, 0)
+        counts[base] = n + 1
+        slugs.add(base if n == 0 else f"{base}-{n}")
+    return slugs
+
+
+def iter_links(path: pathlib.Path):
+    """Yields (line_number, target) for every link target in the file,
+    resolving reference-style uses through their definitions."""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    defs: dict[str, str] = {}
+    for line in lines:
+        m = _REF_DEF_RE.match(line)
+        if m:
+            defs[m.group(1).lower()] = m.group(2)
+    in_fence = False
+    for lineno, line in enumerate(lines, start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence or _REF_DEF_RE.match(line):
+            continue
+        stripped = re.sub(r"`[^`]*`", "", line)  # ignore inline code spans
+        for m in _INLINE_RE.finditer(stripped):
+            yield lineno, m.group(1)
+        for m in _REF_USE_RE.finditer(stripped):
+            label = (m.group(2) or m.group(1)).lower()
+            if label in defs:
+                yield lineno, defs[label]
+            else:
+                yield lineno, f"MISSING-REF-DEFINITION:{label}"
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path) -> list[str]:
+    """Returns a list of ``file:line: message`` errors for one document."""
+    errors: list[str] = []
+    rel = path.relative_to(root)
+    for lineno, target in iter_links(path):
+        if target.startswith("MISSING-REF-DEFINITION:"):
+            label = target.split(":", 1)[1]
+            errors.append(f"{rel}:{lineno}: undefined link reference [{label}]")
+            continue
+        if target.startswith(_EXTERNAL_SCHEMES):
+            continue  # external: never fetched
+        file_part, _, fragment = target.partition("#")
+        if not file_part:
+            # Same-document anchor.
+            if fragment and github_slug(fragment) not in heading_slugs(path):
+                errors.append(f"{rel}:{lineno}: no heading for anchor #{fragment}")
+            continue
+        dest = (path.parent / file_part).resolve()
+        try:
+            dest.relative_to(root.resolve())
+        except ValueError:
+            continue  # escapes the repo (badge-style web path): skip
+        if not dest.exists():
+            errors.append(f"{rel}:{lineno}: dead link {target}")
+            continue
+        if fragment and dest.suffix.lower() == ".md":
+            if github_slug(fragment) not in heading_slugs(dest):
+                errors.append(f"{rel}:{lineno}: {file_part} has no anchor #{fragment}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None, help="repository root (default: inferred)")
+    parser.add_argument("files", nargs="*", help="markdown files (default: README.md + docs/)")
+    args = parser.parse_args(argv)
+
+    root = pathlib.Path(args.root) if args.root else pathlib.Path(__file__).resolve().parent.parent
+    if args.files:
+        files = [pathlib.Path(f).resolve() for f in args.files]
+    else:
+        files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+        files = [f for f in files if f.exists()]
+    if not files:
+        print("check_doc_links: no markdown files to check", file=sys.stderr)
+        return 1
+
+    errors: list[str] = []
+    checked = 0
+    for f in files:
+        checked += 1
+        errors.extend(check_file(f, root))
+    for e in errors:
+        print(e, file=sys.stderr)
+    status = "FAILED" if errors else "ok"
+    print(f"check_doc_links: {checked} file(s), {len(errors)} dead link(s) — {status}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

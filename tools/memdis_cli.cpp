@@ -15,6 +15,9 @@
 //   memdis sweep   --scenario fig06 [--jobs N] [--out dir] [--csv file]
 //   memdis plan    --app Hypre --fabric three-tier [--ratio 0.75]
 //                  [--loi 0,200] [--staging on|off] [--csv file]
+//
+// `--link-model loi|queue` selects the fabric contention model for any
+// subcommand (default loi, the closed form).
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -53,6 +56,7 @@ struct Args {
   std::vector<std::string> loi_waves;         ///< --loi-wave specs (repeatable)
   std::optional<std::string> loi_trace_path;  ///< --loi-trace CSV file
   bool staging = true;               ///< --staging: plan may use intermediate tiers
+  memsim::LinkModelKind link_model = sim::link_model_default();  ///< --link-model
   std::uint32_t nflop = 1;
   int threads = 12;
   std::size_t elements = 1 << 20;
@@ -94,6 +98,8 @@ void usage(std::ostream& os) {
      << "                    rows `epoch,<loi per fabric tier>`; gaps hold)\n"
      << "  --staging on|off  allow the planner to stage via intermediate tiers\n"
      << "                    (plan only; default on)\n"
+     << "  --link-model M    fabric link contention model: loi (closed form,\n"
+     << "                    default) or queue (two-class demand/bulk queues)\n"
      << "  --nflop N         LBench flops/element (default 1)\n"
      << "  --threads N       LBench threads (default 12)\n"
      << "  --elements N      LBench array elements (default 2^20)\n"
@@ -204,6 +210,15 @@ std::optional<Args> parse(int argc, char** argv) {
         args.staging = false;
       } else {
         std::cerr << "error: --staging expects on or off, got '" << *value << "'\n";
+        return std::nullopt;
+      }
+    } else if (flag == "--link-model") {
+      if (*value == "loi") {
+        args.link_model = memsim::LinkModelKind::kLoi;
+      } else if (*value == "queue") {
+        args.link_model = memsim::LinkModelKind::kQueue;
+      } else {
+        std::cerr << "error: --link-model expects loi or queue, got '" << *value << "'\n";
         return std::nullopt;
       }
     } else if (flag == "--nflop") {
@@ -582,6 +597,10 @@ int main(int argc, char** argv) {
     usage(std::cerr);
     return 2;
   }
+  // Every config object defaults its link model from the process-wide
+  // default, so setting it once here covers profiler runs, sweeps, and the
+  // planner alike (scenarios that pin a model explicitly still win).
+  sim::set_link_model_default(args->link_model);
   try {
     if (args->command == "machine") return cmd_machine(*args);
     if (args->command == "lbench") return cmd_lbench(*args);
