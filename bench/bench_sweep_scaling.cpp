@@ -1,9 +1,12 @@
 // Sweep-engine throughput baseline: wall-clock of the fig06 sweep
-// (18 configurations) at jobs=1 vs jobs=hardware_concurrency, so future
-// PRs can track sweep throughput. Also re-checks the determinism contract
-// (parallel rows bit-identical to serial rows) on the real scenario.
+// (18 configurations) at jobs=1 vs jobs=hardware_concurrency, plus the
+// replay-cache path (record once into a temp cache, then re-run from it) so
+// future PRs can track sweep throughput on both the live and the replayed
+// path. Also re-checks the determinism contract: parallel rows AND replayed
+// rows must be bit-identical to the serial live rows.
 //
 // Usage: bench_sweep_scaling [--json PATH]
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -12,6 +15,7 @@
 
 #include "bench_util.h"
 #include "common/table.h"
+#include "core/sweep.h"
 
 int main(int argc, char** argv) {
   using namespace memdis;
@@ -29,16 +33,33 @@ int main(int argc, char** argv) {
 
   const auto serial = core::run_scenario(*scenario, {.jobs = 1});
   const auto parallel = core::run_scenario(*scenario, {.jobs = hw});
-  const bool identical = serial.rows_equal(parallel);
+
+  // Replay path: record the sweep's traces into a throwaway cache, then
+  // time a serial re-run that replays them (the number comparable to
+  // wall_s_jobs1).
+  namespace fs = std::filesystem;
+  const fs::path cache_dir = fs::temp_directory_path() / "memdis_bench_sweep_cache";
+  fs::remove_all(cache_dir);
+  fs::create_directories(cache_dir);
+  core::set_replay_cache_dir(cache_dir.string());
+  (void)core::run_scenario(*scenario, {.jobs = 1});  // recording pass
+  const auto replayed = core::run_scenario(*scenario, {.jobs = 1});
+  core::set_replay_cache_dir({});
+  fs::remove_all(cache_dir);
+
+  const bool identical = serial.rows_equal(parallel) && serial.rows_equal(replayed);
   const double speedup = parallel.wall_seconds > 0 ? serial.wall_seconds / parallel.wall_seconds
                                                    : 0.0;
 
-  Table t({"jobs", "configs", "wall (s)", "configs/s"});
-  t.add_row({"1", std::to_string(serial.rows.size()), Table::num(serial.wall_seconds, 3),
+  Table t({"path", "configs", "wall (s)", "configs/s"});
+  t.add_row({"jobs=1", std::to_string(serial.rows.size()), Table::num(serial.wall_seconds, 3),
              Table::num(static_cast<double>(serial.rows.size()) / serial.wall_seconds, 2)});
-  t.add_row({std::to_string(hw), std::to_string(parallel.rows.size()),
+  t.add_row({"jobs=" + std::to_string(hw), std::to_string(parallel.rows.size()),
              Table::num(parallel.wall_seconds, 3),
              Table::num(static_cast<double>(parallel.rows.size()) / parallel.wall_seconds, 2)});
+  t.add_row({"replay", std::to_string(replayed.rows.size()),
+             Table::num(replayed.wall_seconds, 3),
+             Table::num(static_cast<double>(replayed.rows.size()) / replayed.wall_seconds, 2)});
   t.print(std::cout);
   if (hw > 1) {
     std::cout << "\nspeedup: " << Table::num(speedup, 2) << "x on " << hw
@@ -63,7 +84,8 @@ int main(int argc, char** argv) {
        << "  \"configs\": " << serial.rows.size() << ",\n"
        << "  \"hardware_concurrency\": " << hw << ",\n"
        << "  \"wall_s_jobs1\": " << serial.wall_seconds << ",\n"
-       << "  \"wall_s_jobs_hw\": " << parallel.wall_seconds << ",\n";
+       << "  \"wall_s_jobs_hw\": " << parallel.wall_seconds << ",\n"
+       << "  \"wall_s_replay\": " << replayed.wall_seconds << ",\n";
   if (hw > 1) {
     json << "  \"speedup\": " << speedup << ",\n";
   } else {

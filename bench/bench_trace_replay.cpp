@@ -1,0 +1,150 @@
+// Trace record/replay throughput baseline: the fig06 sweep run live, then
+// through a cold replay cache (recording pass), then through the warm cache
+// (replay pass) — the three wall-clocks bound what the cache costs to fill
+// and what it saves afterwards. Rows are bit-compared across all three runs
+// (the replay cache's exactness contract). A second section measures the
+// engine's steady-state fast-forward on a synthetic settled stream: wall
+// speedup, epochs synthesized, and the priced-time deviation the 0.1%
+// tolerance contract caps.
+//
+// Usage: bench_trace_replay [--json PATH]
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/sweep.h"
+#include "sim/engine.h"
+
+namespace {
+
+struct FastForwardRun {
+  double wall = 0.0;
+  double elapsed = 0.0;
+  std::uint64_t ff_epochs = 0;
+};
+
+FastForwardRun run_steady_stream(bool fast_forward) {
+  using namespace memdis;
+  const std::uint64_t bytes = 256ull << 20;
+  sim::EngineConfig cfg;
+  cfg.fast_forward = fast_forward;
+  sim::Engine eng(cfg);
+  const auto r = eng.alloc(bytes, memsim::MemPolicy::first_touch(), "a");
+  eng.store_range(r.base, bytes, 8);  // settle the resident set
+  const auto t0 = std::chrono::steady_clock::now();
+  sim::StreamLane lane{r.base, 8, 8, sim::StreamLane::Op::kLoad};
+  for (int rep = 0; rep < 4; ++rep) eng.stream_range(&lane, 1, bytes / 8);
+  eng.finish();
+  FastForwardRun out;
+  out.wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  out.elapsed = eng.elapsed_seconds();
+  out.ff_epochs = eng.fast_forwarded_epochs();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace memdis;
+  namespace fs = std::filesystem;
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--json") json_path = argv[++i];
+
+  bench::banner("Trace replay", "fig06 sweep: live vs. record vs. replay");
+  const auto* scenario = core::ScenarioRegistry::instance().find("fig06");
+  if (!scenario) {
+    std::cerr << "error: fig06 scenario is not registered\n";
+    return 2;
+  }
+
+  const fs::path cache_dir = fs::temp_directory_path() / "memdis_bench_replay_cache";
+  fs::remove_all(cache_dir);
+  fs::create_directories(cache_dir);
+
+  const auto live = core::run_scenario(*scenario, {.jobs = 1});
+  core::set_replay_cache_dir(cache_dir.string());
+  const auto recorded = core::run_scenario(*scenario, {.jobs = 1});
+  const auto replayed = core::run_scenario(*scenario, {.jobs = 1});
+  core::set_replay_cache_dir({});
+
+  std::size_t traces = 0;
+  std::uint64_t trace_bytes = 0;
+  for (const auto& e : fs::directory_iterator(cache_dir))
+    if (e.path().extension() == ".mdtr") {
+      ++traces;
+      trace_bytes += static_cast<std::uint64_t>(fs::file_size(e.path()));
+    }
+  fs::remove_all(cache_dir);
+
+  const bool identical =
+      live.rows_equal(recorded) && live.rows_equal(replayed);
+  const double replay_speedup =
+      replayed.wall_seconds > 0 ? live.wall_seconds / replayed.wall_seconds : 0.0;
+  const double record_overhead =
+      live.wall_seconds > 0 ? recorded.wall_seconds / live.wall_seconds : 0.0;
+
+  Table t({"pass", "configs", "wall (s)", "vs live"});
+  t.add_row({"live", std::to_string(live.rows.size()), Table::num(live.wall_seconds, 3),
+             "1.00x"});
+  t.add_row({"record", std::to_string(recorded.rows.size()),
+             Table::num(recorded.wall_seconds, 3),
+             Table::num(record_overhead, 2) + "x"});
+  t.add_row({"replay", std::to_string(replayed.rows.size()),
+             Table::num(replayed.wall_seconds, 3),
+             Table::num(replay_speedup, 2) + "x faster"});
+  t.print(std::cout);
+  std::cout << "\ntraces: " << traces << " (" << trace_bytes / (1024.0 * 1024.0)
+            << " MiB); rows bit-identical across passes: " << (identical ? "yes" : "NO")
+            << "\n";
+
+  std::cout << "\nfast-forward (synthetic settled stream, 4x256MiB passes):\n";
+  const FastForwardRun exact = run_steady_stream(false);
+  const FastForwardRun fast = run_steady_stream(true);
+  const double ff_speedup = fast.wall > 0 ? exact.wall / fast.wall : 0.0;
+  const double ff_dev =
+      exact.elapsed > 0 ? std::abs(fast.elapsed - exact.elapsed) / exact.elapsed : 0.0;
+  Table ff({"path", "wall (s)", "ff epochs", "elapsed dev"});
+  ff.add_row({"exact", Table::num(exact.wall, 3), "0", "-"});
+  ff.add_row({"fast-forward", Table::num(fast.wall, 3), std::to_string(fast.ff_epochs),
+              Table::num(ff_dev * 100.0, 5) + "%"});
+  ff.print(std::cout);
+  const bool ff_ok = fast.ff_epochs > 0 && ff_dev <= 1e-3;
+  std::cout << "speedup: " << Table::num(ff_speedup, 2)
+            << "x; tolerance contract (engaged, dev <= 0.1%): " << (ff_ok ? "yes" : "NO")
+            << "\n";
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"trace_replay\",\n"
+       << "  \"scenario\": \"fig06\",\n"
+       << "  \"configs\": " << live.rows.size() << ",\n"
+       << "  \"wall_s_live\": " << live.wall_seconds << ",\n"
+       << "  \"wall_s_record\": " << recorded.wall_seconds << ",\n"
+       << "  \"wall_s_replay\": " << replayed.wall_seconds << ",\n"
+       << "  \"replay_speedup\": " << replay_speedup << ",\n"
+       << "  \"record_overhead\": " << record_overhead << ",\n"
+       << "  \"traces\": " << traces << ",\n"
+       << "  \"trace_bytes_total\": " << trace_bytes << ",\n"
+       << "  \"ff_speedup\": " << ff_speedup << ",\n"
+       << "  \"ff_epochs_skipped\": " << fast.ff_epochs << ",\n"
+       << "  \"ff_elapsed_dev\": " << ff_dev << ",\n"
+       << "  \"ff_within_tolerance\": " << (ff_ok ? "true" : "false") << ",\n"
+       << "  \"rows_identical\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json.str();
+    std::cout << "baseline written to " << json_path << "\n";
+  } else {
+    std::cout << "\n" << json.str();
+  }
+  return identical && ff_ok ? 0 : 1;
+}

@@ -10,10 +10,13 @@
 #include <sstream>
 #include <stdexcept>
 
+#include <mutex>
+
 #include "common/contract.h"
 #include "common/csv.h"
 #include "common/parallel_for.h"
 #include "common/rng.h"
+#include "trace/trace_workload.h"
 
 namespace memdis::core {
 
@@ -79,7 +82,24 @@ RunConfig SweepPoint::run_config() const {
   return rc;
 }
 
+namespace {
+std::mutex g_replay_cache_mutex;
+std::string g_replay_cache_dir;  // guarded by g_replay_cache_mutex
+}  // namespace
+
+std::string replay_cache_dir() {
+  const std::lock_guard<std::mutex> lock(g_replay_cache_mutex);
+  return g_replay_cache_dir;
+}
+
+void set_replay_cache_dir(std::string dir) {
+  const std::lock_guard<std::mutex> lock(g_replay_cache_mutex);
+  g_replay_cache_dir = std::move(dir);
+}
+
 std::unique_ptr<workloads::Workload> SweepPoint::make_workload() const {
+  const std::string cache = replay_cache_dir();
+  if (!cache.empty()) return trace::make_cached_workload(cache, app, scale, seed);
   return workloads::make_workload(app, scale, seed);
 }
 

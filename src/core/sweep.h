@@ -40,6 +40,16 @@ inline constexpr double kNodeOnly = -1.0;
 /// All registered topology preset names, in CLI listing order.
 [[nodiscard]] const std::vector<std::string>& topology_preset_names();
 
+/// Process-wide replay-cache directory (`memdis sweep --replay-cache DIR`).
+/// When non-empty, SweepPoint::make_workload routes every (app, scale, seed)
+/// key through trace::make_cached_workload: the first task to need a key
+/// records its access trace into DIR, every later task replays it through
+/// the engine's bulk fast path. Artifacts are byte-identical either way —
+/// the cache only changes how the call stream is produced, never its
+/// contents. Empty (the default) means live workloads.
+[[nodiscard]] std::string replay_cache_dir();
+void set_replay_cache_dir(std::string dir);
+
 /// One expanded grid point == one task. Everything a measure function may
 /// depend on is captured here, including the derived per-task seed.
 struct SweepPoint {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
+#include <type_traits>
 
 #include "common/contract.h"
 #include "common/units.h"
@@ -11,6 +13,25 @@ namespace memdis::sim {
 namespace {
 std::atomic<bool> g_bulk_fast_path_default{true};
 std::atomic<memsim::LinkModelKind> g_link_model_default{memsim::LinkModelKind::kLoi};
+std::atomic<bool> g_fast_forward_default{false};
+
+/// Steady-state equality for fast-forward: two epochs repeat iff their full
+/// counter deltas and their cost-relevant record fields match exactly.
+bool counters_equal(const cachesim::HwCounters& a, const cachesim::HwCounters& b) {
+  static_assert(std::is_trivially_copyable_v<cachesim::HwCounters>);
+  return std::memcmp(&a, &b, sizeof(cachesim::HwCounters)) == 0;
+}
+
+bool epochs_repeat(const EpochRecord& a, const EpochRecord& b) {
+  return a.duration_s == b.duration_s && a.phase == b.phase && a.flops == b.flops &&
+         a.tier_bytes == b.tier_bytes && a.tier_demand == b.tier_demand &&
+         a.l2_lines_in == b.l2_lines_in && a.link_traffic_gbps == b.link_traffic_gbps &&
+         a.link_utilization == b.link_utilization && a.migration_s == 0.0 &&
+         b.migration_s == 0.0 && a.resident_bytes == b.resident_bytes &&
+         a.link_loi == b.link_loi && a.link_demand_mult == b.link_demand_mult &&
+         a.link_demand_inflation == b.link_demand_inflation &&
+         a.migration_bytes == b.migration_bytes;
+}
 }  // namespace
 
 bool bulk_fast_path_default() { return g_bulk_fast_path_default.load(std::memory_order_relaxed); }
@@ -23,6 +44,11 @@ memsim::LinkModelKind link_model_default() {
 }
 void set_link_model_default(memsim::LinkModelKind kind) {
   g_link_model_default.store(kind, std::memory_order_relaxed);
+}
+
+bool fast_forward_default() { return g_fast_forward_default.load(std::memory_order_relaxed); }
+void set_fast_forward_default(bool on) {
+  g_fast_forward_default.store(on, std::memory_order_relaxed);
 }
 
 Engine::Engine(const EngineConfig& cfg)
@@ -125,6 +151,10 @@ double Engine::effective_loi(memsim::TierId t, memsim::TrafficClass cls) const {
 }
 
 memsim::VRange Engine::alloc(std::uint64_t bytes, memsim::MemPolicy policy, std::string name) {
+  // The trace records the *caller's* policy: replay passes it back through
+  // alloc(), where the replaying engine's own override applies — so one
+  // trace serves every policy grid point.
+  const memsim::MemPolicy caller_policy = trace_sink_ ? policy : memsim::MemPolicy{};
   // numactl-style override: default-policy allocations follow the system
   // policy override; explicit bindings keep their policy.
   if (policy.kind == memsim::PlacementKind::kFirstTouch && cfg_.default_policy_override) {
@@ -133,10 +163,13 @@ memsim::VRange Engine::alloc(std::uint64_t bytes, memsim::MemPolicy policy, std:
   const memsim::VRange range = memory_.alloc(bytes, std::move(policy));
   alloc_index_.emplace(range.base, allocations_.size());
   allocations_.push_back(AllocationInfo{std::move(name), range, false});
+  if (trace_sink_)
+    trace_sink_->on_alloc(bytes, caller_policy, allocations_.back().name, range.base);
   return range;
 }
 
 void Engine::free(const memsim::VRange& range) {
+  if (trace_sink_) trace_sink_->on_free(range.base);
   memory_.free(range);
   const auto it = alloc_index_.find(range.base);
   if (it != alloc_index_.end()) allocations_[it->second].freed = true;
@@ -146,24 +179,26 @@ void Engine::free(const memsim::VRange& range) {
 
 void Engine::range_element_loop(std::uint64_t addr, std::uint64_t bytes, std::uint32_t elem,
                                 RangeKind kind) {
+  // access_span, not load()/store(): the public range call already fired
+  // the trace sink once; its decomposition must not record again.
   const std::uint64_t end = addr + bytes;
   switch (kind) {
     case RangeKind::kLoad:
-      for (std::uint64_t a = addr; a < end; a += elem) load(a, elem);
+      for (std::uint64_t a = addr; a < end; a += elem) access_span(a, elem, false);
       break;
     case RangeKind::kStore:
-      for (std::uint64_t a = addr; a < end; a += elem) store(a, elem);
+      for (std::uint64_t a = addr; a < end; a += elem) access_span(a, elem, true);
       break;
     case RangeKind::kRmw:
       for (std::uint64_t a = addr; a < end; a += elem) {
-        load(a, elem);
-        store(a, elem);
+        access_span(a, elem, false);
+        access_span(a, elem, true);
       }
       break;
     case RangeKind::kStoreLoad:
       for (std::uint64_t a = addr; a < end; a += elem) {
-        store(a, elem);
-        load(a, elem);
+        access_span(a, elem, true);
+        access_span(a, elem, false);
       }
       break;
   }
@@ -268,16 +303,20 @@ void Engine::range_access(std::uint64_t addr, std::uint64_t bytes, std::uint32_t
 }
 
 void Engine::load_range(std::uint64_t addr, std::uint64_t bytes, std::uint32_t elem_bytes) {
+  if (trace_sink_) trace_sink_->on_range(0, addr, bytes, elem_bytes);
   range_access(addr, bytes, elem_bytes, RangeKind::kLoad);
 }
 void Engine::store_range(std::uint64_t addr, std::uint64_t bytes, std::uint32_t elem_bytes) {
+  if (trace_sink_) trace_sink_->on_range(1, addr, bytes, elem_bytes);
   range_access(addr, bytes, elem_bytes, RangeKind::kStore);
 }
 void Engine::rmw_range(std::uint64_t addr, std::uint64_t bytes, std::uint32_t elem_bytes) {
+  if (trace_sink_) trace_sink_->on_range(2, addr, bytes, elem_bytes);
   range_access(addr, bytes, elem_bytes, RangeKind::kRmw);
 }
 void Engine::store_load_range(std::uint64_t addr, std::uint64_t bytes,
                               std::uint32_t elem_bytes) {
+  if (trace_sink_) trace_sink_->on_range(3, addr, bytes, elem_bytes);
   range_access(addr, bytes, elem_bytes, RangeKind::kStoreLoad);
 }
 
@@ -288,13 +327,7 @@ void Engine::strided_access(std::uint64_t addr, std::uint64_t count, std::uint64
   expects(stride > 0, "strided range with zero stride");
   if (!cfg_.bulk_fast_path || line_bytes_ % elem != 0 || addr % elem != 0 ||
       stride % elem != 0) {
-    for (std::uint64_t k = 0; k < count; ++k) {
-      if (is_store) {
-        store(addr + k * stride, elem);
-      } else {
-        load(addr + k * stride, elem);
-      }
-    }
+    for (std::uint64_t k = 0; k < count; ++k) access_span(addr + k * stride, elem, is_store);
     return;
   }
   // Elements are line-contained; group consecutive same-line elements into
@@ -327,10 +360,12 @@ void Engine::strided_access(std::uint64_t addr, std::uint64_t count, std::uint64
 
 void Engine::load_strided(std::uint64_t addr, std::uint64_t count, std::uint64_t stride_bytes,
                           std::uint32_t elem_bytes) {
+  if (trace_sink_) trace_sink_->on_strided(false, addr, count, stride_bytes, elem_bytes);
   strided_access(addr, count, stride_bytes, elem_bytes, /*is_store=*/false);
 }
 void Engine::store_strided(std::uint64_t addr, std::uint64_t count, std::uint64_t stride_bytes,
                            std::uint32_t elem_bytes) {
+  if (trace_sink_) trace_sink_->on_strided(true, addr, count, stride_bytes, elem_bytes);
   strided_access(addr, count, stride_bytes, elem_bytes, /*is_store=*/true);
 }
 
@@ -339,13 +374,8 @@ void Engine::pair_range_access(std::uint64_t a, std::uint32_t elem_a, std::uint6
   expects(count > 0, "paired range of zero elements");
   expects(elem_a > 0 && elem_b > 0, "paired range with zero element size");
   const auto slow_iter = [&](std::uint64_t k) {
-    if (is_store) {
-      store(a + k * elem_a, elem_a);
-      store(b + k * elem_b, elem_b);
-    } else {
-      load(a + k * elem_a, elem_a);
-      load(b + k * elem_b, elem_b);
-    }
+    access_span(a + k * elem_a, elem_a, is_store);
+    access_span(b + k * elem_b, elem_b, is_store);
   };
   if (!cfg_.bulk_fast_path || line_bytes_ % elem_a != 0 || a % elem_a != 0 ||
       line_bytes_ % elem_b != 0 || b % elem_b != 0) {
@@ -394,8 +424,10 @@ void Engine::stream_range(const StreamLane* lanes, std::size_t num_lanes,
                           std::uint64_t count) {
   expects(num_lanes > 0, "stream_range without lanes");
   expects(count > 0, "stream_range of zero iterations");
+  if (trace_sink_) trace_sink_->on_stream(lanes, num_lanes, count);
   for (std::size_t i = 0; i < num_lanes; ++i)
-    expects(lanes[i].elem > 0 && lanes[i].stride > 0,
+    expects(lanes[i].op == StreamLane::Op::kFlops ||
+                (lanes[i].elem > 0 && lanes[i].stride > 0),
             "stream lane with zero element size or stride");
   const auto emit_iter = [&](std::uint64_t k) {
     for (std::size_t i = 0; i < num_lanes; ++i) {
@@ -403,14 +435,17 @@ void Engine::stream_range(const StreamLane* lanes, std::size_t num_lanes,
       const std::uint64_t a = ln.base + k * ln.stride;
       switch (ln.op) {
         case StreamLane::Op::kLoad:
-          load(a, ln.elem);
+          access_span(a, ln.elem, false);
           break;
         case StreamLane::Op::kStore:
-          store(a, ln.elem);
+          access_span(a, ln.elem, true);
           break;
         case StreamLane::Op::kRmw:
-          load(a, ln.elem);
-          store(a, ln.elem);
+          access_span(a, ln.elem, false);
+          access_span(a, ln.elem, true);
+          break;
+        case StreamLane::Op::kFlops:
+          pending_flops_ += ln.base;
           break;
       }
     }
@@ -419,6 +454,7 @@ void Engine::stream_range(const StreamLane* lanes, std::size_t num_lanes,
   bool fast = cfg_.bulk_fast_path && num_lanes <= kMaxLanes;
   for (std::size_t i = 0; fast && i < num_lanes; ++i) {
     const StreamLane& ln = lanes[i];
+    if (ln.op == StreamLane::Op::kFlops) continue;  // no address constraints
     // Line-contained, element-aligned lanes only (same rule as the other
     // range entry points); anything else runs the reference emission.
     if (line_bytes_ % ln.elem != 0 || ln.base % ln.elem != 0 || ln.stride % ln.elem != 0)
@@ -430,24 +466,84 @@ void Engine::stream_range(const StreamLane* lanes, std::size_t num_lanes,
   }
 
   // Per-iteration access count and each lane's final-access position within
-  // one iteration (an rmw lane's store is its last access).
+  // one iteration (an rmw lane's store is its last access). Flops lanes
+  // perform no access and never touch the LRU clock — batching their flops
+  // is exact because pending flops are only read at epoch close, and the
+  // window never crosses one (total < room below).
   std::uint32_t pos[kMaxLanes];
   std::uint32_t accesses_per_iter = 0;
   for (std::size_t i = 0; i < num_lanes; ++i) {
+    if (lanes[i].op == StreamLane::Op::kFlops) {
+      pos[i] = 0;
+      continue;
+    }
     accesses_per_iter += lanes[i].op == StreamLane::Op::kRmw ? 2 : 1;
     pos[i] = accesses_per_iter;
   }
+
+  // Steady-state fast-forward (cfg.fast_forward): once two consecutive
+  // in-call epochs close with bit-identical counter deltas, identical
+  // records, and the same iteration gap, the stream has settled — cache
+  // behaviour is periodic with the epoch, so the remaining whole epochs are
+  // synthesized in closed form instead of simulated. Cache *contents* stay
+  // at their pre-jump state (the next window re-resolves and re-fills);
+  // that staleness is the mode's documented ≤0.1% tolerance, which is why
+  // it is off by default and never golden-gated.
+  const bool ff_on = cfg_.fast_forward && ff_eligible();
+  const std::uint64_t ff_entry_epochs = epochs_.size();
+  std::uint64_t ff_seen_epochs = ff_entry_epochs;
+  std::uint64_t ff_close_k = 0;
+  cachesim::HwCounters ff_close_base = epoch_base_;
+  std::uint64_t ff_prev_gap = 0;
+  cachesim::HwCounters ff_prev_delta{};
+  bool ff_have_prev = false;
+
   std::uint64_t lane_line[kMaxLanes];
   std::size_t handle[kMaxLanes];
   bool handles_valid = false;  // false → re-resolve every lane (post-fill)
   BulkAcc acc;
   std::uint64_t k = 0;
   while (k < count) {
+    if (ff_on && epochs_.size() != ff_seen_epochs) {
+      // An epoch closed since the last loop head (inside emit_iter, so the
+      // bulk accumulator was already flushed). epoch_base_ is the counter
+      // snapshot at that close: the delta since the previous close is the
+      // epoch's exact signature.
+      const std::uint64_t gap = k - ff_close_k;
+      const cachesim::HwCounters delta = epoch_base_.delta_since(ff_close_base);
+      // Only a single close with a full in-call epoch behind it yields a
+      // usable (gap, delta) signature; the partial epoch in flight at call
+      // entry never participates.
+      if (epochs_.size() == ff_seen_epochs + 1 && ff_seen_epochs > ff_entry_epochs &&
+          gap > 0) {
+        if (ff_have_prev && gap == ff_prev_gap && counters_equal(delta, ff_prev_delta) &&
+            epochs_repeat(epochs_.back(), epochs_[epochs_.size() - 2])) {
+          const std::uint64_t iters_left = count - k;
+          if (iters_left > 2 * gap) {
+            const std::uint64_t reps = iters_left / gap - 1;  // keep a live tail
+            ff_synthesize(delta, reps);
+            k += reps * gap;
+            handles_valid = false;
+          }
+          ff_have_prev = false;  // require fresh evidence before jumping again
+        } else {
+          ff_prev_gap = gap;
+          ff_prev_delta = delta;
+          ff_have_prev = true;
+        }
+      } else {
+        ff_have_prev = false;
+      }
+      ff_seen_epochs = epochs_.size();
+      ff_close_k = k;
+      ff_close_base = epoch_base_;
+    }
     // Window: iterations every lane spends inside its current cacheline.
     std::uint64_t n = count - k;
     bool any_miss = false;
     for (std::size_t i = 0; i < num_lanes; ++i) {
       const StreamLane& ln = lanes[i];
+      if (ln.op == StreamLane::Op::kFlops) continue;
       const std::uint64_t addr = ln.base + k * ln.stride;
       const std::uint64_t line = addr & ~line_mask_;
       const std::uint64_t in_line = (line + line_bytes_ - 1 - addr) / ln.stride + 1;
@@ -474,14 +570,19 @@ void Engine::stream_range(const StreamLane* lanes, std::size_t num_lanes,
     // Every access in the window is an L1 hit: apply each lane's net batch
     // effect. Applying in lane order makes the latest lane win on shared
     // lines, exactly like the element-wise sequence.
-    const std::uint64_t t_end = hierarchy_.l1_advance_tick(total);
-    for (std::size_t i = 0; i < num_lanes; ++i) {
-      const StreamLane::Op op = lanes[i].op;
-      hierarchy_.l1_touch_at(handle[i], op != StreamLane::Op::kLoad,
-                             t_end - (accesses_per_iter - pos[i]));
-      if (op != StreamLane::Op::kStore) acc.loads += n;
-      if (op != StreamLane::Op::kLoad) acc.stores += n;
+    if (accesses_per_iter > 0) {
+      const std::uint64_t t_end = hierarchy_.l1_advance_tick(total);
+      for (std::size_t i = 0; i < num_lanes; ++i) {
+        const StreamLane::Op op = lanes[i].op;
+        if (op == StreamLane::Op::kFlops) continue;
+        hierarchy_.l1_touch_at(handle[i], op != StreamLane::Op::kLoad,
+                               t_end - (accesses_per_iter - pos[i]));
+        if (op != StreamLane::Op::kStore) acc.loads += n;
+        if (op != StreamLane::Op::kLoad) acc.stores += n;
+      }
     }
+    for (std::size_t i = 0; i < num_lanes; ++i)
+      if (lanes[i].op == StreamLane::Op::kFlops) pending_flops_ += n * lanes[i].base;
     epoch_demand_accesses_ += total;
     handles_valid = true;
     k += n;
@@ -491,10 +592,12 @@ void Engine::stream_range(const StreamLane* lanes, std::size_t num_lanes,
 
 void Engine::load_pair_range(std::uint64_t a, std::uint32_t elem_a, std::uint64_t b,
                              std::uint32_t elem_b, std::uint64_t count) {
+  if (trace_sink_) trace_sink_->on_pair(false, a, elem_a, b, elem_b, count);
   pair_range_access(a, elem_a, b, elem_b, count, /*is_store=*/false);
 }
 void Engine::store_pair_range(std::uint64_t a, std::uint32_t elem_a, std::uint64_t b,
                               std::uint32_t elem_b, std::uint64_t count) {
+  if (trace_sink_) trace_sink_->on_pair(true, a, elem_a, b, elem_b, count);
   pair_range_access(a, elem_a, b, elem_b, count, /*is_store=*/true);
 }
 
@@ -502,6 +605,7 @@ void Engine::store_pair_range(std::uint64_t a, std::uint32_t elem_a, std::uint64
 
 void Engine::pf_start(std::string tag) {
   expects(current_phase_.empty(), "nested pf_start without pf_stop");
+  if (trace_sink_) trace_sink_->on_phase(true, tag);
   close_epoch();
   current_phase_ = std::move(tag);
   phase_base_ = hierarchy_.counters();
@@ -511,6 +615,7 @@ void Engine::pf_start(std::string tag) {
 
 void Engine::pf_stop() {
   expects(!current_phase_.empty(), "pf_stop without pf_start");
+  if (trace_sink_) trace_sink_->on_phase(false, current_phase_);
   close_epoch();
   PhaseRecord rec;
   rec.tag = current_phase_;
@@ -686,6 +791,38 @@ void Engine::close_epoch() {
   // link state it will actually run under.
   apply_loi_schedule(epochs_.size());
   if (epoch_cb_) epoch_cb_(*this);
+}
+
+bool Engine::ff_eligible() const {
+  // Synthesis assumes nothing external perturbs epochs between closes:
+  // static links (no schedule, no queue estimators to feed), no epoch
+  // callback (which could migrate pages or charge costs), and no migration
+  // charges already in flight. Without a callback nothing can charge
+  // migrations mid-call, so checking once at stream entry suffices.
+  if (cfg_.link_model != memsim::LinkModelKind::kLoi) return false;
+  if (epoch_cb_) return false;
+  if (!cfg_.loi_schedule.empty()) return false;
+  if (pending_migration_s_ != 0.0) return false;
+  for (const auto b : pending_migration_bytes_)
+    if (b != 0) return false;
+  return true;
+}
+
+void Engine::ff_synthesize(const cachesim::HwCounters& delta, std::uint64_t n) {
+  const EpochRecord& last = epochs_.back();
+  hierarchy_.ff_apply(delta, n);
+  // Shift the baseline by the same amount so the live partial epoch's
+  // eventual delta (counters − epoch_base_) stays exact across the jump.
+  epoch_base_.add_scaled(delta, n);
+  EpochRecord synth = last;
+  epochs_.reserve(epochs_.size() + static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    synth.start_s = elapsed_s_;
+    elapsed_s_ += synth.duration_s;
+    epochs_.push_back(synth);
+  }
+  total_flops_ += last.flops * n;
+  ff_skipped_epochs_ += n;
 }
 
 void Engine::finish() {

@@ -60,6 +60,56 @@ void set_bulk_fast_path_default(bool on);
 [[nodiscard]] memsim::LinkModelKind link_model_default();
 void set_link_model_default(memsim::LinkModelKind kind);
 
+/// Process-wide default for EngineConfig::fast_forward (off unless
+/// overridden — the bit-exact path is the golden gate). The CLI flips this
+/// via `--fast-forward on`.
+[[nodiscard]] bool fast_forward_default();
+void set_fast_forward_default(bool on);
+
+/// One lane of an interleaved multi-stream sweep (Engine::stream_range).
+/// Lives at namespace scope so the trace layer can serialize lanes without
+/// depending on the Engine definition; Engine::StreamLane aliases it.
+struct StreamLane {
+  /// kRmw: load then store. kFlops: a compute lane — `base` holds the flop
+  /// count accounted per iteration, `stride`/`elem` are unused (may be 0)
+  /// and the lane performs no memory access. Flops lanes are what lets a
+  /// recorded trace fold a periodic load/store/flops pattern into one
+  /// stream_range call without reordering compute relative to accesses.
+  enum class Op : std::uint8_t { kLoad, kStore, kRmw, kFlops };
+  std::uint64_t base = 0;    ///< address of the lane's element 0 (kFlops: flops/iter)
+  std::uint64_t stride = 0;  ///< bytes between consecutive elements
+  std::uint32_t elem = 0;    ///< bytes accessed per element
+  Op op = Op::kLoad;
+};
+
+/// Observer of the engine's public instrumentation stream (the recording
+/// half of trace record/replay — see src/trace/). Hooks fire on the public
+/// API calls exactly as the workload made them, never on the engine's
+/// internal element-wise decompositions, so a recorded trace reproduces the
+/// original call sequence, not its expansion.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// `policy` is the policy the caller passed (before any
+  /// default_policy_override), `base` the returned range base — replay
+  /// asserts the allocator reproduces it.
+  virtual void on_alloc(std::uint64_t bytes, const memsim::MemPolicy& policy,
+                        const std::string& name, std::uint64_t base) = 0;
+  virtual void on_free(std::uint64_t base) = 0;
+  virtual void on_access(bool is_store, std::uint64_t addr, std::uint32_t size) = 0;
+  virtual void on_flops(std::uint64_t n) = 0;
+  /// kind: 0 load_range, 1 store_range, 2 rmw_range, 3 store_load_range.
+  virtual void on_range(std::uint8_t kind, std::uint64_t addr, std::uint64_t bytes,
+                        std::uint32_t elem) = 0;
+  virtual void on_strided(bool is_store, std::uint64_t addr, std::uint64_t count,
+                          std::uint64_t stride, std::uint32_t elem) = 0;
+  virtual void on_pair(bool is_store, std::uint64_t a, std::uint32_t elem_a,
+                       std::uint64_t b, std::uint32_t elem_b, std::uint64_t count) = 0;
+  virtual void on_stream(const StreamLane* lanes, std::size_t num_lanes,
+                         std::uint64_t count) = 0;
+  virtual void on_phase(bool start, const std::string& tag) = 0;
+};
+
 struct EngineConfig {
   memsim::MachineConfig machine = memsim::MachineConfig::skylake_testbed();
   cachesim::HierarchyConfig hierarchy{};
@@ -94,6 +144,13 @@ struct EngineConfig {
   /// pre-queue engine. `kQueue` partitions each link's traffic into demand
   /// and bulk classes that inflate each other's delay (queue_model.h).
   memsim::LinkModelKind link_model = link_model_default();
+  /// Steady-state fast-forward: when a long stream_range call settles into
+  /// epochs with identical counter deltas and identical epoch records, the
+  /// remaining repetitions are advanced in closed form (counters, epoch
+  /// records, LRU clocks) instead of simulating every line. Off by default:
+  /// the bit-exact path is the golden gate; fast-forwarded results are
+  /// tolerance-gated (≤0.1% on epoch totals — docs/TRACE.md).
+  bool fast_forward = fast_forward_default();
 };
 
 /// One closed epoch: the unit of the profiler's per-interval timelines
@@ -189,19 +246,20 @@ class Engine {
   /// Demand load of `size` bytes at simulated address `addr`.
   void load(std::uint64_t addr, std::uint32_t size) {
     expects(size > 0, "load of zero bytes");
-    const std::uint64_t first = addr & ~line_mask_;
-    const std::uint64_t last = (addr + size - 1) & ~line_mask_;
-    for (std::uint64_t l = first; l <= last; l += line_bytes_) access_one(l, false);
+    if (trace_sink_) trace_sink_->on_access(false, addr, size);
+    access_span(addr, size, false);
   }
   /// Demand store of `size` bytes.
   void store(std::uint64_t addr, std::uint32_t size) {
     expects(size > 0, "store of zero bytes");
-    const std::uint64_t first = addr & ~line_mask_;
-    const std::uint64_t last = (addr + size - 1) & ~line_mask_;
-    for (std::uint64_t l = first; l <= last; l += line_bytes_) access_one(l, true);
+    if (trace_sink_) trace_sink_->on_access(true, addr, size);
+    access_span(addr, size, true);
   }
   /// Accounts `n` floating-point operations.
-  void flops(std::uint64_t n) { pending_flops_ += n; }
+  void flops(std::uint64_t n) {
+    if (trace_sink_) trace_sink_->on_flops(n);
+    pending_flops_ += n;
+  }
 
   // ---- bulk access streams -------------------------------------------------
   // Each call is defined by (and bit-identical with) the element-wise loop
@@ -237,14 +295,9 @@ class Engine {
   void store_pair_range(std::uint64_t a, std::uint32_t elem_a, std::uint64_t b,
                         std::uint32_t elem_b, std::uint64_t count);
 
-  /// One lane of an interleaved multi-stream sweep (stream_range).
-  struct StreamLane {
-    enum class Op : std::uint8_t { kLoad, kStore, kRmw };  // kRmw: load then store
-    std::uint64_t base = 0;    ///< address of the lane's element 0
-    std::uint64_t stride = 0;  ///< bytes between consecutive elements
-    std::uint32_t elem = 0;    ///< bytes accessed per element
-    Op op = Op::kLoad;
-  };
+  /// One lane of an interleaved multi-stream sweep (stream_range); the
+  /// definition lives at namespace scope so the trace layer can use it.
+  using StreamLane = ::memdis::sim::StreamLane;
 
   /// The general interleaved sweep — fused multi-vector loops (PCG axpy
   /// passes, stencil updates) where several arrays advance in lockstep:
@@ -254,6 +307,7 @@ class Engine {
   ///       kLoad:  load(lane.base + k*lane.stride, lane.elem)
   ///       kStore: store(...)
   ///       kRmw:   load(...); store(...)
+  ///       kFlops: flops(lane.base)
   ///
   /// Lanes may target the same array (e.g. a trailing re-store). The fast
   /// path batches whole iterations while every lane's current cacheline is
@@ -345,6 +399,17 @@ class Engine {
   /// page histogram and call memory().migrate().
   void set_epoch_callback(std::function<void(Engine&)> cb) { epoch_cb_ = std::move(cb); }
 
+  /// Attaches (or with nullptr detaches) the trace recording sink. The sink
+  /// observes public API calls only — never the engine's internal
+  /// element-wise decompositions — and adds one predictable branch per call
+  /// when detached.
+  void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
+
+  /// Epochs synthesized in closed form by the steady-state fast-forward
+  /// pass (0 unless cfg.fast_forward fired; the tolerance tests assert it
+  /// actually engaged).
+  [[nodiscard]] std::uint64_t fast_forwarded_epochs() const { return ff_skipped_epochs_; }
+
  private:
   /// Per-batch counter accumulator for L1-hit runs; flushed into the
   /// hierarchy's HwCounters before any epoch can close and at batch end.
@@ -359,6 +424,13 @@ class Engine {
   void access_one(std::uint64_t line_addr, bool is_store) {
     const auto res = hierarchy_.access(line_addr, is_store);
     on_demand_access(line_addr, res.level);
+  }
+  /// The line loop behind load()/store(), shared with the engine's internal
+  /// range decompositions (which must not re-fire the trace sink).
+  void access_span(std::uint64_t addr, std::uint32_t size, bool is_store) {
+    const std::uint64_t first = addr & ~line_mask_;
+    const std::uint64_t last = (addr + size - 1) & ~line_mask_;
+    for (std::uint64_t l = first; l <= last; l += line_bytes_) access_one(l, is_store);
   }
   void on_demand_access(std::uint64_t addr, cachesim::HitLevel level) {
     // Page-access sampling fires at L1-miss granularity — where PEBS
@@ -413,6 +485,14 @@ class Engine {
   /// Re-evaluates the LoI schedule for epoch `epoch` onto the links.
   void apply_loi_schedule(std::uint64_t epoch);
 
+  /// True when the engine state admits closed-form epoch synthesis: static
+  /// links, no epoch callback, no migration charges in flight.
+  [[nodiscard]] bool ff_eligible() const;
+  /// Appends `n` copies of the last epoch record (advancing start times),
+  /// folds `n * delta` into the hardware counters and LRU clocks, and
+  /// shifts the epoch baseline so the live partial epoch stays exact.
+  void ff_synthesize(const cachesim::HwCounters& delta, std::uint64_t n);
+
   EngineConfig cfg_;
   memsim::TieredMemory memory_;
   /// Per-tier link models, indexed by TierId; nullopt for local tiers.
@@ -454,6 +534,9 @@ class Engine {
   double pending_migration_s_ = 0.0;  ///< charged into the next closed epoch
   double migration_s_total_ = 0.0;
   bool finished_ = false;
+
+  TraceSink* trace_sink_ = nullptr;
+  std::uint64_t ff_skipped_epochs_ = 0;
 
   std::vector<EpochRecord> epochs_;
   std::vector<PhaseRecord> phases_;

@@ -13,16 +13,23 @@
 //   memdis report  [--scale 1]
 //   memdis scenarios
 //   memdis sweep   --scenario fig06 [--jobs N] [--out dir] [--csv file]
+//                  [--replay-cache dir]
 //   memdis plan    --app Hypre --fabric three-tier [--ratio 0.75]
 //                  [--loi 0,200] [--staging on|off] [--csv file]
+//   memdis trace   record --app HPL --trace file.mdtr [--scale 1] [--seed 42]
+//   memdis trace   replay --trace file.mdtr [--fabric cxl]
+//   memdis trace   info   --trace file.mdtr
 //
 // `--link-model loi|queue` selects the fabric contention model for any
-// subcommand (default loi, the closed form).
+// subcommand (default loi, the closed form); `--fast-forward on` enables
+// the steady-state epoch fast-forward (off by default, tolerance-gated —
+// docs/TRACE.md).
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -39,6 +46,7 @@
 #include "core/scenario_registry.h"
 #include "core/sweep.h"
 #include "native/lbench_native.h"
+#include "trace/trace_workload.h"
 #include "workloads/lbench.h"
 
 namespace {
@@ -47,8 +55,10 @@ using namespace memdis;
 
 struct Args {
   std::string command;
+  std::string trace_action;  ///< record|replay|info (trace subcommand only)
   std::optional<std::string> app;
   int scale = 1;
+  std::uint64_t seed = 42;
   double ratio = 0.5;
   std::string fabric = "upi";
   std::vector<double> lois = {0, 10, 20, 30, 40, 50};
@@ -64,6 +74,9 @@ struct Args {
   std::optional<std::string> scenario;
   unsigned jobs = 1;
   std::optional<std::string> out_dir;
+  std::optional<std::string> trace_path;    ///< --trace FILE
+  std::optional<std::string> replay_cache;  ///< --replay-cache DIR
+  std::optional<bool> fast_forward;         ///< --fast-forward on|off
 };
 
 void usage(std::ostream& os) {
@@ -78,9 +91,13 @@ void usage(std::ostream& os) {
      << "  scenarios list the registered sweep scenarios\n"
      << "  sweep     run a registered scenario on the parallel sweep engine\n"
      << "  plan      run the cost-model migration planner and dump its plan\n"
+     << "  trace     record, replay, or inspect an access trace:\n"
+     << "            trace record --app NAME --trace FILE [--scale N] [--seed N]\n"
+     << "            trace replay --trace FILE | trace info --trace FILE\n"
      << "options:\n"
      << "  --app NAME        HPL|SuperLU|NekRS|Hypre|BFS|XSBench\n"
      << "  --scale N         input scale 1|2|4 (default 1)\n"
+     << "  --seed N          workload RNG seed (trace record; default 42)\n"
      << "  --ratio R         remote capacity ratio in [0,1) (default 0.5)\n"
      << "  --fabric F        topology preset: upi|cxl|cxl-switched|split|\n"
      << "                    three-tier|hybrid (default upi)\n"
@@ -100,6 +117,12 @@ void usage(std::ostream& os) {
      << "                    (plan only; default on)\n"
      << "  --link-model M    fabric link contention model: loi (closed form,\n"
      << "                    default) or queue (two-class demand/bulk queues)\n"
+     << "  --trace FILE      trace file (.mdtr) for the trace subcommand\n"
+     << "  --replay-cache D  sweep: record each (app, scale, seed) stream once\n"
+     << "                    into D and replay it into every other grid point\n"
+     << "                    (created if missing; artifacts byte-identical)\n"
+     << "  --fast-forward M  on|off: closed-form steady-state epoch synthesis\n"
+     << "                    (default off — the bit-exact path; docs/TRACE.md)\n"
      << "  --nflop N         LBench flops/element (default 1)\n"
      << "  --threads N       LBench threads (default 12)\n"
      << "  --elements N      LBench array elements (default 2^20)\n"
@@ -147,7 +170,17 @@ std::optional<Args> parse(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
   Args args;
   args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  int first_flag = 2;
+  if (args.command == "trace") {
+    // The action word is positional: `memdis trace record --app ...`.
+    if (argc < 3 || argv[2][0] == '-') {
+      std::cerr << "error: trace requires an action: record, replay, or info\n";
+      return std::nullopt;
+    }
+    args.trace_action = argv[2];
+    first_flag = 3;
+  }
+  for (int i = first_flag; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto need_value = [&]() -> std::optional<std::string> {
       if (i + 1 >= argc) {
@@ -164,6 +197,10 @@ std::optional<Args> parse(int argc, char** argv) {
       const auto v = parse_int(flag, *value, 1, 1 << 20);
       if (!v) return std::nullopt;
       args.scale = static_cast<int>(*v);
+    } else if (flag == "--seed") {
+      const auto v = parse_int(flag, *value, 0, std::numeric_limits<long long>::max());
+      if (!v) return std::nullopt;
+      args.seed = static_cast<std::uint64_t>(*v);
     } else if (flag == "--ratio") {
       const auto v = parse_double(flag, *value, 0.0, 1.0);
       if (!v || *v >= 1.0) {
@@ -243,6 +280,19 @@ std::optional<Args> parse(int argc, char** argv) {
       args.jobs = static_cast<unsigned>(*v);
     } else if (flag == "--out") {
       args.out_dir = *value;
+    } else if (flag == "--trace") {
+      args.trace_path = *value;
+    } else if (flag == "--replay-cache") {
+      args.replay_cache = *value;
+    } else if (flag == "--fast-forward") {
+      if (*value == "on") {
+        args.fast_forward = true;
+      } else if (*value == "off") {
+        args.fast_forward = false;
+      } else {
+        std::cerr << "error: --fast-forward expects on or off, got '" << *value << "'\n";
+        return std::nullopt;
+      }
     } else {
       std::cerr << "unknown option " << flag << "\n";
       return std::nullopt;
@@ -571,6 +621,107 @@ int cmd_plan(const Args& args, workloads::App app) {
   return 0;
 }
 
+int cmd_trace(const Args& args) {
+  if (args.trace_action != "record" && args.trace_action != "replay" &&
+      args.trace_action != "info") {
+    std::cerr << "error: unknown trace action '" << args.trace_action
+              << "' (expected record, replay, or info)\n";
+    return 2;
+  }
+  if (!args.trace_path) {
+    std::cerr << "error: trace " << args.trace_action << " requires --trace FILE\n";
+    return 2;
+  }
+
+  if (args.trace_action == "record") {
+    if (!args.app) {
+      std::cerr << "error: trace record requires --app\n";
+      return 2;
+    }
+    const auto app = app_of(*args.app);
+    if (!app) {
+      std::cerr << "error: unknown app '" << *args.app << "'\n";
+      return 2;
+    }
+    trace::TraceRecordWorkload recorder(
+        workloads::make_workload(*app, args.scale, args.seed), workloads::app_name(*app),
+        args.scale, args.seed, *args.trace_path);
+    sim::EngineConfig cfg;
+    cfg.machine = machine_of(args.fabric);
+    sim::Engine eng(cfg);
+    const auto result = recorder.run(eng);
+    eng.finish();
+    std::string error;
+    const auto data = trace::TraceData::load(*args.trace_path, error);
+    if (!data) {
+      std::cerr << "error: " << error << "\n";
+      return 1;  // we just wrote it; unreadable means an I/O fault, not bad input
+    }
+    Table t({"metric", "value"});
+    t.add_row({"workload", data->workload_name});
+    t.add_row({"verified", result.verified ? "yes" : "NO"});
+    t.add_row({"records", std::to_string(data->record_count)});
+    t.add_row({"trace size", format_bytes(static_cast<double>(data->payload.size()))});
+    t.add_row({"simulated time", Table::num(eng.elapsed_seconds() * 1e3, 3) + " ms"});
+    t.print(std::cout);
+    std::cout << "trace written to " << *args.trace_path << "\n";
+    return result.verified ? 0 : 1;
+  }
+
+  std::string error;
+  auto data = trace::TraceData::load(*args.trace_path, error);
+  if (!data) {
+    std::cerr << "error: " << error << "\n";
+    return 2;  // malformed input file: a validation failure, like a bad flag
+  }
+
+  if (args.trace_action == "info") {
+    const auto stats = trace::scan_trace(*data, error);
+    if (!stats) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+    Table t({"field", "value"});
+    t.add_row({"app", data->app});
+    t.add_row({"workload", data->workload_name});
+    t.add_row({"scale", std::to_string(data->scale)});
+    t.add_row({"seed", std::to_string(data->seed)});
+    t.add_row({"footprint", format_bytes(static_cast<double>(data->footprint_bytes))});
+    t.add_row({"verified", data->verified ? "yes" : "NO"});
+    t.add_row({"records", std::to_string(data->record_count)});
+    t.add_row({"payload", format_bytes(static_cast<double>(data->payload.size()))});
+    t.add_row({"stream iterations", std::to_string(stats->stream_iterations)});
+    t.print(std::cout);
+    static constexpr const char* kOpNames[] = {
+        "end",          "alloc",        "free",         "load",        "store",
+        "flops",        "load_range",   "store_range",  "rmw_range",   "store_load_range",
+        "load_strided", "store_strided", "load_pair",   "store_pair",  "stream",
+        "pf_start",     "pf_stop"};
+    std::cout << "\nrecords by op:\n";
+    Table ops({"op", "count"});
+    for (std::size_t i = 0; i < stats->by_op.size(); ++i)
+      if (stats->by_op[i] != 0) ops.add_row({kOpNames[i], std::to_string(stats->by_op[i])});
+    ops.print(std::cout);
+    return 0;
+  }
+
+  // replay
+  trace::TraceReplayWorkload replayer(std::move(*data));
+  sim::EngineConfig cfg;
+  cfg.machine = machine_of(args.fabric);
+  sim::Engine eng(cfg);
+  const auto result = replayer.run(eng);
+  eng.finish();
+  Table t({"metric", "value"});
+  t.add_row({"workload", replayer.name()});
+  t.add_row({"verified (recorded)", result.verified ? "yes" : "NO"});
+  t.add_row({"simulated time", Table::num(eng.elapsed_seconds() * 1e3, 3) + " ms"});
+  t.add_row({"epochs", std::to_string(eng.epochs().size())});
+  t.add_row({"fast-forwarded epochs", std::to_string(eng.fast_forwarded_epochs())});
+  t.print(std::cout);
+  return result.verified ? 0 : 1;
+}
+
 int cmd_report(const Args& args) {
   Table t({"app", "verified", "sim time (ms)", "AI", "DRAM GB/s", "skew"});
   core::RunConfig rc;
@@ -601,7 +752,25 @@ int main(int argc, char** argv) {
   // default, so setting it once here covers profiler runs, sweeps, and the
   // planner alike (scenarios that pin a model explicitly still win).
   sim::set_link_model_default(args->link_model);
+  if (args->fast_forward) sim::set_fast_forward_default(*args->fast_forward);
+  if (args->replay_cache) {
+    std::error_code ec;
+    if (std::filesystem::exists(*args->replay_cache, ec) &&
+        !std::filesystem::is_directory(*args->replay_cache, ec)) {
+      std::cerr << "error: --replay-cache: '" << *args->replay_cache
+                << "' exists and is not a directory\n";
+      return 2;
+    }
+    std::filesystem::create_directories(*args->replay_cache, ec);
+    if (ec) {
+      std::cerr << "error: --replay-cache: cannot create '" << *args->replay_cache
+                << "': " << ec.message() << "\n";
+      return 2;
+    }
+    core::set_replay_cache_dir(*args->replay_cache);
+  }
   try {
+    if (args->command == "trace") return cmd_trace(*args);
     if (args->command == "machine") return cmd_machine(*args);
     if (args->command == "lbench") return cmd_lbench(*args);
     if (args->command == "report") return cmd_report(*args);
