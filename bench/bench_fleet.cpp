@@ -1,0 +1,86 @@
+// Fleet bench: fleet-scale simulation cost and the rack-level metrics the
+// committed BENCH_fleet.json baseline gates (nightly via tools/bench_diff.py).
+//
+// Two kinds of numbers:
+//
+//  * deterministic fleet metrics — 2000 Poisson arrivals over a two-pool
+//    rack under the LoI-aware policy with migration on. Slowdown
+//    percentiles, utilization, stranding, and the completed/rejected/
+//    migration counts are pure functions of the configuration, so a drift
+//    is a real model change, not runner noise (counts gate exactly).
+//  * wall-clock throughput — arrivals simulated per second, the cost of
+//    fleet-scale what-ifs (higher is better).
+//
+// Usage: bench_fleet [--json PATH]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "fleet/arrival.h"
+#include "fleet/fleet.h"
+
+int main(int argc, char** argv) {
+  using memdis::Table;
+  namespace fleet = memdis::fleet;
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--json") json_path = argv[++i];
+
+  memdis::bench::banner("Fleet rack",
+                        "open job stream over shared pools: metrics + throughput");
+
+  fleet::FleetConfig cfg;
+  cfg.pools = fleet::default_pools(2);
+  const auto classes = fleet::default_job_classes();
+  std::vector<double> weights;
+  for (const auto& cls : classes) weights.push_back(cls.weight);
+  fleet::ArrivalSpec spec;
+  spec.rate_per_s = 0.12;
+  spec.count = 2000;
+  const auto arrivals = fleet::expand_poisson_arrivals(spec, weights, cfg.base_seed);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const fleet::FleetResult r = fleet::run_fleet(cfg, classes, arrivals, 0);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const double arrivals_per_s = static_cast<double>(arrivals.size()) / wall;
+
+  Table t({"metric", "value"});
+  t.add_row({"arrivals", std::to_string(arrivals.size())});
+  t.add_row({"completed / rejected", std::to_string(r.completed) + " / " +
+                                         std::to_string(r.rejected)});
+  t.add_row({"migrations", std::to_string(r.migrations)});
+  t.add_row({"p50 / p99 slowdown", Table::num(r.p50_slowdown, 3) + "x / " +
+                                       Table::num(r.p99_slowdown, 3) + "x"});
+  t.add_row({"mean pool utilization", Table::pct(r.mean_utilization)});
+  t.add_row({"stranded capacity", Table::num(r.stranded_gb, 1) + " GB"});
+  t.add_row({"wall time", Table::num(wall * 1e3, 1) + " ms"});
+  t.add_row({"throughput", Table::num(arrivals_per_s, 0) + " arrivals/s"});
+  t.print(std::cout);
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"fleet\",\n"
+       << "  \"completed\": " << r.completed << ",\n"
+       << "  \"rejected\": " << r.rejected << ",\n"
+       << "  \"migrations\": " << r.migrations << ",\n"
+       << "  \"p50_slowdown\": " << r.p50_slowdown << ",\n"
+       << "  \"p99_slowdown\": " << r.p99_slowdown << ",\n"
+       << "  \"mean_utilization\": " << r.mean_utilization << ",\n"
+       << "  \"stranded_gb\": " << r.stranded_gb << ",\n"
+       << "  \"arrivals_per_s\": " << arrivals_per_s << "\n"
+       << "}\n";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json.str();
+    std::cout << "\nbaseline written to " << json_path << "\n";
+  } else {
+    std::cout << "\n" << json.str();
+  }
+  // The run must actually drain: every arrival accounted for.
+  return r.completed + r.rejected == arrivals.size() ? 0 : 1;
+}

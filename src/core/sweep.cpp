@@ -12,6 +12,7 @@
 
 #include <mutex>
 
+#include "common/artifact_format.h"
 #include "common/contract.h"
 #include "common/csv.h"
 #include "common/parallel_for.h"
@@ -19,41 +20,9 @@
 #include "trace/trace_workload.h"
 
 namespace memdis::core {
-
-namespace {
-
-/// Fixed-width shortest-roundtrip formatting so CSV/JSON artifacts are
-/// byte-identical across jobs counts and runs: %.17g round-trips every
-/// double, then trailing noise is avoided by preferring the shortest of
-/// %.15g/%.16g/%.17g that parses back exactly.
-std::string format_double(double v) {
-  char buf[64];
-  for (const int prec : {15, 16, 17}) {
-    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
-    if (std::strtod(buf, nullptr) == v) break;
-  }
-  return buf;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
-}
-
-}  // namespace
+// format_double / json_escape come from common/artifact_format.h: the
+// byte-identity contract on artifacts is shared with the fleet writers,
+// so the formatting that implements it lives in one place.
 
 memsim::MachineConfig machine_for_fabric(const std::string& fabric) {
   if (fabric == "upi") return memsim::MachineConfig::skylake_testbed();

@@ -1,0 +1,179 @@
+#include "fleet/arrival.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/contract.h"
+#include "common/rng.h"
+
+namespace memdis::fleet {
+
+namespace {
+
+/// Whole-token strict double parse (the CLI's validation contract).
+std::optional<double> parse_strict_double(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE || !std::isfinite(v))
+    return std::nullopt;
+  return v;
+}
+
+std::optional<long long> parse_strict_int(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || errno == ERANGE) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::optional<ArrivalSpec> parse_arrival_spec(const std::string& text, std::string& error) {
+  const auto colon = text.find(':');
+  const std::string kind = text.substr(0, colon == std::string::npos ? text.size() : colon);
+  if (kind == "poisson") {
+    if (colon == std::string::npos) {
+      error = "poisson spec is 'poisson:<rate>:<count>', got '" + text + "'";
+      return std::nullopt;
+    }
+    const std::string rest = text.substr(colon + 1);
+    const auto second = rest.find(':');
+    if (second == std::string::npos || rest.find(':', second + 1) != std::string::npos) {
+      error = "poisson spec is 'poisson:<rate>:<count>', got '" + text + "'";
+      return std::nullopt;
+    }
+    const auto rate = parse_strict_double(rest.substr(0, second));
+    if (!rate || *rate <= 0.0) {
+      error = "poisson rate must be a positive number, got '" + rest.substr(0, second) + "'";
+      return std::nullopt;
+    }
+    const auto count = parse_strict_int(rest.substr(second + 1));
+    if (!count || *count < 1) {
+      error = "poisson count must be a positive integer, got '" + rest.substr(second + 1) + "'";
+      return std::nullopt;
+    }
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::kPoisson;
+    spec.rate_per_s = *rate;
+    spec.count = static_cast<std::size_t>(*count);
+    return spec;
+  }
+  if (kind == "trace") {
+    if (colon == std::string::npos || colon + 1 >= text.size()) {
+      error = "trace spec is 'trace:<path>', got '" + text + "'";
+      return std::nullopt;
+    }
+    ArrivalSpec spec;
+    spec.kind = ArrivalKind::kTrace;
+    spec.trace_path = text.substr(colon + 1);
+    return spec;
+  }
+  error = "unknown arrival process '" + kind + "' (expected poisson:<rate>:<count> or "
+          "trace:<path>)";
+  return std::nullopt;
+}
+
+std::uint64_t arrival_seed(std::uint64_t base_seed, std::size_t index) {
+  // The sweep engine's per-task derivation (sweep.cpp): stream-split the
+  // base seed by index so neighbouring arrivals get independent streams and
+  // the same arrival always gets the same seed on any thread.
+  return SplitMix64(base_seed ^ (0x9e3779b97f4a7c15ULL * (index + 1))).next();
+}
+
+std::vector<Arrival> expand_poisson_arrivals(const ArrivalSpec& spec,
+                                             const std::vector<double>& class_weights,
+                                             std::uint64_t base_seed) {
+  expects(spec.kind == ArrivalKind::kPoisson, "spec must be a Poisson spec");
+  expects(spec.rate_per_s > 0.0, "Poisson rate must be positive");
+  expects(!class_weights.empty(), "arrival stream needs at least one job class");
+  double total_weight = 0.0;
+  for (const double w : class_weights) {
+    expects(w > 0.0, "class weights must be positive");
+    total_weight += w;
+  }
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(spec.count);
+  double now = 0.0;
+  for (std::size_t i = 0; i < spec.count; ++i) {
+    Arrival a;
+    a.seed = arrival_seed(base_seed, i);
+    Xoshiro256 rng(a.seed);
+    // Inverse-CDF exponential gap; uniform() < 1 so the log argument is > 0.
+    now += -std::log(1.0 - rng.uniform()) / spec.rate_per_s;
+    a.time_s = now;
+    // Weighted class pick from the same per-index stream.
+    double pick = rng.uniform() * total_weight;
+    std::size_t cls = 0;
+    while (cls + 1 < class_weights.size() && pick >= class_weights[cls]) {
+      pick -= class_weights[cls];
+      ++cls;
+    }
+    a.job_class = cls;
+    arrivals.push_back(a);
+  }
+  return arrivals;
+}
+
+std::optional<std::vector<Arrival>> load_trace_arrivals(
+    const std::string& path, const std::vector<std::string>& class_names,
+    std::uint64_t base_seed, std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open arrival trace '" + path + "'";
+    return std::nullopt;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    error = "arrival trace '" + path + "' is empty (expected a header line)";
+    return std::nullopt;
+  }
+  std::vector<Arrival> arrivals;
+  double prev = 0.0;
+  std::size_t lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) {
+      error = path + ":" + std::to_string(lineno) + ": expected 'arrival_s,class'";
+      return std::nullopt;
+    }
+    const auto time = parse_strict_double(line.substr(0, comma));
+    if (!time || *time < 0.0 || *time < prev) {
+      error = path + ":" + std::to_string(lineno) +
+              ": arrival times must be non-decreasing and >= 0";
+      return std::nullopt;
+    }
+    const std::string cls_name = line.substr(comma + 1);
+    std::size_t cls = class_names.size();
+    for (std::size_t c = 0; c < class_names.size(); ++c)
+      if (class_names[c] == cls_name) {
+        cls = c;
+        break;
+      }
+    if (cls == class_names.size()) {
+      error = path + ":" + std::to_string(lineno) + ": unknown job class '" + cls_name + "'";
+      return std::nullopt;
+    }
+    Arrival a;
+    a.time_s = *time;
+    a.job_class = cls;
+    a.seed = arrival_seed(base_seed, arrivals.size());
+    arrivals.push_back(a);
+    prev = *time;
+  }
+  if (arrivals.empty()) {
+    error = "arrival trace '" + path + "' has a header but no arrivals";
+    return std::nullopt;
+  }
+  return arrivals;
+}
+
+}  // namespace memdis::fleet

@@ -1,0 +1,75 @@
+// Deterministic open arrival processes for the fleet simulator.
+//
+// Two sources feed the same `Arrival` stream:
+//
+//  * Poisson — an open arrival process with exponential inter-arrival gaps,
+//    the heavy-traffic regime of the paper's Sec. 7 capacity question.
+//  * trace — a CSV of `arrival_s,class` rows captured from a real scheduler
+//    log (or written by hand), replayed verbatim.
+//
+// Determinism contract: every arrival derives its own RNG seed from the
+// stream's base seed and its *index* via the sweep engine's grid-index
+// SplitMix64 scheme (sweep.h), so arrival i's gap, class pick, and runtime
+// jitter are pure functions of (base_seed, i) — independent of how many
+// threads later simulate the jobs, and stable under any re-partitioning of
+// the work. A trace-driven stream uses the same per-index seeds for the
+// per-job jitter, so switching arrival sources never perturbs job inputs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace memdis::fleet {
+
+/// How the arrival stream is generated.
+enum class ArrivalKind {
+  kPoisson,  ///< exponential gaps at `rate_per_s`, `count` arrivals
+  kTrace,    ///< replay `trace_path` (CSV: arrival_s,class)
+};
+
+/// Parsed `--arrivals` specification.
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate_per_s = 1.0;    ///< Poisson arrival rate (jobs/s)
+  std::size_t count = 1000;   ///< Poisson stream length
+  std::string trace_path;     ///< trace source file (kTrace only)
+};
+
+/// Parses the CLI grammar `poisson:<rate>:<count>` | `trace:<path>`.
+/// Strict, whole-token validation (rate > 0 finite, count >= 1, path
+/// non-empty); nullopt with a diagnostic in `error` otherwise — the CLI
+/// maps that to exit 2, like every other malformed flag.
+[[nodiscard]] std::optional<ArrivalSpec> parse_arrival_spec(const std::string& text,
+                                                            std::string& error);
+
+/// One job arrival: when, which class (index into the fleet's job-class
+/// list), and the per-job seed all of the job's randomness derives from.
+struct Arrival {
+  double time_s = 0.0;
+  std::size_t job_class = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Per-index seed derivation — the sweep engine's grid-index scheme
+/// verbatim, so fleet jobs and sweep tasks share one seeding convention.
+[[nodiscard]] std::uint64_t arrival_seed(std::uint64_t base_seed, std::size_t index);
+
+/// Expands a Poisson spec into `count` arrivals over `num_classes` job
+/// classes weighted by `class_weights` (size num_classes, all > 0).
+/// Arrival i draws its gap and class pick from Xoshiro256(arrival_seed(i)).
+[[nodiscard]] std::vector<Arrival> expand_poisson_arrivals(
+    const ArrivalSpec& spec, const std::vector<double>& class_weights,
+    std::uint64_t base_seed);
+
+/// Loads a trace CSV: a header line, then rows `arrival_s,class` with
+/// non-decreasing times from >= 0; `class` must name an entry of
+/// `class_names`. Per-index seeds are assigned exactly as for Poisson.
+/// nullopt with a diagnostic in `error` on any malformed row or I/O
+/// failure (the CLI maps that to exit 2).
+[[nodiscard]] std::optional<std::vector<Arrival>> load_trace_arrivals(
+    const std::string& path, const std::vector<std::string>& class_names,
+    std::uint64_t base_seed, std::string& error);
+
+}  // namespace memdis::fleet

@@ -11,6 +11,14 @@
 // utilization (derived from its interference coefficient profile) into the
 // rack's pool; each job's progress rate is its sensitivity curve evaluated
 // at the sum of the *other* jobs' LoI contributions.
+//
+// Relation to src/fleet: the fleet layer (fleet::run_fleet, docs/FLEET.md)
+// generalizes this module — open arrivals instead of a fixed job list,
+// per-pool two-class QueueModels instead of additive LoI sums, bounded
+// admission queues, and stop-and-copy migration of running jobs. This
+// closed-batch simulation stays as the lightweight variant: it needs no
+// queue state, so it remains useful for quick policy A/Bs over a known
+// job set, and its scenario artifacts are unchanged by the fleet layer.
 #pragma once
 
 #include <cstdint>

@@ -7,6 +7,16 @@
 // co-locate interference-inducing jobs — caps the draw at 0–20%. Each
 // configuration is repeated 100 times and summarized with five-number
 // statistics.
+//
+// This pairwise study is the N = 2 special case of the fleet layer
+// (src/fleet, docs/FLEET.md): simulate_pair_shared_queue solves two jobs
+// coupling through one link's queue as a per-interval fixed point, while
+// fleet::run_fleet iterates the same feedback (speed → offered traffic →
+// co-runner LoI → speed) across whole racks of jobs with admission and
+// migration on top. JobProfile is the shared currency — fleet::JobClass
+// embeds it verbatim — and both layers price traffic through the same
+// memsim::QueueModel, so the pairwise entry points here remain the
+// precise, directly-testable form of the fleet's per-step physics.
 #pragma once
 
 #include <cstdint>

@@ -14,6 +14,8 @@
 //   memdis scenarios
 //   memdis sweep   --scenario fig06 [--jobs N] [--out dir] [--csv file]
 //                  [--replay-cache dir]
+//   memdis fleet   [--arrivals poisson:0.12:1000] [--pools 2] [--policy loi-aware]
+//                  [--migration on] [--jobs N] [--out dir] [--csv file]
 //   memdis plan    --app Hypre --fabric three-tier [--ratio 0.75]
 //                  [--loi 0,200] [--staging on|off] [--csv file]
 //   memdis trace   record --app HPL --trace file.mdtr [--scale 1] [--seed 42]
@@ -45,6 +47,8 @@
 #include "core/profiler.h"
 #include "core/scenario_registry.h"
 #include "core/sweep.h"
+#include "fleet/arrival.h"
+#include "fleet/fleet.h"
 #include "native/lbench_native.h"
 #include "trace/trace_workload.h"
 #include "workloads/lbench.h"
@@ -77,6 +81,15 @@ struct Args {
   std::optional<std::string> trace_path;    ///< --trace FILE
   std::optional<std::string> replay_cache;  ///< --replay-cache DIR
   std::optional<bool> fast_forward;         ///< --fast-forward on|off
+  // fleet subcommand
+  std::string arrivals = "poisson:0.12:1000";  ///< --arrivals SPEC
+  std::size_t pools = 2;                       ///< --pools N
+  std::size_t pool_nodes = 16;                 ///< --pool-nodes N
+  double pool_gb = 512.0;                      ///< --pool-gb GB
+  fleet::AdmissionPolicy policy = fleet::AdmissionPolicy::kLoiAware;  ///< --policy
+  bool migration = true;                       ///< --migration on|off
+  std::size_t queue_limit = 64;                ///< --queue-limit N
+  double step_s = 1.0;                         ///< --step S
 };
 
 void usage(std::ostream& os) {
@@ -90,6 +103,7 @@ void usage(std::ostream& os) {
      << "  report    verification/traffic sweep over all applications\n"
      << "  scenarios list the registered sweep scenarios\n"
      << "  sweep     run a registered scenario on the parallel sweep engine\n"
+     << "  fleet     simulate an open job stream over shared disaggregated pools\n"
      << "  plan      run the cost-model migration planner and dump its plan\n"
      << "  trace     record, replay, or inspect an access trace:\n"
      << "            trace record --app NAME --trace FILE [--scale N] [--seed N]\n"
@@ -123,6 +137,18 @@ void usage(std::ostream& os) {
      << "                    (created if missing; artifacts byte-identical)\n"
      << "  --fast-forward M  on|off: closed-form steady-state epoch synthesis\n"
      << "                    (default off — the bit-exact path; docs/TRACE.md)\n"
+     << "  --arrivals SPEC   fleet arrival process: poisson:<rate>:<count> or\n"
+     << "                    trace:<file> (CSV: header, then arrival_s,class;\n"
+     << "                    default poisson:0.12:1000)\n"
+     << "  --pools N         fleet: number of disaggregated pools (default 2)\n"
+     << "  --pool-nodes N    fleet: compute nodes per pool (default 16)\n"
+     << "  --pool-gb GB      fleet: pooled memory per pool (default 512)\n"
+     << "  --policy P        fleet admission policy: first-fit|loi-aware\n"
+     << "                    (default loi-aware)\n"
+     << "  --migration M     fleet: on|off pool-to-pool migration (default on)\n"
+     << "  --queue-limit N   fleet: pending-queue bound; overflow rejects\n"
+     << "                    (default 64)\n"
+     << "  --step S          fleet timestep in seconds (default 1)\n"
      << "  --nflop N         LBench flops/element (default 1)\n"
      << "  --threads N       LBench threads (default 12)\n"
      << "  --elements N      LBench array elements (default 2^20)\n"
@@ -258,6 +284,47 @@ std::optional<Args> parse(int argc, char** argv) {
         std::cerr << "error: --link-model expects loi or queue, got '" << *value << "'\n";
         return std::nullopt;
       }
+    } else if (flag == "--arrivals") {
+      args.arrivals = *value;
+    } else if (flag == "--pools") {
+      const auto v = parse_int(flag, *value, 1, 4096);
+      if (!v) return std::nullopt;
+      args.pools = static_cast<std::size_t>(*v);
+    } else if (flag == "--pool-nodes") {
+      const auto v = parse_int(flag, *value, 1, 1 << 20);
+      if (!v) return std::nullopt;
+      args.pool_nodes = static_cast<std::size_t>(*v);
+    } else if (flag == "--pool-gb") {
+      const auto v = parse_double(flag, *value, 1.0, 1e9);
+      if (!v) return std::nullopt;
+      args.pool_gb = *v;
+    } else if (flag == "--policy") {
+      if (*value == "first-fit") {
+        args.policy = fleet::AdmissionPolicy::kFirstFit;
+      } else if (*value == "loi-aware") {
+        args.policy = fleet::AdmissionPolicy::kLoiAware;
+      } else {
+        std::cerr << "error: --policy expects first-fit or loi-aware, got '" << *value
+                  << "'\n";
+        return std::nullopt;
+      }
+    } else if (flag == "--migration") {
+      if (*value == "on") {
+        args.migration = true;
+      } else if (*value == "off") {
+        args.migration = false;
+      } else {
+        std::cerr << "error: --migration expects on or off, got '" << *value << "'\n";
+        return std::nullopt;
+      }
+    } else if (flag == "--queue-limit") {
+      const auto v = parse_int(flag, *value, 0, 1 << 20);
+      if (!v) return std::nullopt;
+      args.queue_limit = static_cast<std::size_t>(*v);
+    } else if (flag == "--step") {
+      const auto v = parse_double(flag, *value, 1e-3, 3600.0);
+      if (!v) return std::nullopt;
+      args.step_s = *v;
     } else if (flag == "--nflop") {
       const auto v = parse_int(flag, *value, 1, 1 << 20);
       if (!v) return std::nullopt;
@@ -536,6 +603,91 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
+int cmd_fleet(const Args& args) {
+  // Malformed arrival specs (grammar, rates, trace rows) are invocation
+  // errors: diagnose and exit 2, like every other strict flag.
+  std::string error;
+  const auto spec = fleet::parse_arrival_spec(args.arrivals, error);
+  if (!spec) {
+    std::cerr << "error: --arrivals: " << error << "\n";
+    return 2;
+  }
+
+  fleet::FleetConfig cfg;
+  cfg.pools = fleet::default_pools(args.pools);
+  for (auto& pool : cfg.pools) {
+    pool.nodes = args.pool_nodes;
+    pool.capacity_gb = args.pool_gb;
+  }
+  cfg.policy = args.policy;
+  cfg.migration = args.migration;
+  cfg.queue_limit = args.queue_limit;
+  cfg.step_s = args.step_s;
+  cfg.base_seed = args.seed;
+
+  const auto classes = fleet::default_job_classes();
+  std::vector<fleet::Arrival> arrivals;
+  if (spec->kind == fleet::ArrivalKind::kPoisson) {
+    std::vector<double> weights;
+    for (const auto& cls : classes) weights.push_back(cls.weight);
+    arrivals = fleet::expand_poisson_arrivals(*spec, weights, cfg.base_seed);
+  } else {
+    std::vector<std::string> names;
+    for (const auto& cls : classes) names.push_back(cls.profile.app);
+    auto loaded = fleet::load_trace_arrivals(spec->trace_path, names, cfg.base_seed, error);
+    if (!loaded) {
+      std::cerr << "error: --arrivals: " << error << "\n";
+      return 2;
+    }
+    arrivals = std::move(*loaded);
+  }
+
+  std::cout << "fleet: " << arrivals.size() << " arrivals over " << cfg.pools.size()
+            << " pool(s) (" << args.pool_nodes << " nodes, " << Table::num(args.pool_gb, 0)
+            << " GB each), policy "
+            << (cfg.policy == fleet::AdmissionPolicy::kFirstFit ? "first-fit" : "loi-aware")
+            << ", migration " << (cfg.migration ? "on" : "off") << ", jobs=" << args.jobs
+            << "\n";
+  const fleet::FleetResult result = fleet::run_fleet(cfg, classes, arrivals, args.jobs);
+
+  Table t({"metric", "value"});
+  t.add_row({"completed", std::to_string(result.completed)});
+  t.add_row({"rejected", std::to_string(result.rejected)});
+  t.add_row({"migrations", std::to_string(result.migrations)});
+  t.add_row({"makespan", Table::num(result.makespan_s, 1) + " s"});
+  t.add_row({"p50 slowdown", Table::num(result.p50_slowdown, 3) + "x"});
+  t.add_row({"p99 slowdown", Table::num(result.p99_slowdown, 3) + "x"});
+  t.add_row({"p50 wait", Table::num(result.p50_wait_s, 1) + " s"});
+  t.add_row({"p99 wait", Table::num(result.p99_wait_s, 1) + " s"});
+  t.add_row({"mean pool utilization", Table::pct(result.mean_utilization)});
+  t.add_row({"stranded capacity", Table::num(result.stranded_gb, 1) + " GB"});
+  t.print(std::cout);
+
+  Table p({"pool", "utilization", "peak used (GB)", "mean demand LoI", "stranded (GB)"});
+  for (std::size_t i = 0; i < result.pools.size(); ++i) {
+    const auto& stats = result.pools[i];
+    p.add_row({std::to_string(i), Table::pct(stats.utilization),
+               Table::num(stats.peak_used_gb, 1), Table::num(stats.mean_demand_loi, 1),
+               Table::num(stats.stranded_gb, 1)});
+  }
+  std::cout << "\n";
+  p.print(std::cout);
+
+  if (args.out_dir) {
+    std::filesystem::create_directories(*args.out_dir);
+    const auto csv = *args.out_dir + "/fleet.csv";
+    const auto json = *args.out_dir + "/fleet.json";
+    result.write_csv_file(csv);
+    result.write_json_file(json);
+    std::cout << "\nartifacts written to " << csv << " and " << json << "\n";
+  }
+  if (args.csv_path) {
+    result.write_csv_file(*args.csv_path);
+    std::cout << "\nper-job rows written to " << *args.csv_path << "\n";
+  }
+  return 0;
+}
+
 int cmd_plan(const Args& args, workloads::App app) {
   auto wl = workloads::make_workload(app, args.scale);
   sim::EngineConfig cfg;
@@ -776,6 +928,7 @@ int main(int argc, char** argv) {
     if (args->command == "report") return cmd_report(*args);
     if (args->command == "scenarios") return cmd_scenarios(*args);
     if (args->command == "sweep") return cmd_sweep(*args);
+    if (args->command == "fleet") return cmd_fleet(*args);
     if (args->command == "level1" || args->command == "level2" || args->command == "level3" ||
         args->command == "plan") {
       if (!args->app) {
