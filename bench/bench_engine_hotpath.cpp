@@ -8,11 +8,15 @@
 // Before timing anything, the bench proves the fast path exact: each
 // pattern runs once on the batched fast path and once through the
 // element-wise reference decomposition (EngineConfig::bulk_fast_path =
-// false) on fresh engines, and every hardware counter, the epoch count,
-// and the simulated time must match bit-for-bit. A mismatch fails the run
-// (exit 1) and trips the nightly `counters_identical` exact gate.
+// false) on fresh engines, and once more with the SIMD probe kill switch
+// forcing the scalar way scans — every hardware counter, the epoch count,
+// and the simulated time must match bit-for-bit across all three. A
+// mismatch fails the run (exit 1) and trips the nightly
+// `counters_identical` exact gate.
 //
-// Usage: bench_engine_hotpath [--json PATH]
+// Usage: bench_engine_hotpath [--json PATH] [--quick]
+//   --quick runs the exactness gate on the small working set and skips the
+//   timed sweeps — the PR-lane smoke (seconds, not minutes).
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -24,6 +28,7 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/table.h"
 #include "sim/engine.h"
 
@@ -123,14 +128,19 @@ bool digests_equal(const StateDigest& a, const StateDigest& b) {
 int main(int argc, char** argv) {
   using memdis::Table;
   std::string json_path;
-  for (int i = 1; i + 1 < argc; ++i)
-    if (std::string(argv[i]) == "--json") json_path = argv[++i];
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+    if (arg == "--quick") quick = true;
+  }
 
   memdis::bench::banner("Engine hot path",
                         "bulk access-stream throughput (sequential / strided / random)");
 
-  // ---- exactness gate: fast path vs element-wise reference ------------------
+  // ---- exactness gate: fast path vs element-wise vs forced-scalar probe -----
   bool identical = true;
+  bool scalar_identical = true;
   {
     const auto seq = [&](bool fp) {
       return digest_run(kCheckElems, fp, [](Engine& e, const memdis::memsim::VRange& r) {
@@ -156,10 +166,28 @@ int main(int argc, char** argv) {
         strided_body(e, r, kCheckElems);
       });
     };
-    identical = digests_equal(seq(true), seq(false)) && digests_equal(str(true), str(false));
+    const StateDigest seq_fast = seq(true);
+    const StateDigest str_fast = str(true);
+    identical = digests_equal(seq_fast, seq(false)) && digests_equal(str_fast, str(false));
+    // Same runs with the scalar way scans: the vectorized probe must be
+    // invisible in every counter.
+    {
+      const bool saved = memdis::simd_enabled();
+      memdis::set_simd_enabled(false);
+      scalar_identical = digests_equal(seq_fast, seq(true)) && digests_equal(str_fast, str(true));
+      memdis::set_simd_enabled(saved);
+    }
+    identical = identical && scalar_identical;
   }
   std::cout << "fast path vs element-wise reference: "
-            << (identical ? "bit-identical" : "MISMATCH") << "\n\n";
+            << (identical ? "bit-identical" : "MISMATCH") << "\n";
+  std::cout << "SIMD probe (" << memdis::simd::kIsaName << ") vs forced scalar: "
+            << (scalar_identical ? "bit-identical" : "MISMATCH") << "\n\n";
+
+  if (quick) {
+    std::cout << "--quick: exactness gate only, timed sweeps skipped\n";
+    return identical ? 0 : 1;
+  }
 
   // ---- timed patterns --------------------------------------------------------
   const auto seq = run_pattern(kElems, true, [](Engine& e, const memdis::memsim::VRange& r) {
@@ -187,6 +215,7 @@ int main(int argc, char** argv) {
   json << "{\n"
        << "  \"bench\": \"engine_hotpath\",\n"
        << "  \"hardware_concurrency\": " << hw << ",\n"
+       << "  \"simd_isa\": \"" << memdis::simd::kIsaName << "\",\n"
        << "  \"counters_identical\": " << (identical ? "true" : "false") << ",\n"
        << "  \"seq_accesses\": " << seq.accesses << ",\n"
        << "  \"seq_lines_per_s\": " << seq.lines_per_s() << ",\n"

@@ -9,6 +9,8 @@ SetAssocCache::SetAssocCache(const CacheConfig& cfg) : cfg_(cfg), sets_(0) {
   expects(cfg.line_bytes > 0 && (cfg.line_bytes & (cfg.line_bytes - 1)) == 0,
           "line size must be a power of two");
   expects(cfg.ways > 0, "cache needs at least one way");
+  expects(cfg.size_bytes % (static_cast<std::uint64_t>(cfg.ways) * cfg.line_bytes) == 0,
+          "cache size must be a multiple of ways * line size");
   sets_ = cfg.num_sets();
   expects(sets_ > 0, "cache must have at least one set");
   expects((sets_ & (sets_ - 1)) == 0, "number of sets must be a power of two");
@@ -69,16 +71,9 @@ std::optional<Eviction> SetAssocCache::fill_absent(std::uint64_t addr, bool dirt
   // first LRU minimum in way order. Invalid ways keep lru == 0 (valid
   // lines carry ticks >= 1 — the class invariant), so both rules collapse
   // into one pure argmin over the dense LRU plane: the first zero IS the
-  // first invalid way. No tag reads, no early-exit branch.
-  std::uint32_t victim_way = 0;
-  std::uint64_t victim_lru = lru_[base];
-  for (std::uint32_t w = 1; w < cfg_.ways; ++w) {
-    const std::uint64_t l = lru_[base + w];
-    if (l < victim_lru) {
-      victim_lru = l;
-      victim_way = w;
-    }
-  }
+  // first invalid way. No tag reads, no early-exit branch — and first-min
+  // tie-breaking holds on both the wide and scalar argmin paths.
+  const std::uint32_t victim_way = simd::argmin_first(&lru_[base], cfg_.ways);
   const std::size_t victim = base + victim_way;
   std::optional<Eviction> evicted;
   if (tag_[victim] != kInvalidTag) evicted = eviction_of(victim);

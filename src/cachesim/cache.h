@@ -15,6 +15,9 @@
 //  * each set keeps an MRU way hint probed before the full scan — a pure
 //    search-order optimization (tags are unique within a set, so the same
 //    line is found whichever way finds it),
+//  * the way scan and the victim argmin issue as wide compares over the
+//    dense planes (common/simd.h — AVX2/SSE2/NEON with a scalar fallback
+//    and the memdis::set_simd_enabled() kill switch; see docs/HOTPATH.md),
 //  * the hot entry points are header-inline.
 #pragma once
 
@@ -23,6 +26,7 @@
 #include <vector>
 
 #include "common/contract.h"
+#include "common/simd.h"
 
 namespace memdis::cachesim {
 
@@ -31,6 +35,9 @@ struct CacheConfig {
   std::uint32_t ways = 0;
   std::uint32_t line_bytes = 64;
 
+  /// Sets implied by the geometry. `size_bytes` must be an exact multiple
+  /// of `ways * line_bytes` — the SetAssocCache constructor rejects
+  /// anything else, so the division here never truncates.
   [[nodiscard]] std::uint64_t num_sets() const {
     return size_bytes / (static_cast<std::uint64_t>(ways) * line_bytes);
   }
@@ -112,6 +119,14 @@ class SetAssocCache {
   /// only — same observable state as contains().
   [[nodiscard]] std::size_t index_of(std::uint64_t addr) { return find(addr); }
 
+  /// Batched index_of: out[i] = index_of(line_addrs[i]), i < n. Resolves
+  /// all of the engine batcher's changed lanes in one call, so the wide
+  /// tag compares issue back-to-back with no interleaved lane
+  /// bookkeeping. Same hint updates as n sequential index_of() calls.
+  void index_of_batch(const std::uint64_t* line_addrs, std::size_t n, std::size_t* out) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = find(line_addrs[i]);
+  }
+
   /// Applies the *net* effect of a batch of hit accesses to the line at
   /// `idx`: referenced, optionally dirtied, LRU tick set to `final_tick`
   /// (a value the caller obtained from advance_tick for this batch).
@@ -144,11 +159,9 @@ class SetAssocCache {
     const std::uint64_t aligned = line_align(addr);
     const std::uint64_t set = set_of(addr);
     const std::uint64_t* tags = &tag_[set * cfg_.ways];
-    if (tags[mru_way_[set]] == aligned) return true;
-    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-      if (tags[w] == aligned) return true;
-    }
-    return false;
+    const std::uint32_t hinted = mru_way_[set];
+    if (tags[hinted] == aligned) return true;
+    return simd::find_equal_except(tags, cfg_.ways, aligned, hinted) != cfg_.ways;
   }
 
   /// Invalidates the line if present; returns its eviction record.
@@ -220,20 +233,20 @@ class SetAssocCache {
   }
 
   /// Index of the line holding `addr`, or kNpos. Updates the MRU hint on a
-  /// scan hit (search order only).
+  /// scan hit (search order only). After the hint probe misses, the scan
+  /// compares each remaining tag exactly once: the wide path covers the
+  /// hinted lane inside the vector compare (free, and known unequal), the
+  /// scalar fallback skips it.
   std::size_t find(std::uint64_t addr) {
     const std::uint64_t aligned = line_align(addr);
     const std::uint64_t set = set_of(addr);
     const std::size_t base = set * cfg_.ways;
-    const std::size_t hinted = base + mru_way_[set];
-    if (tag_[hinted] == aligned) return hinted;
-    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
-      if (tag_[base + w] == aligned) {
-        mru_way_[set] = w;
-        return base + w;
-      }
-    }
-    return kNpos;
+    const std::uint32_t hinted = mru_way_[set];
+    if (tag_[base + hinted] == aligned) return base + hinted;
+    const std::uint32_t w = simd::find_equal_except(&tag_[base], cfg_.ways, aligned, hinted);
+    if (w == cfg_.ways) return kNpos;
+    mru_way_[set] = w;
+    return base + w;
   }
 
   CacheConfig cfg_;

@@ -125,6 +125,11 @@ class CacheHierarchy {
   [[nodiscard]] std::size_t l1_index_of(std::uint64_t line_addr) {
     return l1_.index_of(line_addr);
   }
+  /// Batched l1_index_of: the engine resolves every changed lane of a
+  /// window in one call, so the vectorized tag probes issue as one pass.
+  void l1_index_of_batch(const std::uint64_t* line_addrs, std::size_t n, std::size_t* out) {
+    l1_.index_of_batch(line_addrs, n, out);
+  }
   void l1_touch_at(std::size_t idx, bool any_store, std::uint64_t final_tick) {
     l1_.touch_at(idx, any_store, final_tick);
   }

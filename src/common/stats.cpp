@@ -27,11 +27,9 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
-double percentile(std::span<const double> xs, double q) {
-  expects(!xs.empty(), "percentile of empty range");
+double percentile_sorted(std::span<const double> sorted, double q) {
+  expects(!sorted.empty(), "percentile of empty range");
   expects(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");
-  std::vector<double> sorted(xs.begin(), xs.end());
-  std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
@@ -40,14 +38,25 @@ double percentile(std::span<const double> xs, double q) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+double percentile(std::span<const double> xs, double q) {
+  expects(!xs.empty(), "percentile of empty range");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, q);
+}
+
 FiveNumber five_number_summary(std::span<const double> xs) {
   expects(!xs.empty(), "five_number_summary of empty range");
+  // One sort serves all five quantiles; same sorted sequence as five
+  // independent percentile() calls, so the values are bit-identical.
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
   FiveNumber f;
-  f.min = percentile(xs, 0.0);
-  f.q1 = percentile(xs, 0.25);
-  f.median = percentile(xs, 0.5);
-  f.q3 = percentile(xs, 0.75);
-  f.max = percentile(xs, 1.0);
+  f.min = percentile_sorted(sorted, 0.0);
+  f.q1 = percentile_sorted(sorted, 0.25);
+  f.median = percentile_sorted(sorted, 0.5);
+  f.q3 = percentile_sorted(sorted, 0.75);
+  f.max = percentile_sorted(sorted, 1.0);
   return f;
 }
 

@@ -29,8 +29,15 @@ class RunningStats {
 };
 
 /// Linear-interpolation percentile (the "type 7" estimator used by numpy).
-/// Precondition: !xs.empty() and 0 <= q <= 1. Does not require sorted input.
+/// Precondition: !xs.empty() and 0 <= q <= 1. Does not require sorted
+/// input — it copies and sorts on every call. Callers taking several
+/// quantiles of the same data should sort once and use percentile_sorted.
 [[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+/// percentile() over input the caller has already sorted ascending; no
+/// copy, no sort. Identical interpolation, so for the same data the two
+/// return bit-identical values.
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted, double q);
 
 /// Box-plot style five-number summary: min, q1, median, q3, max.
 struct FiveNumber {

@@ -422,10 +422,13 @@ FleetResult run_fleet(const FleetConfig& cfg, const std::vector<JobClass>& class
     waits.push_back(rec.wait_s());
   }
   if (!slowdowns.empty()) {
-    result.p50_slowdown = percentile(slowdowns, 0.50);
-    result.p99_slowdown = percentile(slowdowns, 0.99);
-    result.p50_wait_s = percentile(waits, 0.50);
-    result.p99_wait_s = percentile(waits, 0.99);
+    // Tail metrics: sort each vector once, take both quantiles from it.
+    std::sort(slowdowns.begin(), slowdowns.end());
+    std::sort(waits.begin(), waits.end());
+    result.p50_slowdown = percentile_sorted(slowdowns, 0.50);
+    result.p99_slowdown = percentile_sorted(slowdowns, 0.99);
+    result.p50_wait_s = percentile_sorted(waits, 0.50);
+    result.p99_wait_s = percentile_sorted(waits, 0.99);
   }
   return result;
 }

@@ -500,6 +500,13 @@ void Engine::stream_range(const StreamLane* lanes, std::size_t num_lanes,
 
   std::uint64_t lane_line[kMaxLanes];
   std::size_t handle[kMaxLanes];
+  // Lanes whose line changed this window, gathered so their probes resolve
+  // in one batched pass over the L1 tag planes (the vectorized scans issue
+  // back-to-back). Lanes with an unchanged line keep their handle: the
+  // previous window ran the fast path, so no fill has moved anything.
+  std::uint64_t probe_line[kMaxLanes];
+  std::uint32_t probe_lane[kMaxLanes];
+  std::size_t probe_handle[kMaxLanes];
   bool handles_valid = false;  // false → re-resolve every lane (post-fill)
   BulkAcc acc;
   std::uint64_t k = 0;
@@ -540,7 +547,7 @@ void Engine::stream_range(const StreamLane* lanes, std::size_t num_lanes,
     }
     // Window: iterations every lane spends inside its current cacheline.
     std::uint64_t n = count - k;
-    bool any_miss = false;
+    std::size_t num_probes = 0;
     for (std::size_t i = 0; i < num_lanes; ++i) {
       const StreamLane& ln = lanes[i];
       if (ln.op == StreamLane::Op::kFlops) continue;
@@ -550,9 +557,20 @@ void Engine::stream_range(const StreamLane* lanes, std::size_t num_lanes,
       n = std::min(n, in_line);
       if (!handles_valid || line != lane_line[i]) {
         lane_line[i] = line;
-        handle[i] = hierarchy_.l1_index_of(line);
+        probe_line[num_probes] = line;
+        probe_lane[num_probes] = static_cast<std::uint32_t>(i);
+        ++num_probes;
       }
-      any_miss = any_miss || handle[i] == cachesim::CacheHierarchy::l1_npos;
+    }
+    // Only freshly probed lanes can miss: unchanged handles come from a
+    // window that already ran the all-hit fast path.
+    bool any_miss = false;
+    if (num_probes > 0) {
+      hierarchy_.l1_index_of_batch(probe_line, num_probes, probe_handle);
+      for (std::size_t j = 0; j < num_probes; ++j) {
+        handle[probe_lane[j]] = probe_handle[j];
+        any_miss = any_miss || probe_handle[j] == cachesim::CacheHierarchy::l1_npos;
+      }
     }
     const std::uint64_t total = n * accesses_per_iter;
     const std::uint64_t room = cfg_.epoch_accesses - epoch_demand_accesses_;

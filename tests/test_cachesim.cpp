@@ -8,6 +8,8 @@
 #include "cachesim/pebs.h"
 #include "cachesim/prefetcher.h"
 #include "common/contract.h"
+#include "common/rng.h"
+#include "common/simd.h"
 #include "memsim/page_table.h"
 
 namespace memdis::cachesim {
@@ -119,6 +121,29 @@ TEST(Cache, InvalidConfigViolatesContract) {
   EXPECT_THROW(SetAssocCache({1000, 2, 60}), contract_violation);
 }
 
+TEST(Cache, NonMultipleSizeViolatesContract) {
+  // 1100 B / (2 ways * 64 B) truncates to 8 sets — a 1024 B cache quietly
+  // simulated in place of the configured 1100 B one. Rejected instead.
+  EXPECT_THROW(SetAssocCache({1100, 2, 64}), contract_violation);
+  EXPECT_THROW(SetAssocCache({64 * 8 * 4 + 64, 4, 64}), contract_violation);
+  EXPECT_NO_THROW(SetAssocCache({64 * 8 * 4, 4, 64}));
+}
+
+TEST(Cache, IndexOfBatchMatchesIndexOf) {
+  SetAssocCache a({4096, 4, 64});
+  SetAssocCache b({4096, 4, 64});
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    a.fill(i * 192, false, false);
+    b.fill(i * 192, false, false);
+  }
+  std::uint64_t lines[8];
+  for (std::uint64_t i = 0; i < 8; ++i) lines[i] = i * 384;
+  std::size_t batched[8];
+  a.index_of_batch(lines, 8, batched);
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(batched[i], b.index_of(lines[i]));
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
 // Property: for any power-of-two geometry, filling N distinct lines in one
 // set keeps exactly `ways` resident.
 class CacheGeometryTest : public ::testing::TestWithParam<std::uint32_t> {};
@@ -135,6 +160,107 @@ TEST_P(CacheGeometryTest, SetNeverExceedsWays) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Ways, CacheGeometryTest, ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+// ---------- SIMD probe vs forced scalar --------------------------------------
+
+// The shim's wide primitives against their scalar reference loops, over
+// every way-scan length the simulator can see plus awkward remainders
+// (vector width ± 1), with heavy ties and matches. Trivially true in a
+// -DMEMDIS_SIMD=OFF build, where both sides are the same loop.
+TEST(Simd, PrimitivesMatchScalarReference) {
+  Xoshiro256 rng(123);
+  for (std::uint32_t n = 1; n <= 33; ++n) {
+    for (int rep = 0; rep < 200; ++rep) {
+      std::vector<std::uint64_t> xs(n);
+      for (auto& x : xs) x = rng.uniform_below(8);
+      const std::uint64_t key = rng.uniform_below(8);
+      const auto skip = static_cast<std::uint32_t>(rng.uniform_below(n));
+      if (xs[skip] == key) xs[skip] ^= 1;  // the wide path's caller contract
+      EXPECT_EQ(simd::find_equal_except(xs.data(), n, key, skip),
+                simd::find_equal_scalar(xs.data(), n, key, skip));
+      EXPECT_EQ(simd::argmin_first(xs.data(), n), simd::argmin_first_scalar(xs.data(), n));
+    }
+  }
+}
+
+/// Forces the scalar probe loops for one replay of the op stream.
+class ScopedScalarProbe {
+ public:
+  ScopedScalarProbe() : saved_(simd_enabled()) { set_simd_enabled(false); }
+  ~ScopedScalarProbe() { set_simd_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+// Differential property: a seeded access/fill/invalidate/drain stream
+// leaves a SIMD-probed cache and a forced-scalar cache in byte-identical
+// state (digest) having emitted the identical eviction sequence. Covers
+// geometries whose way count is not a vector-width multiple (12) and the
+// remainder-only case (4 on a 2-wide ISA is exact; on AVX2 it is all tail).
+class CacheDifferentialTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CacheDifferentialTest, SimdMatchesForcedScalarOnSeededStreams) {
+  const std::uint32_t ways = GetParam();
+  const CacheConfig cfg{static_cast<std::uint64_t>(64) * 16 * ways, ways, 64};
+  struct Outcome {
+    std::uint64_t digest = 0;
+    std::uint64_t hits = 0;
+    std::vector<std::uint64_t> evictions;  // line_addr | dirty | unused, in order
+  };
+  const auto replay = [&](bool wide) {
+    Outcome out;
+    SetAssocCache c(cfg);
+    Xoshiro256 rng(0x5eed0000u + ways);
+    const auto record = [&out](const Eviction& ev) {
+      out.evictions.push_back(ev.line_addr << 2 | (ev.dirty ? 2u : 0u) |
+                              (ev.prefetched_unused ? 1u : 0u));
+    };
+    const std::uint64_t span = cfg.size_bytes * 4;  // 4x capacity → constant conflict
+    const auto body = [&] {
+      for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t addr = rng.uniform_below(span);
+        const bool store = rng.uniform_below(2) != 0;
+        switch (rng.uniform_below(8)) {
+          case 0:
+          case 1:
+          case 2:
+            if (c.access(addr, store).hit) ++out.hits;
+            break;
+          case 3:
+          case 4:
+            if (const auto ev = c.fill(addr, store, rng.uniform_below(4) == 0)) record(*ev);
+            break;
+          case 5:
+            if (!c.contains(addr))
+              if (const auto ev = c.fill_absent(addr, store, false)) record(*ev);
+            break;
+          case 6:
+            if (const auto ev = c.invalidate(addr)) record(*ev);
+            break;
+          default:
+            if (rng.uniform_below(64) == 0) c.drain(record);
+            break;
+        }
+      }
+    };
+    if (wide) {
+      body();
+    } else {
+      ScopedScalarProbe forced;
+      body();
+    }
+    out.digest = c.digest();
+    return out;
+  };
+  const Outcome wide = replay(true);
+  const Outcome scalar = replay(false);
+  EXPECT_EQ(wide.digest, scalar.digest);
+  EXPECT_EQ(wide.hits, scalar.hits);
+  EXPECT_EQ(wide.evictions, scalar.evictions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, CacheDifferentialTest, ::testing::Values(4u, 8u, 12u, 16u));
 
 // ---------- StreamPrefetcher ---------------------------------------------------
 

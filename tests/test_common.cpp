@@ -2,9 +2,12 @@
 // units, and contract checks.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <span>
 #include <sstream>
+#include <vector>
 
 #include "common/contract.h"
 #include "common/csv.h"
@@ -155,6 +158,50 @@ TEST(Percentile, OutOfRangeQViolatesContract) {
   const std::vector<double> xs = {1.0};
   EXPECT_THROW((void)percentile(xs, 1.5), contract_violation);
   EXPECT_THROW((void)percentile(xs, -0.1), contract_violation);
+}
+
+// The pre-sort-once implementation, kept verbatim as the regression
+// reference: percentile() and five_number_summary() must return values
+// bit-identical to it (the fleet tail metrics and Fig. 13 summaries are
+// golden-gated downstream).
+double percentile_reference(std::span<const double> xs, double q) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+TEST(Percentile, BitIdenticalToPerCallSortReference) {
+  Xoshiro256 rng(20260807);
+  const double qs[] = {0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0};
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{7},
+                              std::size_t{64}, std::size_t{1000}}) {
+    std::vector<double> xs(n);
+    for (auto& x : xs) x = rng.uniform(-1e6, 1e6);
+    std::vector<double> sorted = xs;
+    std::sort(sorted.begin(), sorted.end());
+    for (const double q : qs) {
+      const double ref = percentile_reference(xs, q);
+      EXPECT_EQ(percentile(xs, q), ref);
+      EXPECT_EQ(percentile_sorted(sorted, q), ref);
+    }
+    const FiveNumber f = five_number_summary(xs);
+    EXPECT_EQ(f.min, percentile_reference(xs, 0.0));
+    EXPECT_EQ(f.q1, percentile_reference(xs, 0.25));
+    EXPECT_EQ(f.median, percentile_reference(xs, 0.5));
+    EXPECT_EQ(f.q3, percentile_reference(xs, 0.75));
+    EXPECT_EQ(f.max, percentile_reference(xs, 1.0));
+  }
+}
+
+TEST(Percentile, SortedRequiresNonEmptyAndValidQ) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW((void)percentile_sorted({}, 0.5), contract_violation);
+  EXPECT_THROW((void)percentile_sorted(xs, 1.5), contract_violation);
 }
 
 TEST(FiveNumber, OrderedSummary) {

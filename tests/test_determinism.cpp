@@ -10,6 +10,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/simd.h"
 #include "core/scenario_registry.h"
 #include "core/sweep.h"
 #include "sim/engine.h"
@@ -177,6 +178,42 @@ TEST(Determinism, TransientLoiRangeApiMatchesElementWise) {
   }
   EXPECT_EQ(fast.csv, reference.csv);
   EXPECT_EQ(fast.json, reference.json);
+}
+
+// ---- SIMD probe vs forced scalar --------------------------------------------
+// The correctness gate for the vectorized way scan (common/simd.h): a whole
+// scenario run with the wide tag-compare/argmin probes must produce
+// byte-identical artifacts to the same scenario with the runtime kill
+// switch forcing the scalar loops. In a -DMEMDIS_SIMD=OFF build both runs
+// take the scalar path and the test degenerates to the reproducibility
+// check.
+
+/// Scoped override of the probe kill switch: everything run inside the
+/// scope uses the scalar way loops.
+class ScopedScalarProbe {
+ public:
+  ScopedScalarProbe() : saved_(simd_enabled()) { set_simd_enabled(false); }
+  ~ScopedScalarProbe() { set_simd_enabled(saved_); }
+  ScopedScalarProbe(const ScopedScalarProbe&) = delete;
+  ScopedScalarProbe& operator=(const ScopedScalarProbe&) = delete;
+
+ private:
+  bool saved_;
+};
+
+TEST(Determinism, Fig06SimdProbeMatchesForcedScalar) {
+#ifdef MEMDIS_UNDER_ASAN
+  GTEST_SKIP() << "double fig06 run exceeds the sanitized scenario timeout";
+#endif
+  const Artifacts wide = artifacts_of("fig06", 1);
+  Artifacts scalar;
+  {
+    ScopedScalarProbe forced;
+    scalar = artifacts_of("fig06", 1);
+  }
+  EXPECT_EQ(wide.csv, scalar.csv);
+  EXPECT_EQ(wide.json, scalar.json);
+  EXPECT_FALSE(wide.csv.empty());
 }
 
 // ---- queue model vs LoI closed form -----------------------------------------
