@@ -5,6 +5,12 @@
 // path. Also re-checks the determinism contract: parallel rows AND replayed
 // rows must be bit-identical to the serial live rows.
 //
+// A second grid measures the epoch-profile repricer (docs/REPRICE.md): a
+// Hypre sweep over a 6-point LoI axis runs fully simulated and then with
+// `--reprice`-style memoization (one capture per functional key, O(epochs)
+// repricing for the rest), reporting the wall-clock ratio and re-checking
+// byte-identity of the rows.
+//
 // Usage: bench_sweep_scaling [--json PATH]
 #include <filesystem>
 #include <fstream>
@@ -12,9 +18,11 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <unordered_set>
 
 #include "bench_util.h"
 #include "common/table.h"
+#include "core/epoch_profile.h"
 #include "core/sweep.h"
 
 int main(int argc, char** argv) {
@@ -51,6 +59,40 @@ int main(int argc, char** argv) {
   const double speedup = parallel.wall_seconds > 0 ? serial.wall_seconds / parallel.wall_seconds
                                                    : 0.0;
 
+  // Reprice path: a grid whose only swept axis is timing (6 LoI levels on
+  // one Hypre configuration) — the regime the repricer targets. Full
+  // simulation prices every point from scratch; with repricing on, the
+  // grid's single functional group simulates once and the other points
+  // fold the cost model over its epoch profile.
+  core::SweepSpec loi_grid;
+  loi_grid.apps = {workloads::App::kHypre};
+  loi_grid.ratios = {0.5};
+  loi_grid.lois = {0.0, 10.0, 20.0, 30.0, 40.0, 50.0};
+  loi_grid.seed_per_task = false;
+  const auto loi_measure = [](const core::SweepPoint& point) -> std::vector<core::Metric> {
+    const auto wl = point.make_workload();
+    const auto out = core::run_workload(*wl, point.run_config());
+    return {{"elapsed_s", out.elapsed_s},
+            {"remote_ratio", out.remote_access_ratio()},
+            {"epochs", static_cast<double>(out.epochs.size())}};
+  };
+  std::unordered_set<std::string> groups;
+  for (const auto& point : loi_grid.expand()) groups.insert(point.functional_group_key());
+
+  const bool reprice_was_on = core::reprice_enabled();
+  core::set_reprice_enabled(false);
+  const auto loi_full = core::run_sweep(loi_grid, loi_measure, {.jobs = 1});
+  core::clear_reprice_cache();
+  core::set_reprice_enabled(true);
+  const auto loi_repriced = core::run_sweep(loi_grid, loi_measure, {.jobs = 1});
+  const auto reprice_stats = core::reprice_stats();
+  core::set_reprice_enabled(reprice_was_on);
+  core::clear_reprice_cache();
+
+  const bool reprice_identical = loi_full.rows_equal(loi_repriced);
+  const double reprice_speedup =
+      loi_repriced.wall_seconds > 0 ? loi_full.wall_seconds / loi_repriced.wall_seconds : 0.0;
+
   Table t({"path", "configs", "wall (s)", "configs/s"});
   t.add_row({"jobs=1", std::to_string(serial.rows.size()), Table::num(serial.wall_seconds, 3),
              Table::num(static_cast<double>(serial.rows.size()) / serial.wall_seconds, 2)});
@@ -61,6 +103,22 @@ int main(int argc, char** argv) {
              Table::num(replayed.wall_seconds, 3),
              Table::num(static_cast<double>(replayed.rows.size()) / replayed.wall_seconds, 2)});
   t.print(std::cout);
+
+  Table rt({"path", "configs", "groups", "wall (s)", "configs/s"});
+  rt.add_row({"loi grid full", std::to_string(loi_full.rows.size()),
+              std::to_string(groups.size()), Table::num(loi_full.wall_seconds, 3),
+              Table::num(static_cast<double>(loi_full.rows.size()) / loi_full.wall_seconds, 2)});
+  rt.add_row({"loi grid repriced", std::to_string(loi_repriced.rows.size()),
+              std::to_string(groups.size()), Table::num(loi_repriced.wall_seconds, 3),
+              Table::num(static_cast<double>(loi_repriced.rows.size()) /
+                             loi_repriced.wall_seconds,
+                         2)});
+  std::cout << "\n";
+  rt.print(std::cout);
+  std::cout << "\nreprice: " << Table::num(reprice_speedup, 2) << "x over full simulation ("
+            << reprice_stats.captures << " capture" << (reprice_stats.captures == 1 ? "" : "s")
+            << " + " << reprice_stats.reprices << " re-priced); rows bit-identical: "
+            << (reprice_identical ? "yes" : "NO") << "\n";
   if (hw > 1) {
     std::cout << "\nspeedup: " << Table::num(speedup, 2) << "x on " << hw
               << " hardware threads; rows bit-identical: " << (identical ? "yes" : "NO")
@@ -92,7 +150,14 @@ int main(int argc, char** argv) {
     json << "  \"parallel_scaling_note\": \"1 hardware thread: jobs=hw wall time is a "
             "serial re-run, not a scaling result\",\n";
   }
-  json << "  \"rows_identical\": " << (identical ? "true" : "false") << "\n"
+  json << "  \"loi_grid_points\": " << loi_full.rows.size() << ",\n"
+       << "  \"loi_grid_groups\": " << groups.size() << ",\n"
+       << "  \"wall_s_reprice_off\": " << loi_full.wall_seconds << ",\n"
+       << "  \"wall_s_repriced\": " << loi_repriced.wall_seconds << ",\n"
+       << "  \"reprice_speedup\": " << reprice_speedup << ",\n"
+       << "  \"reprice_captures\": " << reprice_stats.captures << ",\n"
+       << "  \"reprice_rows_identical\": " << (reprice_identical ? "true" : "false") << ",\n"
+       << "  \"rows_identical\": " << (identical ? "true" : "false") << "\n"
        << "}\n";
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -101,5 +166,5 @@ int main(int argc, char** argv) {
   } else {
     std::cout << "\n" << json.str();
   }
-  return identical ? 0 : 1;
+  return (identical && reprice_identical) ? 0 : 1;
 }

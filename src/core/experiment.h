@@ -16,6 +16,17 @@
 namespace memdis::core {
 
 /// Configuration of one profiled run.
+///
+/// Fields partition into a *functional* half — machine (and the capacity
+/// shaping applied to it), hierarchy, prefetch_enabled: everything that
+/// determines the access stream and cache-state evolution — and a *timing*
+/// half — background_loi, background_loi_per_tier, loi_schedule,
+/// link_model: everything that only changes what the links charge. The
+/// epoch-profile repricer (core/epoch_profile.h, `memdis sweep --reprice`)
+/// exploits the split: one full simulation per functional key, O(epochs)
+/// repricing for every timing variation of it. Keep new fields on the
+/// right side of that line (a field that feeds back into placement or
+/// cache state is functional and must join functional_key()).
 struct RunConfig {
   memsim::MachineConfig machine = memsim::MachineConfig::skylake_testbed();
   cachesim::HierarchyConfig hierarchy{};

@@ -11,12 +11,14 @@
 #include <stdexcept>
 
 #include <mutex>
+#include <unordered_set>
 
 #include "common/artifact_format.h"
 #include "common/contract.h"
 #include "common/csv.h"
 #include "common/parallel_for.h"
 #include "common/rng.h"
+#include "core/epoch_profile.h"
 #include "trace/trace_workload.h"
 
 namespace memdis::core {
@@ -70,6 +72,25 @@ std::unique_ptr<workloads::Workload> SweepPoint::make_workload() const {
   const std::string cache = replay_cache_dir();
   if (!cache.empty()) return trace::make_cached_workload(cache, app, scale, seed);
   return workloads::make_workload(app, scale, seed);
+}
+
+std::string SweepPoint::functional_group_key() const {
+  // Everything but `loi` (the timing axis) and `index` (the row slot).
+  // Coarser than core::functional_key — that one sees the actual workload
+  // parameters and shaped machine — but grouping only schedules waves;
+  // the repricer's own key decides what is actually reused.
+  std::string key = workloads::app_name(app);
+  key += '/';
+  key += std::to_string(scale);
+  key += '/';
+  key += format_double(ratio);
+  key += '/';
+  key += fabric;
+  key += prefetch ? "/pf1/" : "/pf0/";
+  key += variant;
+  key += '/';
+  key += std::to_string(seed);
+  return key;
 }
 
 std::size_t SweepSpec::size() const {
@@ -187,12 +208,9 @@ bool SweepResult::rows_equal(const SweepResult& other) const {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& a = rows[i];
     const auto& b = other.rows[i];
-    if (a.point.index != b.point.index || a.point.app != b.point.app ||
-        a.point.scale != b.point.scale || a.point.ratio != b.point.ratio ||
-        a.point.loi != b.point.loi || a.point.fabric != b.point.fabric ||
-        a.point.prefetch != b.point.prefetch || a.point.variant != b.point.variant ||
-        a.point.seed != b.point.seed || a.metrics.size() != b.metrics.size())
-      return false;
+    // Defaulted memberwise equality: a field added to SweepPoint is
+    // compared automatically instead of silently going stale here.
+    if (!(a.point == b.point) || a.metrics.size() != b.metrics.size()) return false;
     for (std::size_t m = 0; m < a.metrics.size(); ++m) {
       if (a.metrics[m].first != b.metrics[m].first) return false;
       // Bit-pattern comparison: NaN-safe and stricter than ==.
@@ -213,10 +231,33 @@ SweepResult run_sweep(const SweepSpec& spec, const MeasureFn& measure,
   SweepResult result;
   result.rows.resize(points.size());
   const auto t0 = std::chrono::steady_clock::now();
-  parallel_for(points.size(), options.jobs, [&](std::size_t i) {
+  const auto run_point = [&](std::size_t i) {
     result.rows[i].point = points[i];
     result.rows[i].metrics = measure(points[i]);
-  });
+  };
+  if (reprice_enabled() && points.size() > 1) {
+    // Two waves: the first point of each functional group runs (and, for
+    // eligible measures, captures its epoch profile) before the rest of
+    // the group re-prices from it. Purely a scheduling optimization —
+    // without it a group's points racing in one wave would each capture —
+    // rows land in grid slots either way, bit-identical to serial.
+    std::vector<std::size_t> leaders;
+    std::vector<std::size_t> followers;
+    std::unordered_set<std::string> seen;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (seen.insert(points[i].functional_group_key()).second) {
+        leaders.push_back(i);
+      } else {
+        followers.push_back(i);
+      }
+    }
+    parallel_for(leaders.size(), options.jobs,
+                 [&](std::size_t j) { run_point(leaders[j]); });
+    parallel_for(followers.size(), options.jobs,
+                 [&](std::size_t j) { run_point(followers[j]); });
+  } else {
+    parallel_for(points.size(), options.jobs, run_point);
+  }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return result;

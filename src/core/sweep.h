@@ -68,6 +68,17 @@ struct SweepPoint {
   [[nodiscard]] RunConfig run_config() const;
   /// Workload instance for this point, seeded with the per-task seed.
   [[nodiscard]] std::unique_ptr<workloads::Workload> make_workload() const;
+
+  /// Groups grid points that share a functional half (everything except
+  /// `loi`, the grid's timing axis — and `index`, the row slot). When
+  /// repricing is on, run_sweep schedules one capture per group before the
+  /// rest of the group re-prices (see core/epoch_profile.h).
+  [[nodiscard]] std::string functional_group_key() const;
+
+  /// Memberwise equality over *all* fields — defaulted, so a new field can
+  /// never be silently dropped from comparisons (SweepResult::rows_equal
+  /// builds on this).
+  [[nodiscard]] bool operator==(const SweepPoint&) const = default;
 };
 
 /// Axes of the cartesian grid. Empty axes are illegal (expand() throws);
@@ -139,6 +150,11 @@ struct SweepOptions {
 };
 
 /// Expands `spec` and runs `measure` over every point on a thread pool.
+/// When repricing is enabled (core/epoch_profile.h), tasks run in two
+/// waves — one leader per functional group first, then the followers — so
+/// each group's capture exists before its re-prices ask for it. Results
+/// are independent of the scheduling either way (the determinism
+/// contract), waves only avoid redundant captures.
 [[nodiscard]] SweepResult run_sweep(const SweepSpec& spec, const MeasureFn& measure,
                                     const SweepOptions& options = {});
 

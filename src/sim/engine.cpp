@@ -629,6 +629,7 @@ void Engine::pf_start(std::string tag) {
   phase_base_ = hierarchy_.counters();
   phase_flops_base_ = total_flops_ + pending_flops_;
   phase_time_base_ = elapsed_s_;
+  phase_epoch_base_ = epochs_.size();
 }
 
 void Engine::pf_stop() {
@@ -640,23 +641,26 @@ void Engine::pf_stop() {
   rec.time_s = elapsed_s_ - phase_time_base_;
   rec.flops = total_flops_ - phase_flops_base_;
   rec.counters = hierarchy_.counters().delta_since(phase_base_);
+  rec.epoch_begin = phase_epoch_base_;
+  rec.epoch_end = epochs_.size();
   phases_.push_back(std::move(rec));
   current_phase_.clear();
 }
 
-void Engine::close_epoch() {
-  const cachesim::HwCounters now = hierarchy_.counters();
-  const cachesim::HwCounters d = now.delta_since(epoch_base_);
-  const std::uint64_t flops_now = pending_flops_;
-  if (d.accesses() == 0 && flops_now == 0 && pending_migration_s_ == 0.0) {
-    epoch_demand_accesses_ = 0;
-    return;  // nothing happened since the last close
-  }
-
-  const auto& m = cfg_.machine;
+EpochPricing price_epoch(const memsim::MachineConfig& m, memsim::LinkModelKind link_model,
+                         double stall_weight, std::uint64_t flops,
+                         const std::vector<std::uint64_t>& tier_bytes,
+                         const std::vector<std::uint64_t>& tier_demand,
+                         const std::vector<std::uint64_t>& migration_bytes,
+                         double migration_s,
+                         const std::vector<std::optional<memsim::LinkModel>>& links,
+                         const std::vector<std::optional<memsim::QueueModel>>& queues) {
   const int n = m.num_tiers();
-  const bool queue_mode = cfg_.link_model == memsim::LinkModelKind::kQueue;
+  const bool queue_mode = link_model == memsim::LinkModelKind::kQueue;
   using memsim::TrafficClass;
+  const auto link_at = [&links](memsim::TierId t) -> const memsim::LinkModel& {
+    return *links[static_cast<std::size_t>(t)];
+  };
 
   // Throughput-bound terms: the epoch is as long as its most-loaded lane —
   // compute, or any single tier's byte stream at that tier's effective
@@ -665,19 +669,19 @@ void Engine::close_epoch() {
   // by the bulk class's *windowed* traffic estimate (prior epochs — this
   // epoch's own burst cannot shrink t_base without a circular dependency;
   // it feeds the latency pass below instead).
-  const double t_flop = static_cast<double>(flops_now) / (m.peak_gflops * 1e9);
+  const double t_flop = static_cast<double>(flops) / (m.peak_gflops * 1e9);
   double t_base = t_flop;
   for (memsim::TierId t = 0; t < n; ++t) {
-    const auto bytes = static_cast<double>(d.dram_bytes(t));
+    const auto bytes = static_cast<double>(tier_bytes[static_cast<std::size_t>(t)]);
     const auto& spec = m.tier(t);
     double bw_link = spec.bandwidth_gbps;
     if (spec.is_fabric()) {
       bw_link = queue_mode
-                    ? queues_[static_cast<std::size_t>(t)]->effective_data_bandwidth_gbps(
-                          TrafficClass::kDemand, link(t).background_loi(),
-                          queues_[static_cast<std::size_t>(t)]->cross_rate_gbps(
+                    ? queues[static_cast<std::size_t>(t)]->effective_data_bandwidth_gbps(
+                          TrafficClass::kDemand, link_at(t).background_loi(),
+                          queues[static_cast<std::size_t>(t)]->cross_rate_gbps(
                               TrafficClass::kDemand))
-                    : link(t).effective_data_bandwidth_gbps(0.0);
+                    : link_at(t).effective_data_bandwidth_gbps(0.0);
     }
     const double bw_eff =
         spec.is_fabric() ? std::min(bw_link, spec.bandwidth_gbps) : spec.bandwidth_gbps;
@@ -699,62 +703,43 @@ void Engine::close_epoch() {
     const auto& spec = m.tier(t);
     double lat_s;
     if (spec.is_fabric()) {
-      const auto bytes = static_cast<double>(d.dram_bytes(t));
+      const auto bytes = static_cast<double>(tier_bytes[static_cast<std::size_t>(t)]);
       const double est_rate_gbps =
           t_base > 0 ? bytes_per_sec_to_gbps(bytes / t_base) : 0.0;
       if (queue_mode) {
-        const auto& q = *queues_[static_cast<std::size_t>(t)];
+        const auto& q = *queues[static_cast<std::size_t>(t)];
         const double cross_gbps = q.estimated_rate_gbps(
             TrafficClass::kBulk,
-            static_cast<double>(pending_migration_bytes_[static_cast<std::size_t>(t)]),
-            t_base);
+            static_cast<double>(migration_bytes[static_cast<std::size_t>(t)]), t_base);
         lat_s = ns_to_s(q.effective_latency_ns(TrafficClass::kDemand,
-                                               link(t).background_loi(), est_rate_gbps,
+                                               link_at(t).background_loi(), est_rate_gbps,
                                                cross_gbps));
         demand_mult[static_cast<std::size_t>(t)] =
-            q.latency_multiplier(TrafficClass::kDemand, link(t).background_loi(),
+            q.latency_multiplier(TrafficClass::kDemand, link_at(t).background_loi(),
                                  est_rate_gbps, cross_gbps);
         // Same epoch, same demand load, bulk cross-traffic removed: the
         // denominator of the inflation trace.
         const double solo_mult = q.latency_multiplier(
-            TrafficClass::kDemand, link(t).background_loi(), est_rate_gbps, 0.0);
+            TrafficClass::kDemand, link_at(t).background_loi(), est_rate_gbps, 0.0);
         if (solo_mult > 0)
           demand_infl[static_cast<std::size_t>(t)] =
               demand_mult[static_cast<std::size_t>(t)] / solo_mult;
       } else {
-        lat_s = ns_to_s(link(t).effective_latency_ns(est_rate_gbps));
-        demand_mult[static_cast<std::size_t>(t)] = link(t).latency_multiplier(est_rate_gbps);
+        lat_s = ns_to_s(link_at(t).effective_latency_ns(est_rate_gbps));
+        demand_mult[static_cast<std::size_t>(t)] =
+            link_at(t).latency_multiplier(est_rate_gbps);
       }
     } else {
       lat_s = ns_to_s(spec.latency_ns);
     }
-    stall_sum += static_cast<double>(d.demand_dram[static_cast<std::size_t>(t)]) * lat_s;
+    stall_sum += static_cast<double>(tier_demand[static_cast<std::size_t>(t)]) * lat_s;
   }
-  const double t_stall = cfg_.stall_weight * stall_sum / overlap;
+  const double t_stall = stall_weight * stall_sum / overlap;
 
-  // Migration transfer time charged by the planner since the last close
-  // serializes with the epoch's demand traffic (move_pages stalls the
-  // touching thread). Zero when no migration runtime is attached, keeping
-  // two-tier golden artifacts bit-identical.
-  const double t_migrate = pending_migration_s_;
-  pending_migration_s_ = 0.0;
-  migration_s_total_ += t_migrate;
-  const double duration = t_base + t_stall + t_migrate;
+  EpochPricing p;
+  const double duration = t_base + t_stall + migration_s;
+  p.duration_s = duration;
 
-  EpochRecord rec;
-  rec.start_s = elapsed_s_;
-  rec.duration_s = duration;
-  rec.phase = current_phase_;
-  rec.flops = flops_now;
-  rec.migration_s = t_migrate;
-  rec.tier_bytes.resize(static_cast<std::size_t>(n));
-  rec.tier_demand.resize(static_cast<std::size_t>(n));
-  for (memsim::TierId t = 0; t < n; ++t) {
-    rec.tier_bytes[static_cast<std::size_t>(t)] = d.dram_bytes(t);
-    rec.tier_demand[static_cast<std::size_t>(t)] =
-        d.demand_dram[static_cast<std::size_t>(t)];
-  }
-  rec.l2_lines_in = d.l2_lines_in;
   // Link measurements: PCM-style measured traffic summed over links; the
   // utilization of the busiest link (what an operator would alarm on).
   // Under the queue model the gauges see the bulk bytes too — migration
@@ -763,23 +748,77 @@ void Engine::close_epoch() {
   double util = 0.0;
   for (memsim::TierId t = 0; t < n; ++t) {
     if (!m.tier(t).is_fabric()) continue;
-    double bytes = static_cast<double>(d.dram_bytes(t));
+    double bytes = static_cast<double>(tier_bytes[static_cast<std::size_t>(t)]);
     if (queue_mode)
-      bytes += static_cast<double>(pending_migration_bytes_[static_cast<std::size_t>(t)]);
+      bytes += static_cast<double>(migration_bytes[static_cast<std::size_t>(t)]);
     const double app_rate_gbps =
         duration > 0 ? bytes_per_sec_to_gbps(bytes / duration) : 0.0;
-    traffic += link(t).measured_traffic_gbps(app_rate_gbps);
-    util = std::max(util, link(t).offered_utilization(app_rate_gbps));
+    traffic += link_at(t).measured_traffic_gbps(app_rate_gbps);
+    util = std::max(util, link_at(t).offered_utilization(app_rate_gbps));
   }
-  rec.link_traffic_gbps = traffic;
-  rec.link_utilization = util;
-  rec.link_loi.resize(static_cast<std::size_t>(n), 0.0);
+  p.link_traffic_gbps = traffic;
+  p.link_utilization = util;
+  p.link_loi.resize(static_cast<std::size_t>(n), 0.0);
   for (memsim::TierId t = 0; t < n; ++t)
-    if (links_[static_cast<std::size_t>(t)])
-      rec.link_loi[static_cast<std::size_t>(t)] =
-          links_[static_cast<std::size_t>(t)]->background_loi();
-  rec.link_demand_mult = std::move(demand_mult);
-  rec.link_demand_inflation = std::move(demand_infl);
+    if (links[static_cast<std::size_t>(t)])
+      p.link_loi[static_cast<std::size_t>(t)] =
+          links[static_cast<std::size_t>(t)]->background_loi();
+  p.link_demand_mult = std::move(demand_mult);
+  p.link_demand_inflation = std::move(demand_infl);
+  return p;
+}
+
+void Engine::close_epoch() {
+  const cachesim::HwCounters now = hierarchy_.counters();
+  const cachesim::HwCounters d = now.delta_since(epoch_base_);
+  const std::uint64_t flops_now = pending_flops_;
+  if (d.accesses() == 0 && flops_now == 0 && pending_migration_s_ == 0.0) {
+    epoch_demand_accesses_ = 0;
+    return;  // nothing happened since the last close
+  }
+
+  const auto& m = cfg_.machine;
+  const int n = m.num_tiers();
+  const bool queue_mode = cfg_.link_model == memsim::LinkModelKind::kQueue;
+  using memsim::TrafficClass;
+
+  // Functional inputs: this epoch's per-tier byte/demand-miss deltas. The
+  // timing side — everything the links' current state decides — lives in
+  // price_epoch, shared with the epoch-profile repricer.
+  std::vector<std::uint64_t> tier_bytes(static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> tier_demand(static_cast<std::size_t>(n));
+  for (memsim::TierId t = 0; t < n; ++t) {
+    tier_bytes[static_cast<std::size_t>(t)] = d.dram_bytes(t);
+    tier_demand[static_cast<std::size_t>(t)] = d.demand_dram[static_cast<std::size_t>(t)];
+  }
+
+  // Migration transfer time charged by the planner since the last close
+  // serializes with the epoch's demand traffic (move_pages stalls the
+  // touching thread). Zero when no migration runtime is attached, keeping
+  // two-tier golden artifacts bit-identical.
+  const double t_migrate = pending_migration_s_;
+  pending_migration_s_ = 0.0;
+  migration_s_total_ += t_migrate;
+
+  EpochPricing pricing =
+      price_epoch(m, cfg_.link_model, cfg_.stall_weight, flops_now, tier_bytes,
+                  tier_demand, pending_migration_bytes_, t_migrate, links_, queues_);
+  const double duration = pricing.duration_s;
+
+  EpochRecord rec;
+  rec.start_s = elapsed_s_;
+  rec.duration_s = duration;
+  rec.phase = current_phase_;
+  rec.flops = flops_now;
+  rec.migration_s = t_migrate;
+  rec.tier_bytes = std::move(tier_bytes);
+  rec.tier_demand = std::move(tier_demand);
+  rec.l2_lines_in = d.l2_lines_in;
+  rec.link_traffic_gbps = pricing.link_traffic_gbps;
+  rec.link_utilization = pricing.link_utilization;
+  rec.link_loi = std::move(pricing.link_loi);
+  rec.link_demand_mult = std::move(pricing.link_demand_mult);
+  rec.link_demand_inflation = std::move(pricing.link_demand_inflation);
   rec.migration_bytes = pending_migration_bytes_;
   const memsim::NumaSnapshot snap = memory_.snapshot();
   rec.resident_bytes = snap.resident_bytes;

@@ -153,6 +153,38 @@ struct EngineConfig {
   bool fast_forward = fast_forward_default();
 };
 
+/// Timing outputs of the per-epoch cost model: everything in an EpochRecord
+/// that depends on the link state (background LoI, schedules, queue
+/// windows) rather than on the access stream. Computed by price_epoch —
+/// the single implementation of the cost model, shared between the
+/// engine's close_epoch and the epoch-profile repricer
+/// (core/epoch_profile.h), so re-priced artifacts are bit-identical to
+/// full simulation by construction.
+struct EpochPricing {
+  double duration_s = 0.0;          ///< t_base + t_stall + migration_s
+  double link_traffic_gbps = 0.0;   ///< PCM-style measured traffic, all links
+  double link_utilization = 0.0;    ///< max offered utilization over links
+  std::vector<double> link_loi;            ///< background LoI per tier
+  std::vector<double> link_demand_mult;    ///< demand latency multiplier per tier
+  std::vector<double> link_demand_inflation;  ///< bulk-attributable inflation
+};
+
+/// Prices one epoch's functional counter deltas under the given link
+/// state: the N-tier cost model of the header comment, including the
+/// queue-model cross-class terms when `link_model` is kQueue. `tier_bytes`,
+/// `tier_demand`, and `migration_bytes` are indexed by TierId and sized to
+/// the topology; `links`/`queues` are the per-tier models in their current
+/// state (queues nullopt under kLoi). Pure: reads the link/queue state but
+/// never mutates it — callers fold the epoch into the queue windows
+/// afterwards (QueueModel::observe) exactly as close_epoch does.
+[[nodiscard]] EpochPricing price_epoch(
+    const memsim::MachineConfig& machine, memsim::LinkModelKind link_model,
+    double stall_weight, std::uint64_t flops, const std::vector<std::uint64_t>& tier_bytes,
+    const std::vector<std::uint64_t>& tier_demand,
+    const std::vector<std::uint64_t>& migration_bytes, double migration_s,
+    const std::vector<std::optional<memsim::LinkModel>>& links,
+    const std::vector<std::optional<memsim::QueueModel>>& queues);
+
 /// One closed epoch: the unit of the profiler's per-interval timelines
 /// (Fig. 7's cacheline series, per-phase attribution, link traffic).
 /// Per-tier series are indexed by TierId and sized to the topology.
@@ -218,6 +250,12 @@ struct PhaseRecord {
   double time_s = 0.0;
   std::uint64_t flops = 0;
   cachesim::HwCounters counters;  ///< deltas for this phase
+  /// Half-open span [epoch_begin, epoch_end) of closed-epoch records the
+  /// phase covers. time_s is exactly the sum of those durations (as the
+  /// running elapsed_s sum computes it), which is what lets the epoch-
+  /// profile repricer reconstruct phase times bit-exactly.
+  std::size_t epoch_begin = 0;
+  std::size_t epoch_end = 0;
 };
 
 /// Named allocation-site bookkeeping so case studies can attribute remote
@@ -526,6 +564,7 @@ class Engine {
   cachesim::HwCounters phase_base_;
   std::uint64_t phase_flops_base_ = 0;
   double phase_time_base_ = 0.0;
+  std::size_t phase_epoch_base_ = 0;  ///< epochs_.size() at pf_start
 
   // totals
   double elapsed_s_ = 0.0;

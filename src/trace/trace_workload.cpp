@@ -160,7 +160,12 @@ std::unique_ptr<workloads::Workload> make_cached_workload(const std::string& dir
     std::string error;
     auto data = TraceData::load(path, error);
     if (!data) throw std::runtime_error("replay cache: " + error);
-    return std::make_unique<TraceReplayWorkload>(std::move(*data));
+    auto replay = std::make_unique<TraceReplayWorkload>(std::move(*data));
+    // Replay is bit-identical to the live run of this key (TRACE.md), so it
+    // inherits the live workload's functional id — workload construction
+    // only stores parameters, so building one here is free.
+    replay->set_functional_id(workloads::make_workload(app, scale, seed)->functional_id());
+    return replay;
   }
   return std::make_unique<TraceRecordWorkload>(workloads::make_workload(app, scale, seed),
                                                workloads::app_name(app), scale, seed, path);

@@ -35,6 +35,10 @@ class TraceRecordWorkload : public workloads::Workload {
     return inner_->footprint_bytes();
   }
   workloads::WorkloadResult run(sim::Engine& eng) override;
+  /// Recording only observes — the access stream is the inner workload's.
+  [[nodiscard]] std::string functional_id() const override {
+    return inner_->functional_id();
+  }
 
  private:
   std::unique_ptr<workloads::Workload> inner_;
@@ -61,8 +65,16 @@ class TraceReplayWorkload : public workloads::Workload {
 
   [[nodiscard]] const TraceData& data() const { return data_; }
 
+  /// A trace file carries no parameter provenance, so replay defaults to
+  /// opted out of repricing. make_cached_workload knows the (app, scale,
+  /// seed) key it loaded the trace for and injects the live workload's id
+  /// here — replay is bit-identical to live, so the id is equally valid.
+  void set_functional_id(std::string id) { functional_id_ = std::move(id); }
+  [[nodiscard]] std::string functional_id() const override { return functional_id_; }
+
  private:
   TraceData data_;
+  std::string functional_id_;
 };
 
 /// Canonical trace filename for a (app, scale, seed) key inside a cache

@@ -45,6 +45,13 @@ class Bfs final : public Workload {
   [[nodiscard]] std::string name() const override { return "BFS"; }
   [[nodiscard]] std::uint64_t footprint_bytes() const override;
   WorkloadResult run(sim::Engine& eng) override;
+  [[nodiscard]] std::string functional_id() const override {
+    return "BFS/log2_vertices=" + std::to_string(params_.log2_vertices) +
+           "/edge_factor=" + std::to_string(params_.edge_factor) +
+           "/num_roots=" + std::to_string(params_.num_roots) +
+           "/variant=" + std::to_string(static_cast<int>(params_.variant)) +
+           "/seed=" + std::to_string(params_.seed);
+  }
 
  private:
   BfsParams params_;

@@ -31,6 +31,10 @@ class Hpl final : public Workload {
   [[nodiscard]] std::string name() const override { return "HPL"; }
   [[nodiscard]] std::uint64_t footprint_bytes() const override;
   WorkloadResult run(sim::Engine& eng) override;
+  [[nodiscard]] std::string functional_id() const override {
+    return "HPL/n=" + std::to_string(params_.n) + "/block=" + std::to_string(params_.block) +
+           "/seed=" + std::to_string(params_.seed);
+  }
 
  private:
   HplParams params_;

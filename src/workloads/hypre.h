@@ -28,6 +28,11 @@ class Hypre final : public Workload {
   [[nodiscard]] std::string name() const override { return "Hypre"; }
   [[nodiscard]] std::uint64_t footprint_bytes() const override;
   WorkloadResult run(sim::Engine& eng) override;
+  [[nodiscard]] std::string functional_id() const override {
+    return "Hypre/grid=" + std::to_string(params_.grid) +
+           "/iterations=" + std::to_string(params_.iterations) +
+           "/seed=" + std::to_string(params_.seed);
+  }
 
  private:
   HypreParams params_;

@@ -38,6 +38,13 @@ class Lbench final : public Workload {
     return params_.elements * sizeof(double);
   }
   WorkloadResult run(sim::Engine& eng) override;
+  [[nodiscard]] std::string functional_id() const override {
+    return "LBench/elements=" + std::to_string(params_.elements) +
+           "/nflop=" + std::to_string(params_.nflop) +
+           "/sweeps=" + std::to_string(params_.sweeps) +
+           "/on_pool=" + std::to_string(params_.on_pool ? 1 : 0) +
+           "/seed=" + std::to_string(params_.seed);
+  }
 
   /// The kernel itself, host-side, for verification and the native runner.
   [[nodiscard]] static double kernel_element(double a, std::uint32_t nflop, double alpha);

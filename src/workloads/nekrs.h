@@ -41,6 +41,13 @@ class Nekrs final : public Workload {
   [[nodiscard]] std::string name() const override { return "NekRS"; }
   [[nodiscard]] std::uint64_t footprint_bytes() const override;
   WorkloadResult run(sim::Engine& eng) override;
+  [[nodiscard]] std::string functional_id() const override {
+    return "NekRS/elements=" + std::to_string(params_.elements) +
+           "/order=" + std::to_string(params_.order) +
+           "/timesteps=" + std::to_string(params_.timesteps) +
+           "/cg_iters=" + std::to_string(params_.cg_iters) +
+           "/seed=" + std::to_string(params_.seed);
+  }
 
  private:
   NekrsParams params_;

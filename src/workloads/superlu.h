@@ -35,6 +35,10 @@ class Superlu final : public Workload {
   [[nodiscard]] std::string name() const override { return "SuperLU"; }
   [[nodiscard]] std::uint64_t footprint_bytes() const override;
   WorkloadResult run(sim::Engine& eng) override;
+  [[nodiscard]] std::string functional_id() const override {
+    return "SuperLU/grid=" + std::to_string(params_.grid) +
+           "/seed=" + std::to_string(params_.seed);
+  }
 
  private:
   SuperluParams params_;

@@ -38,6 +38,16 @@ class Workload {
   /// Executes the workload against `eng`, tagging phases. The caller owns
   /// calling eng.finish() afterwards.
   virtual WorkloadResult run(sim::Engine& eng) = 0;
+
+  /// Identity of the *functional* half of a run: a string that pins every
+  /// parameter influencing the access stream this workload will issue
+  /// (problem sizes, seeds, variants — all of them). Two workloads with
+  /// equal non-empty ids drive the engine through bit-identical access
+  /// sequences, which is what licenses the epoch-profile repricer
+  /// (core/epoch_profile.h) to reuse one capture across timing-only config
+  /// changes. The default — empty — opts a workload out of repricing;
+  /// override only with a param-complete serialization.
+  [[nodiscard]] virtual std::string functional_id() const { return {}; }
 };
 
 /// Table 2 applications.

@@ -40,6 +40,12 @@ class Xsbench final : public Workload {
   [[nodiscard]] std::string name() const override { return "XSBench"; }
   [[nodiscard]] std::uint64_t footprint_bytes() const override;
   WorkloadResult run(sim::Engine& eng) override;
+  [[nodiscard]] std::string functional_id() const override {
+    return "XSBench/n_nuclides=" + std::to_string(params_.n_nuclides) +
+           "/gridpoints=" + std::to_string(params_.gridpoints) +
+           "/lookups=" + std::to_string(params_.lookups) +
+           "/seed=" + std::to_string(params_.seed);
+  }
 
  private:
   XsbenchParams params_;

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/simd.h"
+#include "core/epoch_profile.h"
 #include "core/scenario_registry.h"
 #include "core/sweep.h"
 #include "sim/engine.h"
@@ -262,6 +263,103 @@ TEST(Determinism, ExtQueueContentionArtifactsAreReproducible) {
   EXPECT_EQ(first.csv, second.csv);
   EXPECT_EQ(first.json, second.json);
   EXPECT_FALSE(first.csv.empty());
+}
+
+// ---- epoch-profile repricing vs full simulation -----------------------------
+// The correctness gate for `--reprice` (core/epoch_profile.h): a scenario
+// run that captures one epoch profile per functional key and re-prices
+// every other grid point from it must produce byte-identical artifacts to
+// the all-full-simulation run. fig06's axes (app, scale, prefetch) are
+// all functional, so it pins the other half of the contract: on a grid
+// with no timing axis every point captures and nothing re-prices — the
+// flag is a byte-exact no-op. Scenarios whose measure functions sweep an
+// LoI axis (ext-cxl, fig10) exercise reprices > 0 in tests/test_reprice.cpp.
+
+/// Scoped override of the repricing switch: clears the profile cache on
+/// entry and exit so no capture leaks between tests.
+class ScopedReprice {
+ public:
+  explicit ScopedReprice(bool on) : saved_(core::reprice_enabled()) {
+    core::clear_reprice_cache();
+    core::set_reprice_enabled(on);
+  }
+  ~ScopedReprice() {
+    core::set_reprice_enabled(saved_);
+    core::clear_reprice_cache();
+  }
+  ScopedReprice(const ScopedReprice&) = delete;
+  ScopedReprice& operator=(const ScopedReprice&) = delete;
+
+ private:
+  bool saved_;
+};
+
+TEST(Determinism, Fig06RepriceMatchesFullSimulation) {
+#ifdef MEMDIS_UNDER_ASAN
+  GTEST_SKIP() << "double fig06 run exceeds the sanitized scenario timeout";
+#endif
+  const Artifacts full = artifacts_of("fig06", 1);
+  Artifacts repriced;
+  {
+    ScopedReprice reprice(true);
+    repriced = artifacts_of("fig06", 1);
+    // Every fig06 axis is functional (the profiler's prefetch on/off pair
+    // included), so each eligible run captures and none re-prices: the
+    // flag must be a strict byte-exact no-op on such a grid.
+    EXPECT_GT(core::reprice_stats().captures, 0u);
+    EXPECT_EQ(core::reprice_stats().reprices, 0u);
+  }
+  EXPECT_EQ(full.csv, repriced.csv);
+  EXPECT_EQ(full.json, repriced.json);
+  EXPECT_FALSE(full.csv.empty());
+}
+
+/// Repricing composes with parallel execution: the two-wave schedule must
+/// keep the sweep contract (rows land in grid slots, artifacts identical
+/// for any jobs count).
+TEST(Determinism, Fig06RepriceParallelMatchesSerial) {
+#ifdef MEMDIS_UNDER_ASAN
+  GTEST_SKIP() << "double fig06 run exceeds the sanitized scenario timeout";
+#endif
+  ScopedReprice reprice(true);
+  const Artifacts serial = artifacts_of("fig06", 1);
+  core::clear_reprice_cache();
+  const Artifacts parallel = artifacts_of("fig06", 3);
+  EXPECT_EQ(serial.csv, parallel.csv);
+  EXPECT_EQ(serial.json, parallel.json);
+}
+
+/// Enabling repricing under the queue link model must leave fig06's
+/// zero-bulk-traffic collapse to the closed-form artifacts intact (the
+/// PR 6 compat guarantee, with the capture path engaged).
+TEST(Determinism, Fig06RepriceUnderQueueModelMatchesLoiModel) {
+#ifdef MEMDIS_UNDER_ASAN
+  GTEST_SKIP() << "double fig06 run exceeds the sanitized scenario timeout";
+#endif
+  const Artifacts loi = artifacts_of("fig06", 1);
+  Artifacts repriced_queue;
+  {
+    ScopedLinkModel queue_mode(memsim::LinkModelKind::kQueue);
+    ScopedReprice reprice(true);
+    repriced_queue = artifacts_of("fig06", 1);
+  }
+  EXPECT_EQ(loi.csv, repriced_queue.csv);
+  EXPECT_EQ(loi.json, repriced_queue.json);
+}
+
+/// A planner-heavy scenario (migration runtimes, epoch callbacks) never
+/// reaches the repricer — enabling it must be a strict no-op there.
+TEST(Determinism, ExtStagedMigrationRepriceIsANoOp) {
+  const Artifacts off = artifacts_of("ext-staged-migration", 1);
+  Artifacts on;
+  {
+    ScopedReprice reprice(true);
+    on = artifacts_of("ext-staged-migration", 1);
+    EXPECT_EQ(core::reprice_stats().reprices, 0u);
+    EXPECT_EQ(core::reprice_stats().captures, 0u);
+  }
+  EXPECT_EQ(off.csv, on.csv);
+  EXPECT_EQ(off.json, on.json);
 }
 
 // ---- trace record/replay vs live --------------------------------------------

@@ -10,6 +10,7 @@
 
 #include "common/parallel_for.h"
 #include "common/rng.h"
+#include "core/epoch_profile.h"
 #include "core/scenario_registry.h"
 #include "core/sweep.h"
 
@@ -172,6 +173,73 @@ TEST(RunSweep, TaskExceptionPropagates) {
   };
   EXPECT_THROW((void)run_sweep(small_spec(), failing, {.jobs = 4}), std::runtime_error);
   EXPECT_THROW((void)run_sweep(small_spec(), failing, {.jobs = 1}), std::runtime_error);
+}
+
+TEST(RunSweep, TwoWaveRepriceSchedulingRunsEachTaskExactlyOnce) {
+  const bool saved = reprice_enabled();
+  set_reprice_enabled(true);
+  std::atomic<int> calls{0};
+  const auto counting = [&](const SweepPoint& p) -> std::vector<Metric> {
+    calls.fetch_add(1);
+    return {{"i", static_cast<double>(p.index)}};
+  };
+  const auto result = run_sweep(small_spec(), counting, {.jobs = 4});
+  set_reprice_enabled(saved);
+  EXPECT_EQ(calls.load(), 16);
+  ASSERT_EQ(result.rows.size(), 16u);
+  for (std::size_t i = 0; i < result.rows.size(); ++i)
+    EXPECT_EQ(result.rows[i].point.index, i);
+}
+
+TEST(SweepPoint, FunctionalGroupKeyGroupsOverTheLoiAxisOnly) {
+  const auto points = small_spec().expand();
+  for (const auto& a : points) {
+    for (const auto& b : points) {
+      const bool same_functional = a.app == b.app && a.scale == b.scale &&
+                                   a.ratio == b.ratio && a.fabric == b.fabric &&
+                                   a.prefetch == b.prefetch && a.variant == b.variant &&
+                                   a.seed == b.seed;
+      EXPECT_EQ(a.functional_group_key() == b.functional_group_key(), same_functional);
+    }
+  }
+}
+
+// Guards the defaulted SweepPoint::operator== behind rows_equal: every
+// single-field mutation must be detected, so a future field added to
+// SweepPoint cannot silently escape the determinism comparisons.
+TEST(SweepResult, RowsEqualDetectsEverySingleFieldMutation) {
+  SweepResult base;
+  SweepRow row;
+  row.point = {.index = 3,
+               .app = App::kBFS,
+               .scale = 2,
+               .ratio = 0.5,
+               .loi = 25.0,
+               .fabric = "cxl",
+               .prefetch = true,
+               .variant = "opt",
+               .seed = 77};
+  row.metrics = {{"m", 1.5}};
+  base.rows.push_back(row);
+  EXPECT_TRUE(base.rows_equal(base));
+
+  const auto mutated = [&](const auto& mutate) {
+    SweepResult r = base;
+    mutate(r.rows[0]);
+    return r;
+  };
+  EXPECT_FALSE(base.rows_equal(mutated([](SweepRow& r) { r.point.index = 4; })));
+  EXPECT_FALSE(base.rows_equal(mutated([](SweepRow& r) { r.point.app = App::kHPL; })));
+  EXPECT_FALSE(base.rows_equal(mutated([](SweepRow& r) { r.point.scale = 1; })));
+  EXPECT_FALSE(base.rows_equal(mutated([](SweepRow& r) { r.point.ratio = 0.75; })));
+  EXPECT_FALSE(base.rows_equal(mutated([](SweepRow& r) { r.point.loi = 0.0; })));
+  EXPECT_FALSE(base.rows_equal(mutated([](SweepRow& r) { r.point.fabric = "upi"; })));
+  EXPECT_FALSE(base.rows_equal(mutated([](SweepRow& r) { r.point.prefetch = false; })));
+  EXPECT_FALSE(base.rows_equal(mutated([](SweepRow& r) { r.point.variant = "base"; })));
+  EXPECT_FALSE(base.rows_equal(mutated([](SweepRow& r) { r.point.seed = 78; })));
+  EXPECT_FALSE(base.rows_equal(mutated([](SweepRow& r) { r.metrics[0].second = 1.25; })));
+  EXPECT_FALSE(base.rows_equal(mutated([](SweepRow& r) { r.metrics[0].first = "x"; })));
+  EXPECT_FALSE(base.rows_equal(mutated([](SweepRow& r) { r.metrics.clear(); })));
 }
 
 TEST(ParallelFor, CoversIndexSpaceOnce) {

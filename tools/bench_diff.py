@@ -4,12 +4,17 @@
 Usage:
     bench_diff.py BASELINE.json CURRENT.json [--max-regress 0.25]
                   [--key NAME[:lower|higher]] ... [--exact KEY] ...
+                  [--require KEY] ...
 
 Rules:
   * --key NAME          numeric key gated at --max-regress; direction says
                         which way is worse (default: lower-is-better, i.e.
                         times — "higher" flips it for speedups/rates).
   * --exact KEY         key must match the baseline exactly (bools, counts).
+  * --require KEY       key must be present in both files; a gated key that
+                        is missing on either side is normally a SKIP, but a
+                        required one FAILs instead (so a bench silently
+                        dropping a row cannot pass the gate).
   * With no --key/--exact flags, every shared numeric key is gated
     lower-is-better and every shared bool/string key exactly.
 
@@ -41,6 +46,8 @@ def main():
                         help="numeric key to gate, NAME[:lower|higher]")
     parser.add_argument("--exact", action="append", default=[],
                         help="key that must match the baseline exactly")
+    parser.add_argument("--require", action="append", default=[],
+                        help="key that must be present in both files (missing = FAIL)")
     args = parser.parse_args()
 
     try:
@@ -62,9 +69,17 @@ def main():
                 keys.append((name, "lower"))
 
     failed = False
+    required = set(args.require)
+    for name in sorted(required):
+        if name not in base or name not in cur:
+            print(f"FAIL  {name}: required but missing in "
+                  f"{'baseline' if name not in base else 'current'}")
+            failed = True
     for name, direction in keys:
         if name not in base or name not in cur:
-            print(f"SKIP  {name}: missing in {'baseline' if name not in base else 'current'}")
+            if name not in required:
+                print(f"SKIP  {name}: missing in "
+                      f"{'baseline' if name not in base else 'current'}")
             continue
         b, c = float(base[name]), float(cur[name])
         if b == 0.0:
@@ -79,7 +94,9 @@ def main():
         failed = failed or status == "FAIL"
     for name in exact:
         if name not in base or name not in cur:
-            print(f"SKIP  {name}: missing in {'baseline' if name not in base else 'current'}")
+            if name not in required:
+                print(f"SKIP  {name}: missing in "
+                      f"{'baseline' if name not in base else 'current'}")
             continue
         ok = base[name] == cur[name]
         print(f"{'ok' if ok else 'FAIL':5s} {name}: baseline {base[name]!r}, "

@@ -13,7 +13,7 @@
 //   memdis report  [--scale 1]
 //   memdis scenarios
 //   memdis sweep   --scenario fig06 [--jobs N] [--out dir] [--csv file]
-//                  [--replay-cache dir]
+//                  [--replay-cache dir] [--reprice on|off]
 //   memdis fleet   [--arrivals poisson:0.12:1000] [--pools 2] [--policy loi-aware]
 //                  [--migration on] [--jobs N] [--out dir] [--csv file]
 //   memdis plan    --app Hypre --fabric three-tier [--ratio 0.75]
@@ -45,6 +45,7 @@
 #include "core/interference.h"
 #include "core/migration.h"
 #include "core/profiler.h"
+#include "core/epoch_profile.h"
 #include "core/scenario_registry.h"
 #include "core/sweep.h"
 #include "fleet/arrival.h"
@@ -81,6 +82,7 @@ struct Args {
   std::optional<std::string> trace_path;    ///< --trace FILE
   std::optional<std::string> replay_cache;  ///< --replay-cache DIR
   std::optional<bool> fast_forward;         ///< --fast-forward on|off
+  std::optional<bool> reprice;              ///< --reprice on|off
   // fleet subcommand
   std::string arrivals = "poisson:0.12:1000";  ///< --arrivals SPEC
   std::size_t pools = 2;                       ///< --pools N
@@ -137,6 +139,10 @@ void usage(std::ostream& os) {
      << "                    (created if missing; artifacts byte-identical)\n"
      << "  --fast-forward M  on|off: closed-form steady-state epoch synthesis\n"
      << "                    (default off — the bit-exact path; docs/TRACE.md)\n"
+     << "  --reprice M       on|off: epoch-profile memoization — one full run\n"
+     << "                    per functional key, every timing-only variation\n"
+     << "                    re-priced in O(epochs), byte-identical artifacts\n"
+     << "                    (default off; docs/REPRICE.md)\n"
      << "  --arrivals SPEC   fleet arrival process: poisson:<rate>:<count> or\n"
      << "                    trace:<file> (CSV: header, then arrival_s,class;\n"
      << "                    default poisson:0.12:1000)\n"
@@ -358,6 +364,15 @@ std::optional<Args> parse(int argc, char** argv) {
         args.fast_forward = false;
       } else {
         std::cerr << "error: --fast-forward expects on or off, got '" << *value << "'\n";
+        return std::nullopt;
+      }
+    } else if (flag == "--reprice") {
+      if (*value == "on") {
+        args.reprice = true;
+      } else if (*value == "off") {
+        args.reprice = false;
+      } else {
+        std::cerr << "error: --reprice expects on or off, got '" << *value << "'\n";
         return std::nullopt;
       }
     } else {
@@ -905,6 +920,7 @@ int main(int argc, char** argv) {
   // planner alike (scenarios that pin a model explicitly still win).
   sim::set_link_model_default(args->link_model);
   if (args->fast_forward) sim::set_fast_forward_default(*args->fast_forward);
+  if (args->reprice) core::set_reprice_enabled(*args->reprice);
   if (args->replay_cache) {
     std::error_code ec;
     if (std::filesystem::exists(*args->replay_cache, ec) &&

@@ -114,6 +114,43 @@ class BenchDiffTest(unittest.TestCase):
         self.assertIn("SKIP", result.stdout)
         self.assertIn("current", result.stdout)
 
+    # ---- required keys -------------------------------------------------------
+
+    def test_required_key_missing_in_baseline_fails(self):
+        base = self.write("base.json", {"other": 1.0})
+        cur = self.write("cur.json", {"wall_s_repriced": 1.0})
+        result = run_tool(base, cur, "--key", "wall_s_repriced",
+                          "--require", "wall_s_repriced")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("FAIL", result.stdout)
+        self.assertIn("baseline", result.stdout)
+        self.assertNotIn("SKIP", result.stdout)
+
+    def test_required_key_missing_in_current_fails(self):
+        base = self.write("base.json", {"wall_s_repriced": 1.0})
+        cur = self.write("cur.json", {"other": 1.0})
+        result = run_tool(base, cur, "--exact", "wall_s_repriced",
+                          "--require", "wall_s_repriced")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("required but missing in current", result.stdout)
+
+    def test_required_key_present_in_both_still_gated(self):
+        base = self.write("base.json", {"wall_s_repriced": 100.0})
+        ok = self.write("ok.json", {"wall_s_repriced": 110.0})
+        bad = self.write("bad.json", {"wall_s_repriced": 200.0})
+        self.assertEqual(run_tool(base, ok, "--key", "wall_s_repriced",
+                                  "--require", "wall_s_repriced").returncode, 0)
+        self.assertEqual(run_tool(base, bad, "--key", "wall_s_repriced",
+                                  "--require", "wall_s_repriced").returncode, 1)
+
+    def test_unrequired_missing_key_still_skips(self):
+        base = self.write("base.json", {"a": 1.0})
+        cur = self.write("cur.json", {"a": 1.0})
+        result = run_tool(base, cur, "--key", "a", "--key", "b",
+                          "--require", "a")
+        self.assertEqual(result.returncode, 0)
+        self.assertIn("SKIP", result.stdout)
+
     # ---- malformed JSON ------------------------------------------------------
 
     def test_malformed_baseline_json(self):
